@@ -1,0 +1,50 @@
+//! End-to-end decomposition benchmarks on a fixed social-network stand-in
+//! (in-memory backend, isolating algorithmic cost from disk latency).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphgen::preferential_attachment;
+use graphstore::MemGraph;
+use semicore::DecomposeOptions;
+
+fn graph() -> MemGraph {
+    let n = 30_000u32;
+    MemGraph::from_edges(preferential_attachment(n, 6, 2024), n)
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let g = graph();
+    let opts = DecomposeOptions::default();
+    let mut group = c.benchmark_group("decomposition_30k");
+    group.bench_function("imcore", |b| {
+        b.iter(|| black_box(semicore::imcore(&g)))
+    });
+    group.bench_function("semicore_star", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |mut g| black_box(semicore::semicore_star(&mut g, &opts).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("semicore_plus", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |mut g| black_box(semicore::semicore_plus(&mut g, &opts).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("semicore", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |mut g| black_box(semicore::semicore(&mut g, &opts).unwrap()),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decomposition
+}
+criterion_main!(benches);

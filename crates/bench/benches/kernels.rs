@@ -1,0 +1,49 @@
+//! Micro-benchmarks for the per-node kernels (`LocalCore`, `ComputeCnt`) —
+//! the inner loop of every semi-external algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use semicore::localcore::{compute_cnt, local_core, Scratch};
+
+fn setup(deg: usize) -> (Vec<u32>, Vec<u32>) {
+    let n = deg * 4;
+    let core: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 3) % 64).collect();
+    let nbrs: Vec<u32> = (0..deg as u32).map(|i| (i * 13) % n as u32).collect();
+    (core, nbrs)
+}
+
+fn bench_local_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_core");
+    for deg in [8usize, 64, 512, 4096] {
+        let (core, nbrs) = setup(deg);
+        let mut scratch = Scratch::new();
+        group.bench_with_input(BenchmarkId::from_parameter(deg), &deg, |b, _| {
+            b.iter(|| {
+                black_box(local_core(
+                    black_box(48),
+                    black_box(&core),
+                    black_box(&nbrs),
+                    &mut scratch,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_compute_cnt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_cnt");
+    for deg in [64usize, 4096] {
+        let (core, nbrs) = setup(deg);
+        group.bench_with_input(BenchmarkId::from_parameter(deg), &deg, |b, _| {
+            b.iter(|| black_box(compute_cnt(black_box(32), black_box(&core), black_box(&nbrs))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_local_core, bench_compute_cnt
+}
+criterion_main!(benches);

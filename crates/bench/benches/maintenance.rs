@@ -1,0 +1,72 @@
+//! Single-update maintenance benchmarks (delete + reinsert of a random
+//! existing edge) over the in-memory backend.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use graphgen::preferential_attachment;
+use graphstore::{DynGraph, MemGraph};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use semicore::{
+    semi_delete_star, semi_insert, semi_insert_star, semicore_star_state, DecomposeOptions,
+    SparseMarks,
+};
+
+struct Setup {
+    graph: DynGraph,
+    state: semicore::CoreState,
+    marks: SparseMarks,
+    victims: Vec<(u32, u32)>,
+}
+
+fn setup() -> Setup {
+    let n = 20_000u32;
+    let g = MemGraph::from_edges(preferential_attachment(n, 5, 7), n);
+    let mut graph = DynGraph::from_mem(&g);
+    let (state, _) = semicore_star_state(&mut graph, &DecomposeOptions::default()).unwrap();
+    let mut victims: Vec<(u32, u32)> = g.edges().collect();
+    victims.shuffle(&mut SmallRng::seed_from_u64(5));
+    victims.truncate(64);
+    Setup {
+        graph,
+        state,
+        marks: SparseMarks::new(n),
+        victims,
+    }
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_20k");
+
+    group.bench_function("delete_then_insert_star", |b| {
+        let mut s = setup();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = s.victims[i % s.victims.len()];
+            i += 1;
+            semi_delete_star(&mut s.graph, &mut s.state, u, v).unwrap();
+            black_box(
+                semi_insert_star(&mut s.graph, &mut s.state, &mut s.marks, u, v).unwrap(),
+            );
+        })
+    });
+
+    group.bench_function("delete_then_insert_two_phase", |b| {
+        let mut s = setup();
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = s.victims[i % s.victims.len()];
+            i += 1;
+            semi_delete_star(&mut s.graph, &mut s.state, u, v).unwrap();
+            black_box(semi_insert(&mut s.graph, &mut s.state, &mut s.marks, u, v).unwrap());
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_maintenance
+}
+criterion_main!(benches);

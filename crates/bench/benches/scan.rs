@@ -1,0 +1,60 @@
+//! Storage-layer benchmarks: sequential scan and random adjacency access
+//! throughput of the block-counted disk graph.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use graphgen::{rmat_edges, Rmat};
+use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
+
+fn prepare(dir: &TempDir) -> (std::path::PathBuf, u64) {
+    let p = Rmat::web(15);
+    let g = MemGraph::from_edges(rmat_edges(p, 500_000, 3), p.num_nodes());
+    let base = dir.path().join("g");
+    let disk = mem_to_disk(&base, &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    let bytes = disk.meta().edge_file_len() + disk.meta().node_file_len();
+    (base, bytes)
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let dir = TempDir::new("bench-scan").unwrap();
+    let (base, bytes) = prepare(&dir);
+
+    let mut group = c.benchmark_group("disk_graph");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("sequential_full_scan", |b| {
+        let mut disk = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let n = disk.num_nodes();
+        let mut buf = Vec::new();
+        b.iter(|| {
+            for v in 0..n {
+                disk.adjacency(v, &mut buf).unwrap();
+                black_box(buf.len());
+            }
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("disk_graph_random");
+    group.bench_function("random_adjacency_1k", |b| {
+        let mut disk = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let n = disk.num_nodes() as u64;
+        let mut buf = Vec::new();
+        let mut x = 88172645463325252u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                disk.adjacency((x % n) as u32, &mut buf).unwrap();
+                black_box(buf.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scan
+}
+criterion_main!(benches);

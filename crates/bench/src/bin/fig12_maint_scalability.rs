@@ -1,0 +1,102 @@
+//! Figure 12 — scalability of core maintenance on the Twitter and UK
+//! stand-ins: average update time while varying |V| and |E| from 20% to
+//! 100% (50 deletes + 50 reinserts per point).
+//!
+//! ```sh
+//! cargo run --release -p kcore-bench --bin fig12_maint_scalability [-- --scale 1.0]
+//! ```
+
+use graphstore::{mem_to_disk, snapshot_mem, BufferedGraph, IoCounter, MemGraph,
+    DEFAULT_BLOCK_SIZE};
+use kcore_bench::harness::{build_dataset, fmt_secs, Args, Table};
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use semicore::{
+    semi_delete_star, semi_insert, semi_insert_star, semicore_star_state, DecomposeOptions,
+    SparseMarks,
+};
+use std::time::Duration;
+
+const EDGES_PER_TEST: usize = 50;
+
+/// Returns (SemiInsert avg, SemiInsert* avg, SemiDelete* avg).
+fn run_point(
+    g: &MemGraph,
+    dir: &graphstore::TempDir,
+    tag: &str,
+) -> graphstore::Result<(Duration, Duration, Duration)> {
+    let mut victims: Vec<(u32, u32)> = g.edges().collect();
+    let mut rng = SmallRng::seed_from_u64(0xF1612);
+    victims.shuffle(&mut rng);
+    victims.truncate(EDGES_PER_TEST);
+    if victims.is_empty() {
+        return Ok(Default::default());
+    }
+
+    let run = |use_star: bool, tag: &str| -> graphstore::Result<(Duration, Duration)> {
+        let base = dir.path().join(tag);
+        let disk = mem_to_disk(&base, g, IoCounter::new(DEFAULT_BLOCK_SIZE))?;
+        let mut bg = BufferedGraph::with_default_capacity(disk);
+        let (mut state, _) = semicore_star_state(&mut bg, &DecomposeOptions::default())?;
+        let n = graphstore::AdjacencyRead::num_nodes(&bg);
+        let mut marks = SparseMarks::new(n);
+        let mut del = Duration::ZERO;
+        for &(u, v) in &victims {
+            del += semi_delete_star(&mut bg, &mut state, u, v)?.wall_time;
+        }
+        let mut ins = Duration::ZERO;
+        for &(u, v) in &victims {
+            ins += if use_star {
+                semi_insert_star(&mut bg, &mut state, &mut marks, u, v)?.wall_time
+            } else {
+                semi_insert(&mut bg, &mut state, &mut marks, u, v)?.wall_time
+            };
+        }
+        let k = victims.len() as u32;
+        Ok((del / k, ins / k))
+    };
+
+    let (del_avg, ins_plain) = run(false, &format!("{tag}-p"))?;
+    let (_, ins_star) = run(true, &format!("{tag}-s"))?;
+    Ok((ins_plain, ins_star, del_avg))
+}
+
+fn main() -> graphstore::Result<()> {
+    let args = Args::parse();
+    let scale: f64 = args.get_num("scale", 1.0);
+    let dir = graphstore::TempDir::new("fig12")?;
+
+    for name in ["Twitter", "UK"] {
+        let spec = graphgen::dataset_by_name(name).unwrap();
+        let mut disk = build_dataset(&spec, scale, &dir, DEFAULT_BLOCK_SIZE)?;
+        let full = snapshot_mem(&mut disk)?;
+        drop(disk);
+
+        for (dim, by_nodes) in [("|V|", true), ("|E|", false)] {
+            println!("\nFig. 12 — {name} stand-in, varying {dim}: avg update time");
+            let mut t = Table::new(&[
+                "fraction", "SemiInsert", "SemiInsert*", "SemiDelete*",
+            ]);
+            for pct in [20u32, 40, 60, 80, 100] {
+                let f = pct as f64 / 100.0;
+                let g = if by_nodes {
+                    graphgen::sample_nodes(&full, f, 3000 + pct as u64)
+                } else {
+                    graphgen::sample_edges(&full, f, 4000 + pct as u64)
+                };
+                let tag = format!("{name}-{dim}-{pct}").replace('|', "");
+                let (ins, ins_star, del) = run_point(&g, &dir, &tag)?;
+                t.row(vec![
+                    format!("{pct}%"),
+                    fmt_secs(ins),
+                    fmt_secs(ins_star),
+                    fmt_secs(del),
+                ]);
+            }
+            t.print();
+        }
+    }
+    println!("\npaper shape to check: SemiDelete* best and stable; SemiInsert* faster than");
+    println!("SemiInsert, whose cost is unstable because its candidate component can be large.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Figure 3 — number of nodes whose core estimate changes per SemiCore
+//! iteration, on the Twitter and UK stand-ins.
+//!
+//! The paper's observation driving both optimisations: after the first few
+//! iterations only a vanishing fraction of nodes still change, so full
+//! re-scans are mostly wasted.
+//!
+//! ```sh
+//! cargo run --release -p kcore-bench --bin fig3_changed_nodes [-- --scale 1.0]
+//! ```
+
+use kcore_bench::harness::{build_dataset, Args};
+use semicore::DecomposeOptions;
+
+fn main() -> graphstore::Result<()> {
+    let args = Args::parse();
+    let scale: f64 = args.get_num("scale", 1.0);
+    let dir = graphstore::TempDir::new("fig3")?;
+
+    for name in ["Twitter", "UK"] {
+        let spec = graphgen::dataset_by_name(name).unwrap();
+        let mut disk = build_dataset(&spec, scale, &dir, graphstore::DEFAULT_BLOCK_SIZE)?;
+        let opts = DecomposeOptions {
+            track_changed_per_iteration: true,
+        };
+        let d = semicore::semicore(&mut disk, &opts)?;
+        let series = d.stats.changed_per_iteration.as_ref().unwrap();
+        println!(
+            "\nFig. 3 ({name} stand-in): {} nodes, {} edges, {} iterations",
+            disk.num_nodes(),
+            disk.num_edges(),
+            series.len()
+        );
+        println!("{:>10} {:>14} {:>9}", "iteration", "changed nodes", "% of n");
+        let n = disk.num_nodes() as f64;
+        for (i, &c) in series.iter().enumerate() {
+            // Log-style sampling of the series, as the figure's log axis does.
+            let it = i + 1;
+            let is_pow2 = it & (it - 1) == 0;
+            if is_pow2 || it == series.len() {
+                println!("{it:>10} {c:>14} {:>8.3}%", 100.0 * c as f64 / n);
+            }
+        }
+        let first = series[0] as f64;
+        let tail: u64 = series.iter().skip(series.len() / 2).sum();
+        println!(
+            "first iteration changed {first:.0} nodes; entire second half of the run changed {tail} — {:.2}% of the first",
+            100.0 * tail as f64 / first
+        );
+    }
+    Ok(())
+}

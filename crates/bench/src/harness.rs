@@ -1,0 +1,189 @@
+//! Shared plumbing for the figure/table harness binaries: a tiny argument
+//! parser, aligned table printing, and dataset preparation.
+
+use std::collections::HashMap;
+
+use graphgen::DatasetSpec;
+use graphstore::{DiskGraph, IoCounter, Result, TempDir};
+
+/// Minimal `--key value` / `--flag` argument parser (no external crates).
+#[derive(Debug)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Args {
+        let mut map = HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => String::from("true"),
+                };
+                map.insert(key.to_string(), value);
+            }
+        }
+        Args { map }
+    }
+
+    /// String option with default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Parsed numeric option with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.map
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+}
+
+/// Aligned plain-text table writer (the harness output format).
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Print with per-column alignment.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", c, w = widths[i]));
+                } else {
+                    s.push_str(&format!("  {:>w$}", c, w = widths[i]));
+                }
+            }
+            println!("{s}");
+        };
+        line(&self.headers);
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Human format: durations.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.001 {
+        format!("{:.0} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Human format: byte counts.
+pub fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut x = b as f64;
+    let mut u = 0;
+    while x >= 1024.0 && u + 1 < UNITS.len() {
+        x /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{x:.1} {}", UNITS[u])
+    }
+}
+
+/// Human format: large counts (1.2K / 3.4M / 5.6G).
+pub fn fmt_count(c: u64) -> String {
+    const UNITS: [&str; 4] = ["", "K", "M", "G"];
+    let mut x = c as f64;
+    let mut u = 0;
+    while x >= 1000.0 && u + 1 < UNITS.len() {
+        x /= 1000.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{c}")
+    } else {
+        format!("{x:.1}{}", UNITS[u])
+    }
+}
+
+/// Build a dataset stand-in on disk inside `dir` (cached per scale) and
+/// return a freshly counted handle (block size `block`).
+pub fn build_dataset(
+    spec: &DatasetSpec,
+    scale: f64,
+    dir: &TempDir,
+    block: usize,
+) -> Result<DiskGraph> {
+    let base = dir.path().join(format!("{}-{scale}", spec.name.to_lowercase()));
+    let paths = graphstore::GraphPaths::from_base(&base);
+    if !paths.nodes.exists() {
+        spec.build_disk(&base, scale, IoCounter::new(block))?;
+    }
+    DiskGraph::open(&base, IoCounter::new(block))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_500_000), "1.5M");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(250)), "250.0 ms");
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        let mut t = Table::new(&["a", "bbb"]);
+        t.row(vec!["x".into(), "123456".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn dataset_build_is_cached() {
+        let spec = graphgen::dataset_by_name("DBLP").unwrap();
+        let dir = TempDir::new("harness").unwrap();
+        let a = build_dataset(&spec, 0.02, &dir, 4096).unwrap();
+        let b = build_dataset(&spec, 0.02, &dir, 4096).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,9 @@
+//! # kcore-bench — the paper's evaluation, regenerated
+//!
+//! One binary per table/figure of §VI (see `src/bin/`), plus Criterion
+//! micro-benchmarks (see `benches/`). All binaries accept `--scale` to grow
+//! or shrink the dataset stand-ins; defaults finish in minutes.
+
+#![warn(missing_docs)]
+
+pub mod harness;

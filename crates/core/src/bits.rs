@@ -1,0 +1,109 @@
+//! Compact bit set for per-node flags (`active(v)` in SemiCore+).
+
+/// Fixed-capacity bit set over node ids.
+#[derive(Debug, Clone)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl BitSet {
+    /// All-false set over `len` ids.
+    pub fn new(len: u32) -> Self {
+        BitSet {
+            words: vec![0; (len as usize).div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-true set over `len` ids.
+    pub fn all_set(len: u32) -> Self {
+        let mut s = BitSet {
+            words: vec![u64::MAX; (len as usize).div_ceil(64)],
+            len,
+        };
+        // Clear the padding bits of the last word.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when the set covers no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        debug_assert!(i < self.len);
+        self.words[(i / 64) as usize] |= 1 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        debug_assert!(i < self.len);
+        self.words[(i / 64) as usize] &= !(1 << (i % 64));
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Bytes resident in memory.
+    pub fn resident_bytes(&self) -> u64 {
+        (self.words.len() * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(129));
+        b.set(129);
+        b.set(0);
+        b.set(64);
+        assert!(b.get(129) && b.get(0) && b.get(64));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn all_set_has_exact_population() {
+        for len in [0u32, 1, 63, 64, 65, 200] {
+            let b = BitSet::all_set(len);
+            assert_eq!(b.count_ones(), len as u64, "len {len}");
+        }
+    }
+
+    #[test]
+    fn resident_bytes_scales() {
+        assert_eq!(BitSet::new(0).resident_bytes(), 0);
+        assert_eq!(BitSet::new(64).resident_bytes(), 8);
+        assert_eq!(BitSet::new(65).resident_bytes(), 16);
+    }
+}

@@ -1,0 +1,183 @@
+//! IMCore — the in-memory core decomposition baseline (Algorithm 1).
+//!
+//! Batagelj & Zaversnik's `O(n + m)` bin-sort peeling: repeatedly remove a
+//! node of minimum remaining degree; the level at which a node is removed is
+//! its core number. This is the paper's in-memory comparison point and also
+//! serves as the test oracle for every other algorithm in this crate.
+
+use std::time::Instant;
+
+use graphstore::MemGraph;
+
+use crate::stats::{Decomposition, RunStats};
+
+/// Run IMCore on an in-memory graph.
+///
+/// Implementation: the classic three-array bin sort (`bin`, `pos`, `vert`)
+/// over degrees, giving linear total time. Memory cost is the CSR itself
+/// plus four `O(n)` arrays — the paper's Fig. 9(c) point for IMCore.
+pub fn imcore(g: &MemGraph) -> Decomposition {
+    let start = Instant::now();
+    let n = g.num_nodes() as usize;
+    let mut stats = RunStats::new("IMCore");
+
+    let mut degree: Vec<u32> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+
+    // bin[d] = index in `vert` of the first node with current degree d.
+    let mut bin = vec![0u32; max_degree + 2];
+    for &d in &degree {
+        bin[d as usize] += 1;
+    }
+    let mut startpos = 0u32;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = startpos;
+        startpos += count;
+    }
+    // vert: nodes sorted by degree; pos[v]: index of v in vert.
+    let mut vert = vec![0u32; n];
+    let mut pos = vec![0u32; n];
+    {
+        let mut next = bin.clone();
+        for v in 0..n as u32 {
+            let d = degree[v as usize] as usize;
+            pos[v as usize] = next[d];
+            vert[next[d] as usize] = v;
+            next[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        stats.node_computations += 1;
+        for &u in g.neighbors(v) {
+            if degree[u as usize] > degree[v as usize] {
+                // Move u one bin down: swap it with the first node of its
+                // current bin, then advance that bin's start.
+                let du = degree[u as usize] as usize;
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = vert[pw as usize];
+                if u != w {
+                    vert[pu as usize] = w;
+                    vert[pw as usize] = u;
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+
+    stats.iterations = 1;
+    stats.peak_memory_bytes = g.resident_bytes()
+        + (core.len() * 4 + degree.len() * 4 + vert.len() * 4 + pos.len() * 4 + bin.len() * 4)
+            as u64;
+    stats.wall_time = start.elapsed();
+    Decomposition { core, stats }
+}
+
+/// Quadratic reference peeling (tests only): repeatedly delete any node of
+/// minimum degree. Deliberately naive and independent of the bin-sort code.
+#[cfg(any(test, feature = "testing"))]
+pub fn peel_naive(g: &MemGraph) -> Vec<u32> {
+    let n = g.num_nodes() as usize;
+    let mut alive = vec![true; n];
+    let mut deg: Vec<i64> = (0..n as u32).map(|v| g.degree(v) as i64).collect();
+    let mut core = vec![0u32; n];
+    let mut k: i64 = 0;
+    for _ in 0..n {
+        // Minimum-degree alive node.
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| deg[v])
+            .expect("some node alive");
+        k = k.max(deg[v]);
+        core[v] = k as u32;
+        alive[v] = false;
+        for &u in g.neighbors(v as u32) {
+            if alive[u as usize] {
+                deg[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example_graph;
+
+    #[test]
+    fn paper_example_cores() {
+        let g = paper_example_graph();
+        let d = imcore(&g);
+        assert_eq!(d.core, vec![3, 3, 3, 3, 2, 2, 2, 2, 1]);
+        assert_eq!(d.kmax(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = MemGraph::from_edges(Vec::<(u32, u32)>::new(), 0);
+        let d = imcore(&g);
+        assert!(d.core.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_have_core_zero() {
+        let g = MemGraph::from_edges([(0, 1)], 4);
+        let d = imcore(&g);
+        assert_eq!(d.core, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn clique_has_core_n_minus_1() {
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = MemGraph::from_edges(edges, 6);
+        let d = imcore(&g);
+        assert!(d.core.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn path_graph_has_core_one() {
+        let g = MemGraph::from_edges((0..9u32).map(|i| (i, i + 1)), 10);
+        let d = imcore(&g);
+        assert!(d.core.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn cycle_graph_has_core_two() {
+        let n = 12u32;
+        let g = MemGraph::from_edges((0..n).map(|i| (i, (i + 1) % n)), n);
+        let d = imcore(&g);
+        assert!(d.core.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn matches_naive_peeling_on_pseudorandom_graphs() {
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..30 {
+            let n = 2 + next() % 60;
+            let m = next() % (3 * n);
+            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
+            let g = MemGraph::from_edges(edges, n);
+            let fast = imcore(&g).core;
+            let slow = peel_naive(&g);
+            assert_eq!(fast, slow, "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! SemiDelete* — edge deletion (Algorithm 6).
+//!
+//! Theorem 3.1: a deletion decreases core numbers by at most one, so the old
+//! core numbers remain valid upper bounds. SemiDelete* removes the edge,
+//! patches the two endpoints' `cnt` counters (the only counters the deleted
+//! edge contributed to) and re-runs the SemiCore* convergence loop from the
+//! window spanning the endpoints — which then visits *only* nodes whose core
+//! actually changes.
+
+use std::time::Instant;
+
+use graphstore::{DynamicGraph, Result};
+
+use crate::semicore_star::star_converge;
+use crate::state::CoreState;
+use crate::stats::RunStats;
+use crate::window::ScanWindow;
+
+use super::MaintainStats;
+
+/// Delete edge `(u, v)` and maintain `state`.
+///
+/// `state` must hold the exact decomposition (with the Eq. 2 invariant) of
+/// the graph *before* the deletion; the edge must exist.
+pub fn semi_delete_star(
+    g: &mut impl DynamicGraph,
+    state: &mut CoreState,
+    u: u32,
+    v: u32,
+) -> Result<MaintainStats> {
+    let start = Instant::now();
+    let io_before = g.io();
+    let mut stats = MaintainStats::new("SemiDelete*");
+
+    // Line 1: remove the edge (via the update buffer on disk graphs).
+    g.delete_edge(u, v)?;
+
+    // Lines 2-10: the deleted neighbour only supported cnt on the endpoint
+    // whose core was <= the other's.
+    let (cu, cv) = (state.core[u as usize], state.core[v as usize]);
+    let (lo, hi) = if u <= v { (u, v) } else { (v, u) };
+    let (wmin, wmax) = if cu < cv {
+        state.cnt[u as usize] -= 1;
+        (u, u)
+    } else if cv < cu {
+        state.cnt[v as usize] -= 1;
+        (v, v)
+    } else {
+        state.cnt[u as usize] -= 1;
+        state.cnt[v as usize] -= 1;
+        (lo, hi)
+    };
+
+    // Line 11: lines 4-14 of Algorithm 5.
+    let mut window = ScanWindow::span(wmin, wmax, state.num_nodes());
+    let mut run = RunStats::new("SemiDelete*");
+    star_converge(g, state, &mut window, &mut run, None)?;
+
+    stats.iterations = run.iterations;
+    stats.node_computations = run.node_computations;
+    stats.io = g.io().since(&io_before);
+    stats.wall_time = start.elapsed();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example_graph;
+    use crate::imcore::imcore;
+    use crate::semicore_star::semicore_star_state;
+    use crate::stats::DecomposeOptions;
+    use graphstore::{DynGraph, MemGraph};
+
+    fn decomposed(g: &MemGraph) -> (DynGraph, CoreState) {
+        let mut dynamic = DynGraph::from_mem(g);
+        let (state, _) = semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        (dynamic, state)
+    }
+
+    #[test]
+    fn example_5_1_delete_v0_v1() {
+        // Example 5.1: deleting (v0, v1) drops the K4 to core 2 in one
+        // iteration with 4 node computations.
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        let stats = semi_delete_star(&mut dynamic, &mut state, 0, 1).unwrap();
+        assert_eq!(state.core, vec![2, 2, 2, 2, 2, 2, 2, 2, 1]);
+        assert_eq!(stats.iterations, 1);
+        assert_eq!(stats.node_computations, 4);
+        // Maintained state equals a fresh decomposition.
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn deleting_a_leaf_edge_touches_only_the_leaf() {
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        let stats = semi_delete_star(&mut dynamic, &mut state, 5, 8).unwrap();
+        assert_eq!(state.core[8], 0);
+        assert_eq!(state.core[5], 2, "v5 keeps its core");
+        assert_eq!(stats.node_computations, 1);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn deletion_matches_scratch_recomputation_on_random_graphs() {
+        let mut seed = 13u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..20 {
+            let n = 3 + next() % 50;
+            let m = n + next() % (3 * n);
+            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
+            let g = MemGraph::from_edges(edges, n);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let (mut dynamic, mut state) = decomposed(&g);
+            // Delete up to 5 random existing edges one at a time.
+            for _ in 0..5 {
+                let all: Vec<(u32, u32)> = dynamic.to_mem().edges().collect();
+                if all.is_empty() {
+                    break;
+                }
+                let (a, b) = all[(next() as usize) % all.len()];
+                semi_delete_star(&mut dynamic, &mut state, a, b).unwrap();
+                let oracle = imcore(&dynamic.to_mem());
+                assert_eq!(state.core, oracle.core);
+                assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_spans_a_long_chain() {
+        // A cycle plus chord: deleting the chord keeps core 2; deleting a
+        // cycle edge collapses the whole cycle from 2 to 1 (full cascade).
+        let n = 40u32;
+        let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        edges.push((0, 20));
+        let g = MemGraph::from_edges(edges, n);
+        let (mut dynamic, mut state) = decomposed(&g);
+        semi_delete_star(&mut dynamic, &mut state, 5, 6).unwrap();
+        let oracle = imcore(&dynamic.to_mem());
+        assert_eq!(state.core, oracle.core);
+        // The cycle nodes (except the chord triangle path) drop to 1.
+        assert!(state.core.iter().filter(|&&c| c == 1).count() > 10);
+    }
+}

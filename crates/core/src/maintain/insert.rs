@@ -1,0 +1,216 @@
+//! SemiInsert — two-phase edge insertion (Algorithm 7).
+//!
+//! After inserting `(u, v)` with `core(u) ≤ core(v)`, only nodes reachable
+//! from `u` through `core = core(u)` paths can gain a core level
+//! (Theorem 3.2). Phase 1 expands that candidate set `Vc`, optimistically
+//! lifting every member to `cold + 1` while repairing `cnt`. Phase 2 runs
+//! the SemiCore* convergence loop over the affected window to pull back the
+//! members that cannot actually sustain the higher core.
+
+use std::time::Instant;
+
+use graphstore::{DynamicGraph, Result};
+
+use crate::localcore::compute_cnt;
+use crate::semicore_star::star_converge;
+use crate::state::CoreState;
+use crate::stats::RunStats;
+use crate::window::ScanWindow;
+
+use super::{MaintainStats, SparseMarks};
+
+const INACTIVE: u8 = 0;
+const ACTIVE: u8 = 1;
+
+/// Insert edge `(u, v)` and maintain `state` (two-phase Algorithm 7).
+///
+/// `state` must hold the exact decomposition (with the Eq. 2 invariant) of
+/// the graph *before* the insertion; the edge must be absent. `marks` is the
+/// reusable `active(·)` flag storage.
+pub fn semi_insert(
+    g: &mut impl DynamicGraph,
+    state: &mut CoreState,
+    marks: &mut SparseMarks,
+    u: u32,
+    v: u32,
+) -> Result<MaintainStats> {
+    let start = Instant::now();
+    let io_before = g.io();
+    let mut stats = MaintainStats::new("SemiInsert");
+    let n = state.num_nodes();
+
+    // Line 1: physically insert the edge.
+    g.insert_edge(u, v)?;
+
+    // Lines 2-5: orient so core(u) <= core(v); patch cnt for the new edge.
+    let (u, v) = if state.core[u as usize] > state.core[v as usize] {
+        (v, u)
+    } else {
+        (u, v)
+    };
+    state.cnt[u as usize] += 1;
+    if state.core[u as usize] == state.core[v as usize] {
+        state.cnt[v as usize] += 1;
+    }
+    let cold = state.core[u as usize];
+
+    // Line 6: active(w) <- false except the root.
+    marks.clear_all();
+    marks.set(u, ACTIVE);
+    // Track the extent of the candidate set for phase 2's window.
+    let mut cand_min = u;
+    let mut cand_max = u;
+
+    // Lines 7-21: expand the candidate set, lifting each member by one.
+    let mut window = ScanWindow::span(u, u, n);
+    let mut nbrs: Vec<u32> = Vec::new();
+    while window.update {
+        window.begin_iteration();
+        let mut w = window.vmin as u64;
+        while w <= window.vmax as u64 {
+            let wu = w as u32;
+            // Line 11: expand active nodes still at the old level.
+            if marks.get(wu) == ACTIVE && state.core[wu as usize] == cold {
+                // Line 12: optimistic lift.
+                state.core[wu as usize] = cold + 1;
+                stats.candidates += 1;
+                g.adjacency(wu, &mut nbrs)?;
+                stats.node_computations += 1;
+                // Line 14: recompute cnt at the lifted level.
+                state.cnt[wu as usize] =
+                    compute_cnt(cold + 1, &state.core, &nbrs) as i32;
+                // Lines 15-16: w now supports neighbours at cold + 1.
+                for &x in &nbrs {
+                    if state.core[x as usize] == cold + 1 && x != wu {
+                        state.cnt[x as usize] += 1;
+                    }
+                }
+                // Lines 17-20: activate same-level neighbours.
+                for &x in &nbrs {
+                    if state.core[x as usize] == cold && marks.get(x) == INACTIVE {
+                        marks.set(x, ACTIVE);
+                        cand_min = cand_min.min(x);
+                        cand_max = cand_max.max(x);
+                        window.schedule(x, wu);
+                    }
+                }
+            }
+            w += 1;
+        }
+        stats.iterations += 1;
+        window.end_iteration();
+    }
+
+    // Lines 22-25: phase 2 — converge downward over the candidate span.
+    let mut phase2 = ScanWindow::span(cand_min, cand_max, n);
+    let mut run = RunStats::new("SemiInsert/phase2");
+    star_converge(g, state, &mut phase2, &mut run, None)?;
+
+    stats.iterations += run.iterations;
+    stats.node_computations += run.node_computations;
+    stats.io = g.io().since(&io_before);
+    stats.wall_time = start.elapsed();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example_graph;
+    use crate::imcore::imcore;
+    use crate::maintain::delete::semi_delete_star;
+    use crate::semicore_star::semicore_star_state;
+    use crate::stats::DecomposeOptions;
+    use graphstore::{DynGraph, MemGraph};
+
+    fn decomposed(g: &MemGraph) -> (DynGraph, CoreState) {
+        let mut dynamic = DynGraph::from_mem(g);
+        let (state, _) = semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        (dynamic, state)
+    }
+
+    #[test]
+    fn example_2_1_insert_v7_v8() {
+        // Example 2.1: inserting (v7, v8) lifts core(v8) from 1 to 2 and
+        // changes nothing else.
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        let mut marks = SparseMarks::new(9);
+        semi_insert(&mut dynamic, &mut state, &mut marks, 7, 8).unwrap();
+        assert_eq!(state.core, vec![3, 3, 3, 3, 2, 2, 2, 2, 2]);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn example_5_2_insert_v4_v6_after_delete() {
+        // Example 5.2: after deleting (v0, v1), insert (v4, v6); candidate
+        // expansion needs 12 node computations in total in the paper's
+        // trace. Final cores: v3..v6 rise to 3.
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        semi_delete_star(&mut dynamic, &mut state, 0, 1).unwrap();
+        let mut marks = SparseMarks::new(9);
+        let stats = semi_insert(&mut dynamic, &mut state, &mut marks, 4, 6).unwrap();
+        assert_eq!(state.core, vec![2, 2, 2, 3, 3, 3, 3, 2, 1]);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+        assert_eq!(
+            stats.node_computations, 12,
+            "paper's trace performs 12 node computations"
+        );
+        // Theorem 3.2: the candidate set is the reachable core-2 component.
+        assert_eq!(stats.candidates, 8);
+    }
+
+    #[test]
+    fn insertion_matches_scratch_recomputation_on_random_graphs() {
+        let mut seed = 71u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..20 {
+            let n = 4 + next() % 50;
+            let m = n + next() % (2 * n);
+            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
+            let g = MemGraph::from_edges(edges, n);
+            let (mut dynamic, mut state) = decomposed(&g);
+            let mut marks = SparseMarks::new(n);
+            for _ in 0..6 {
+                let a = next() % n;
+                let b = next() % n;
+                if a == b || dynamic.has_edge(a, b) {
+                    continue;
+                }
+                semi_insert(&mut dynamic, &mut state, &mut marks, a, b).unwrap();
+                let oracle = imcore(&dynamic.to_mem());
+                assert_eq!(state.core, oracle.core, "after inserting ({a},{b})");
+                assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn insert_completing_a_cycle_raises_whole_chain() {
+        // Path 0-1-...-19: all core 1. Closing the cycle raises all to 2.
+        let n = 20u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = MemGraph::from_edges(edges, n);
+        let (mut dynamic, mut state) = decomposed(&g);
+        let mut marks = SparseMarks::new(n);
+        semi_insert(&mut dynamic, &mut state, &mut marks, 0, n - 1).unwrap();
+        assert!(state.core.iter().all(|&c| c == 2));
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn insert_between_different_core_levels_touches_low_side_only() {
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        let mut marks = SparseMarks::new(9);
+        // v8 (core 1) -> v0 (core 3): v8's level-1 component is just v8.
+        let stats = semi_insert(&mut dynamic, &mut state, &mut marks, 8, 0).unwrap();
+        assert_eq!(state.core, vec![3, 3, 3, 3, 2, 2, 2, 2, 2]);
+        assert!(stats.candidates <= 2);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+}

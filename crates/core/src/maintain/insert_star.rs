@@ -1,0 +1,385 @@
+//! SemiInsert* — one-phase edge insertion (Algorithm 8).
+//!
+//! Instead of optimistically lifting the whole reachable `core = cold`
+//! component (Algorithm 7), SemiInsert* prunes the expansion with the `cnt*`
+//! recurrence (Eq. 4 / Theorem 5.1): a candidate can only end up promoted if
+//! at least `cold + 1` of its neighbours either sit above `cold` or are
+//! themselves viable candidates. Each node walks the status lattice
+//! `φ → ? → √ → ×` at most once, so the candidate set — and with it the I/O
+//! — shrinks dramatically (Example 5.3: 5 node computations vs 12).
+//!
+//! ## Pseudocode ambiguity resolved (see DESIGN.md)
+//!
+//! A neighbour `u'` with `status = √` also has `core = cold + 1`, so a
+//! literal reading of lines 11–12 / 22–25 would adjust its counter twice.
+//! We apply exactly one adjustment per neighbour and per event:
+//!
+//! * **promotion** (`? → √`) of `v'`: `√` neighbours already counted `v'`
+//!   optimistically inside their `ComputeCnt*` **iff** `v'`'s (stable,
+//!   pre-promotion) `cnt` was `≥ cold + 1`; only neighbours that did *not*
+//!   count it are incremented. Non-`√` neighbours at `core = cold + 1`
+//!   (i.e. untouched nodes genuinely at that level) follow Eq. 2 and are
+//!   incremented.
+//! * **demotion** (`√ → ×`) of `v'`: every `√` neighbour counted `v'`
+//!   exactly once (optimistically or via the promotion increment), so it is
+//!   decremented once — possibly scheduling its own demotion; untouched
+//!   `core = cold + 1` neighbours are decremented per Eq. 2.
+
+use std::time::Instant;
+
+use graphstore::{DynamicGraph, Result};
+
+use crate::localcore::compute_cnt;
+use crate::state::CoreState;
+use crate::window::ScanWindow;
+
+use super::{MaintainStats, SparseMarks};
+
+/// `status(w) = φ`: not yet expanded.
+const PHI: u8 = 0;
+/// `status(w) = ?`: expanded, `cnt*` not yet calculated.
+const Q: u8 = 1;
+/// `status(w) = √`: `cnt*` calculated, currently viable.
+const YES: u8 = 2;
+/// `status(w) = ×`: ruled out (terminal).
+const NO: u8 = 3;
+
+/// Insert edge `(u, v)` and maintain `state` (one-phase Algorithm 8).
+///
+/// Preconditions as for [`semi_insert`](super::insert::semi_insert).
+pub fn semi_insert_star(
+    g: &mut impl DynamicGraph,
+    state: &mut CoreState,
+    marks: &mut SparseMarks,
+    u: u32,
+    v: u32,
+) -> Result<MaintainStats> {
+    let start = Instant::now();
+    let io_before = g.io();
+    let mut stats = MaintainStats::new("SemiInsert*");
+    let n = state.num_nodes();
+
+    // Line 1 (= lines 1-5 of Algorithm 7): insert, orient, patch cnt.
+    g.insert_edge(u, v)?;
+    let (u, v) = if state.core[u as usize] > state.core[v as usize] {
+        (v, u)
+    } else {
+        (u, v)
+    };
+    state.cnt[u as usize] += 1;
+    if state.core[u as usize] == state.core[v as usize] {
+        state.cnt[v as usize] += 1;
+    }
+    let cold = state.core[u as usize];
+    let viable = (cold + 1) as i32;
+
+    // Lines 2-3: all φ except the root.
+    marks.clear_all();
+    marks.set(u, Q);
+    let mut window = ScanWindow::span(u, u, n);
+    let mut nbrs: Vec<u32> = Vec::new();
+
+    // Lines 4-28.
+    while window.update {
+        window.begin_iteration();
+        let mut w = window.vmin as u64;
+        while w <= window.vmax as u64 {
+            let vp = w as u32;
+            let mut loaded = false;
+
+            // Lines 7-17: transition ? -> sqrt.
+            if marks.get(vp) == Q {
+                g.adjacency(vp, &mut nbrs)?;
+                loaded = true;
+                stats.node_computations += 1;
+                stats.candidates += 1;
+                // Whether sqrt-neighbours counted vp optimistically in their
+                // ComputeCnt*: vp's Eq. 2 cnt is stable from initialisation
+                // until this moment, so testing it now is equivalent to
+                // testing it at their computation time. Only the root can
+                // fail this (expansion gates on it, line 15).
+                let counted_by_yes_nbrs = state.cnt[vp as usize] >= viable;
+                // Line 9: ComputeCnt* (Eq. 4 with Eq. 2 counters as the
+                // optimistic proxy for unresolved neighbours).
+                let mut s = 0i32;
+                for &x in &nbrs {
+                    let cx = state.core[x as usize];
+                    if cx > cold
+                        || (cx == cold
+                            && state.cnt[x as usize] >= viable
+                            && marks.get(x) != NO)
+                    {
+                        s += 1;
+                    }
+                }
+                state.cnt[vp as usize] = s;
+                // Line 10.
+                marks.set(vp, YES);
+                state.core[vp as usize] = cold + 1;
+                // Lines 11-12 (disambiguated, see module docs).
+                for &x in &nbrs {
+                    if state.core[x as usize] == cold + 1 && x != vp {
+                        if marks.get(x) == YES {
+                            if !counted_by_yes_nbrs {
+                                state.cnt[x as usize] += 1;
+                            }
+                        } else {
+                            state.cnt[x as usize] += 1;
+                        }
+                    }
+                }
+                // Lines 13-17: expand viable φ neighbours (Lemma 5.3 prune).
+                if state.cnt[vp as usize] >= viable {
+                    for &x in &nbrs {
+                        if state.core[x as usize] == cold
+                            && state.cnt[x as usize] >= viable
+                            && marks.get(x) == PHI
+                        {
+                            marks.set(x, Q);
+                            window.schedule(x, vp);
+                        }
+                    }
+                }
+            }
+
+            // Lines 18-27: transition sqrt -> x.
+            if marks.get(vp) == YES && state.cnt[vp as usize] < viable {
+                if !loaded {
+                    g.adjacency(vp, &mut nbrs)?;
+                    stats.node_computations += 1;
+                }
+                // Lines 20-21: back to Eq. 2 at the old level.
+                marks.set(vp, NO);
+                state.core[vp as usize] = cold;
+                state.cnt[vp as usize] = compute_cnt(cold, &state.core, &nbrs) as i32;
+                // Lines 22-27 (disambiguated).
+                for &x in &nbrs {
+                    if marks.get(x) == YES {
+                        state.cnt[x as usize] -= 1;
+                        if state.cnt[x as usize] < viable {
+                            window.schedule(x, vp);
+                        }
+                    } else if state.core[x as usize] == cold + 1 {
+                        state.cnt[x as usize] -= 1;
+                    }
+                }
+            }
+            w += 1;
+        }
+        stats.iterations += 1;
+        window.end_iteration();
+    }
+
+    stats.io = g.io().since(&io_before);
+    stats.wall_time = start.elapsed();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::paper_example_graph;
+    use crate::imcore::imcore;
+    use crate::maintain::delete::semi_delete_star;
+    use crate::maintain::insert::semi_insert;
+    use crate::semicore_star::semicore_star_state;
+    use crate::stats::DecomposeOptions;
+    use graphstore::{DynGraph, MemGraph};
+
+    fn decomposed(g: &MemGraph) -> (DynGraph, CoreState) {
+        let mut dynamic = DynGraph::from_mem(g);
+        let (state, _) = semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        (dynamic, state)
+    }
+
+    #[test]
+    fn example_5_3_insert_v4_v6_after_delete() {
+        // Example 5.3: 2 iterations, 5 node computations; v3..v6 promoted,
+        // v2 expanded then ruled out.
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        semi_delete_star(&mut dynamic, &mut state, 0, 1).unwrap();
+        let mut marks = SparseMarks::new(9);
+        let stats = semi_insert_star(&mut dynamic, &mut state, &mut marks, 4, 6).unwrap();
+        assert_eq!(state.core, vec![2, 2, 2, 3, 3, 3, 3, 2, 1]);
+        assert_eq!(stats.node_computations, 5, "paper's trace: 5 computations");
+        assert_eq!(stats.iterations, 2);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn example_2_1_insert_v7_v8() {
+        let g = paper_example_graph();
+        let (mut dynamic, mut state) = decomposed(&g);
+        let mut marks = SparseMarks::new(9);
+        semi_insert_star(&mut dynamic, &mut state, &mut marks, 7, 8).unwrap();
+        assert_eq!(state.core, vec![3, 3, 3, 3, 2, 2, 2, 2, 2]);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn nonviable_root_is_demoted_cleanly() {
+        // v8-v5 exists; insert (v8, v7): v8 has cnt 2 = cold+1... choose a
+        // case where the root cannot be promoted: a pendant node attached
+        // to one more neighbour of higher core still reaches core 2, so
+        // instead attach two pendants and link them.
+        let g = MemGraph::from_edges([(0, 1), (0, 2), (1, 2), (2, 3), (2, 4)], 5);
+        let (mut dynamic, mut state) = decomposed(&g);
+        assert_eq!(state.core, vec![2, 2, 2, 1, 1]);
+        let mut marks = SparseMarks::new(5);
+        // Insert (3, 4): both pendants (core 1). Each then has 2 neighbours
+        // but they form a triangle with v2 -> core 2.
+        semi_insert_star(&mut dynamic, &mut state, &mut marks, 3, 4).unwrap();
+        let oracle = imcore(&dynamic.to_mem());
+        assert_eq!(state.core, oracle.core);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn matches_two_phase_insert_and_oracle_on_random_streams() {
+        let mut seed = 2718u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        for _ in 0..20 {
+            let n = 4 + next() % 60;
+            let m = n + next() % (3 * n);
+            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
+            let g = MemGraph::from_edges(edges, n);
+            let (mut dyn_a, mut state_a) = decomposed(&g);
+            let (mut dyn_b, mut state_b) = decomposed(&g);
+            let mut marks_a = SparseMarks::new(n);
+            let mut marks_b = SparseMarks::new(n);
+            for _ in 0..8 {
+                let a = next() % n;
+                let b = next() % n;
+                if a == b || dyn_a.has_edge(a, b) {
+                    continue;
+                }
+                let s1 =
+                    semi_insert_star(&mut dyn_a, &mut state_a, &mut marks_a, a, b).unwrap();
+                let s2 = semi_insert(&mut dyn_b, &mut state_b, &mut marks_b, a, b).unwrap();
+                let oracle = imcore(&dyn_a.to_mem());
+                assert_eq!(state_a.core, oracle.core, "insert ({a},{b})");
+                assert_eq!(state_b.core, oracle.core);
+                assert_eq!(state_a.check_cnt_invariant(&mut dyn_a).unwrap(), None);
+                assert!(
+                    s1.candidates <= s2.candidates,
+                    "SemiInsert* candidate set ({}) must not exceed SemiInsert's ({})",
+                    s1.candidates,
+                    s2.candidates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_insert_delete_stream_stays_consistent() {
+        let mut seed = 31u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let n = 40u32;
+        let edges: Vec<(u32, u32)> = (0..80).map(|_| (next() % n, next() % n)).collect();
+        let g = MemGraph::from_edges(edges, n);
+        let (mut dynamic, mut state) = decomposed(&g);
+        let mut marks = SparseMarks::new(n);
+        for step in 0..120 {
+            let a = next() % n;
+            let b = next() % n;
+            if a == b {
+                continue;
+            }
+            if dynamic.has_edge(a, b) {
+                semi_delete_star(&mut dynamic, &mut state, a, b).unwrap();
+            } else {
+                semi_insert_star(&mut dynamic, &mut state, &mut marks, a, b).unwrap();
+            }
+            if step % 10 == 0 {
+                let oracle = imcore(&dynamic.to_mem());
+                assert_eq!(state.core, oracle.core, "step {step}");
+                assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+            }
+        }
+        let oracle = imcore(&dynamic.to_mem());
+        assert_eq!(state.core, oracle.core);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::semicore_star::semicore_star_state;
+    use crate::stats::DecomposeOptions;
+    use graphstore::{DynGraph, MemGraph};
+
+    #[test]
+    fn insert_between_isolated_nodes() {
+        // Both endpoints at core 0: the new edge lifts both to core 1.
+        let g = MemGraph::from_edges(Vec::<(u32, u32)>::new(), 4);
+        let mut dynamic = DynGraph::from_mem(&g);
+        let (mut state, _) =
+            semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        assert_eq!(state.core, vec![0, 0, 0, 0]);
+        let mut marks = SparseMarks::new(4);
+        semi_insert_star(&mut dynamic, &mut state, &mut marks, 1, 3).unwrap();
+        assert_eq!(state.core, vec![0, 1, 0, 1]);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+
+    #[test]
+    fn build_a_clique_edge_by_edge() {
+        // Growing K5 one edge at a time exercises repeated promotions at
+        // increasing levels.
+        let n = 5u32;
+        let g = MemGraph::from_edges(Vec::<(u32, u32)>::new(), n);
+        let mut dynamic = DynGraph::from_mem(&g);
+        let (mut state, _) =
+            semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        let mut marks = SparseMarks::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                semi_insert_star(&mut dynamic, &mut state, &mut marks, u, v).unwrap();
+                let oracle = crate::imcore::imcore(&dynamic.to_mem());
+                assert_eq!(state.core, oracle.core, "after ({u},{v})");
+            }
+        }
+        assert!(state.core.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn dismantle_a_clique_edge_by_edge() {
+        let n = 5u32;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+            .collect();
+        let g = MemGraph::from_edges(edges.clone(), n);
+        let mut dynamic = DynGraph::from_mem(&g);
+        let (mut state, _) =
+            semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        for (u, v) in edges {
+            crate::maintain::delete::semi_delete_star(&mut dynamic, &mut state, u, v).unwrap();
+            let oracle = crate::imcore::imcore(&dynamic.to_mem());
+            assert_eq!(state.core, oracle.core, "after deleting ({u},{v})");
+        }
+        assert!(state.core.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn insertion_at_the_top_core_level() {
+        // Insert inside the kmax core where promotion requires the densest
+        // support: K4 plus one satellite connected to all four -> K5.
+        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 0), (4, 1), (4, 2)];
+        let g = MemGraph::from_edges(edges, 5);
+        let mut dynamic = DynGraph::from_mem(&g);
+        let (mut state, _) =
+            semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        assert_eq!(state.core, vec![3, 3, 3, 3, 3]);
+        let mut marks = SparseMarks::new(5);
+        semi_insert_star(&mut dynamic, &mut state, &mut marks, 4, 3).unwrap();
+        assert_eq!(state.core, vec![4, 4, 4, 4, 4]);
+        assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Maintained per-node state: core numbers plus the `cnt` counters.
+
+use graphstore::{AdjacencyRead, Result};
+
+use crate::localcore::compute_cnt;
+
+/// The semi-external node state maintained by SemiCore* and consumed /
+/// updated in place by the maintenance algorithms (§V).
+///
+/// Invariant between operations (Eq. 2):
+/// `cnt[v] == |{u ∈ nbr(v) | core[u] ≥ core[v]}|` and `core` is the exact
+/// core decomposition of the current graph. `cnt` is stored signed because
+/// the algorithms decrement neighbours' counters before those neighbours are
+/// first recomputed (transiently negative during iteration 1 of Algorithm 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreState {
+    /// Core number (or in-flight estimate) per node.
+    pub core: Vec<u32>,
+    /// Eq. 2 counter per node.
+    pub cnt: Vec<i32>,
+}
+
+impl CoreState {
+    /// State with `core = deg` and `cnt = 0` — the starting point of
+    /// Algorithm 5.
+    pub fn initial(degrees: Vec<u32>) -> CoreState {
+        let n = degrees.len();
+        CoreState {
+            core: degrees,
+            cnt: vec![0; n],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> u32 {
+        self.core.len() as u32
+    }
+
+    /// The degeneracy `kmax`.
+    pub fn kmax(&self) -> u32 {
+        self.core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Bytes of memory this state occupies — the semi-external footprint
+    /// reported for SemiCore* in Fig. 9(c)/(d).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.core.len() * 4 + self.cnt.len() * 4) as u64
+    }
+
+    /// Recompute every `cnt` from scratch (one full scan). Used by tests to
+    /// check the Eq. 2 invariant and by callers who externally rebuilt
+    /// `core`.
+    pub fn recompute_cnt(&mut self, g: &mut impl AdjacencyRead) -> Result<()> {
+        let mut nbrs = Vec::new();
+        for v in 0..self.num_nodes() {
+            g.adjacency(v, &mut nbrs)?;
+            self.cnt[v as usize] = compute_cnt(self.core[v as usize], &self.core, &nbrs) as i32;
+        }
+        Ok(())
+    }
+
+    /// Check the Eq. 2 invariant, returning the first violating node.
+    pub fn check_cnt_invariant(&self, g: &mut impl AdjacencyRead) -> Result<Option<u32>> {
+        let mut nbrs = Vec::new();
+        for v in 0..self.num_nodes() {
+            g.adjacency(v, &mut nbrs)?;
+            let want = compute_cnt(self.core[v as usize], &self.core, &nbrs) as i32;
+            if self.cnt[v as usize] != want {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_example_graph, PAPER_EXAMPLE_CORES};
+
+    #[test]
+    fn initial_state_shape() {
+        let s = CoreState::initial(vec![3, 1, 0]);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.kmax(), 3);
+        assert_eq!(s.cnt, vec![0, 0, 0]);
+        assert_eq!(s.resident_bytes(), 24);
+    }
+
+    #[test]
+    fn recompute_cnt_establishes_invariant() {
+        let mut g = paper_example_graph();
+        let mut s = CoreState {
+            core: PAPER_EXAMPLE_CORES.to_vec(),
+            cnt: vec![0; 9],
+        };
+        assert!(s.check_cnt_invariant(&mut g).unwrap().is_some());
+        s.recompute_cnt(&mut g).unwrap();
+        assert_eq!(s.check_cnt_invariant(&mut g).unwrap(), None);
+        // Spot values: v5 (core 2) has neighbours v3(3), v4(2), v6(2),
+        // v7(2), v8(1) -> cnt 4.
+        assert_eq!(s.cnt[5], 4);
+        // v8 (core 1) has one neighbour v5(2) -> cnt 1.
+        assert_eq!(s.cnt[8], 1);
+    }
+}

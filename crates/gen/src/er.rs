@@ -1,0 +1,45 @@
+//! Erdős–Rényi `G(n, m)` uniform random graphs — the no-skew control
+//! workload used by ablation benches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample `m` uniform edge slots over `n` nodes (duplicates and self-loops
+/// possible; builders normalise).
+pub fn gnm(n: u32, m: u64, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstore::MemGraph;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnm(100, 300, 1), gnm(100, 300, 1));
+        assert_ne!(gnm(100, 300, 1), gnm(100, 300, 2));
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let n = 2000u32;
+        let g = MemGraph::from_edges(gnm(n, 20_000, 3), n);
+        let max = (0..n).map(|v| g.degree(v)).max().unwrap() as f64;
+        let mean = g.degree_sum() as f64 / n as f64;
+        // Poisson-ish: the max should stay within a small factor of the mean
+        // (contrast with the R-MAT / BA skew tests).
+        assert!(max < 4.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn ids_in_range() {
+        for (u, v) in gnm(50, 500, 9) {
+            assert!(u < 50 && v < 50);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # graphgen — synthetic workloads for the k-core suite
+//!
+//! The paper evaluates on 12 real graphs (Table I), up to Clueweb's 42.6
+//! billion edges. Those datasets are not redistributable here, so this crate
+//! generates deterministic, seeded stand-ins whose *shape* matches each real
+//! graph — relative size, average density `m/n`, and degree-distribution
+//! skew — scaled down so the full evaluation runs locally in minutes:
+//!
+//! * [`ba`] — preferential attachment (heavy-tailed social networks);
+//! * [`rmat`] — recursive-matrix generation (web-crawl-like graphs);
+//! * [`er`] — Erdős–Rényi uniform graphs (control workloads);
+//! * [`sample`] — the node / edge samplers of §VI-C (scalability sweeps);
+//! * [`datasets`] — one preset per Table I row, plus the paper's reference
+//!   statistics for side-by-side reporting.
+
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod datasets;
+pub mod er;
+pub mod rmat;
+pub mod sample;
+
+pub use ba::preferential_attachment;
+pub use datasets::{dataset_by_name, paper_datasets, DatasetGroup, DatasetSpec, Family, PaperStats};
+pub use er::gnm;
+pub use rmat::{rmat_edges, Rmat};
+pub use sample::{sample_edges, sample_nodes};

@@ -1,0 +1,139 @@
+//! R-MAT recursive-matrix graph generation (Chakrabarti, Zhan, Faloutsos).
+//!
+//! Each edge picks its endpoints by descending a 2×2 probability matrix
+//! `[[a, b], [c, d]]` over the adjacency matrix, producing the skewed,
+//! community-ish degree distributions typical of web crawls. The suite uses
+//! it as the stand-in for the paper's web-graph datasets (Webbase, IT, SK,
+//! UK, Clueweb, WIKI).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT parameter set. Probabilities must be non-negative and sum to ~1.
+#[derive(Debug, Clone, Copy)]
+pub struct Rmat {
+    /// Top-left quadrant probability (self-community mass).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// log2 of the node-id space.
+    pub scale: u32,
+}
+
+impl Rmat {
+    /// The classic web-graph parameterisation (a=0.57, b=c=0.19).
+    pub fn web(scale: u32) -> Rmat {
+        Rmat {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            scale,
+        }
+    }
+
+    /// Number of node ids (`2^scale`).
+    pub fn num_nodes(&self) -> u32 {
+        1u32 << self.scale
+    }
+
+    /// Sample one directed edge.
+    fn edge(&self, rng: &mut SmallRng) -> (u32, u32) {
+        let mut u = 0u32;
+        let mut v = 0u32;
+        for _ in 0..self.scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < self.a {
+                // top-left: (0, 0)
+            } else if r < self.a + self.b {
+                v |= 1;
+            } else if r < self.a + self.b + self.c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u, v)
+    }
+}
+
+/// Generate `m` R-MAT edge samples (with possible duplicates / self-loops —
+/// callers normalise through the graph builders), calling `emit` per edge.
+pub fn rmat_stream(params: Rmat, m: u64, seed: u64, mut emit: impl FnMut(u32, u32)) {
+    assert!(
+        params.scale >= 1 && params.scale < 32,
+        "scale must be in 1..32"
+    );
+    assert!(
+        params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0
+            && params.a + params.b + params.c <= 1.0 + 1e-9,
+        "probabilities must be a valid distribution"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..m {
+        let (u, v) = params.edge(&mut rng);
+        emit(u, v);
+    }
+}
+
+/// Collect `m` R-MAT edge samples into a vector.
+pub fn rmat_edges(params: Rmat, m: u64, seed: u64) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(m as usize);
+    rmat_stream(params, m, seed, |u, v| out.push((u, v)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstore::MemGraph;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let p = Rmat::web(10);
+        assert_eq!(rmat_edges(p, 500, 42), rmat_edges(p, 500, 42));
+        assert_ne!(rmat_edges(p, 500, 42), rmat_edges(p, 500, 43));
+    }
+
+    #[test]
+    fn ids_stay_in_range() {
+        let p = Rmat::web(8);
+        for (u, v) in rmat_edges(p, 2000, 7) {
+            assert!(u < 256 && v < 256);
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // The hallmark of R-MAT: a heavy-tailed degree distribution. The max
+        // degree should far exceed the mean.
+        let p = Rmat::web(12);
+        let g = MemGraph::from_edges(rmat_edges(p, 40_000, 1), p.num_nodes());
+        let degrees = g.degrees();
+        let max = *degrees.iter().max().unwrap() as f64;
+        let mean = g.degree_sum() as f64 / g.num_nodes() as f64;
+        assert!(
+            max > 8.0 * mean,
+            "max degree {max} should dwarf mean {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_scale_32() {
+        rmat_edges(
+            Rmat {
+                a: 0.25,
+                b: 0.25,
+                c: 0.25,
+                scale: 32,
+            },
+            1,
+            0,
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Little-endian fixed-width encoding helpers for the on-disk format.
+//!
+//! The graph files use explicit little-endian encoding rather than
+//! `#[repr(C)]` casts so the format is byte-stable across platforms and can be
+//! validated field by field.
+
+use crate::error::{Error, Result};
+
+/// Encode a `u32` into `buf[at..at + 4]`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a `u64` into `buf[at..at + 8]`.
+#[inline]
+pub fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a `u32` from `buf[at..at + 4]`.
+#[inline]
+pub fn get_u32(buf: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&buf[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Decode a `u64` from `buf[at..at + 8]`.
+#[inline]
+pub fn get_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Decode a `u32`, returning a corruption error when the slice is short.
+#[inline]
+pub fn try_get_u32(buf: &[u8], at: usize, what: &str) -> Result<u32> {
+    if buf.len() < at + 4 {
+        return Err(Error::corrupt(format!("truncated while reading {what}")));
+    }
+    Ok(get_u32(buf, at))
+}
+
+/// Decode a `u64`, returning a corruption error when the slice is short.
+#[inline]
+pub fn try_get_u64(buf: &[u8], at: usize, what: &str) -> Result<u64> {
+    if buf.len() < at + 8 {
+        return Err(Error::corrupt(format!("truncated while reading {what}")));
+    }
+    Ok(get_u64(buf, at))
+}
+
+/// Reinterpret a byte slice as little-endian `u32` values, copying into `out`.
+///
+/// The adjacency lists are stored as raw `u32` runs; this is the single place
+/// where bytes become node ids, so the bounds/alignment story lives here.
+#[inline]
+pub fn decode_u32_run(bytes: &[u8], out: &mut Vec<u32>) -> Result<()> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(Error::corrupt(format!(
+            "adjacency byte run of length {} is not a multiple of 4",
+            bytes.len()
+        )));
+    }
+    out.reserve(bytes.len() / 4);
+    for chunk in bytes.chunks_exact(4) {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(chunk);
+        out.push(u32::from_le_bytes(b));
+    }
+    Ok(())
+}
+
+/// Encode a `u32` slice into its little-endian byte representation.
+#[inline]
+pub fn encode_u32_run(values: &[u32], out: &mut Vec<u8>) {
+    out.reserve(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_round_trip() {
+        let mut buf = [0u8; 8];
+        put_u32(&mut buf, 1, 0xDEAD_BEEF);
+        assert_eq!(get_u32(&buf, 1), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let mut buf = [0u8; 16];
+        put_u64(&mut buf, 3, u64::MAX - 7);
+        assert_eq!(get_u64(&buf, 3), u64::MAX - 7);
+    }
+
+    #[test]
+    fn try_get_reports_truncation() {
+        let buf = [0u8; 3];
+        let err = try_get_u32(&buf, 0, "header magic").unwrap_err();
+        assert!(err.to_string().contains("header magic"));
+        let err = try_get_u64(&buf, 0, "node count").unwrap_err();
+        assert!(err.is_corrupt());
+    }
+
+    #[test]
+    fn u32_run_round_trip() {
+        let values = vec![0, 1, 42, u32::MAX];
+        let mut bytes = Vec::new();
+        encode_u32_run(&values, &mut bytes);
+        let mut back = Vec::new();
+        decode_u32_run(&bytes, &mut back).unwrap();
+        assert_eq!(values, back);
+    }
+
+    #[test]
+    fn odd_length_run_is_corrupt() {
+        let mut out = Vec::new();
+        assert!(decode_u32_run(&[1, 2, 3], &mut out).unwrap_err().is_corrupt());
+    }
+}

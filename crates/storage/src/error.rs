@@ -1,0 +1,103 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the disk graph substrate.
+///
+/// Corruption and argument errors are reported as structured variants so that
+/// callers (and tests) can distinguish "the file is damaged" from "the caller
+/// asked for something impossible" without string matching.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file exists but its contents are not a valid graph.
+    Corrupt {
+        /// Human-readable description of what failed to validate.
+        reason: String,
+    },
+    /// A node id outside `0..n` was requested.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        num_nodes: u32,
+    },
+    /// An API contract was violated (e.g. scanning backwards).
+    InvalidArgument(String),
+    /// The graph would exceed a structural limit (e.g. more than `u32::MAX` nodes).
+    TooLarge(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Corrupt { reason } => write!(f, "corrupt graph file: {reason}"),
+            Error::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::TooLarge(msg) => write!(f, "graph too large: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Construct a corruption error from anything displayable.
+    pub fn corrupt(reason: impl Into<String>) -> Self {
+        Error::Corrupt {
+            reason: reason.into(),
+        }
+    }
+
+    /// True when the error indicates damaged on-disk data.
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, Error::Corrupt { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::corrupt("bad magic");
+        assert_eq!(e.to_string(), "corrupt graph file: bad magic");
+        assert!(e.is_corrupt());
+
+        let e = Error::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert_eq!(e.to_string(), "node 9 out of range (graph has 4 nodes)");
+        assert!(!e.is_corrupt());
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,208 @@
+//! On-disk graph layout.
+//!
+//! Following §II "Graph Storage" of the paper, a graph is stored as two files:
+//!
+//! * **node table** (`<base>.nodes`): fixed-size header followed by one entry
+//!   per node holding the byte offset of its adjacency list in the edge table
+//!   and its degree. Entries are 12 bytes: `offset: u64, degree: u32`.
+//! * **edge table** (`<base>.edges`): a short header followed by the adjacency
+//!   lists `nbr(v1), nbr(v2), …, nbr(vn)` stored consecutively as raw
+//!   little-endian `u32` node ids.
+//!
+//! Loading `nbr(v)` therefore takes one node-table access (offset + degree)
+//! plus a contiguous edge-table read, exactly the access pattern the paper's
+//! algorithms assume. Each neighbour list is stored sorted ascending, which
+//! the update buffer relies on for merging.
+
+use std::path::{Path, PathBuf};
+
+use crate::codec;
+use crate::error::{Error, Result};
+
+/// Magic bytes opening the node table file.
+pub const NODE_MAGIC: &[u8; 8] = b"KCORNOD1";
+/// Magic bytes opening the edge table file.
+pub const EDGE_MAGIC: &[u8; 8] = b"KCOREDG1";
+/// Format version written into the node table header.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the node-table header in bytes.
+pub const NODE_HEADER_LEN: u64 = 32;
+/// Size of one node-table entry in bytes (`offset: u64, degree: u32`).
+pub const NODE_ENTRY_LEN: u64 = 12;
+/// Size of the edge-table header in bytes.
+pub const EDGE_HEADER_LEN: u64 = 8;
+
+/// Graph-level metadata stored in the node-table header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphMeta {
+    /// Number of nodes `n`. Node ids are `0..n`.
+    pub num_nodes: u32,
+    /// Sum of degrees (twice the number of undirected edges).
+    pub degree_sum: u64,
+}
+
+impl GraphMeta {
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> u64 {
+        self.degree_sum / 2
+    }
+
+    /// Byte offset of node `v`'s entry within the node table file.
+    pub fn node_entry_offset(&self, v: u32) -> u64 {
+        NODE_HEADER_LEN + NODE_ENTRY_LEN * v as u64
+    }
+
+    /// Expected node table file length.
+    pub fn node_file_len(&self) -> u64 {
+        NODE_HEADER_LEN + NODE_ENTRY_LEN * self.num_nodes as u64
+    }
+
+    /// Expected edge table file length.
+    pub fn edge_file_len(&self) -> u64 {
+        EDGE_HEADER_LEN + 4 * self.degree_sum
+    }
+}
+
+/// Encode the node-table header.
+pub fn encode_node_header(meta: &GraphMeta) -> [u8; NODE_HEADER_LEN as usize] {
+    let mut h = [0u8; NODE_HEADER_LEN as usize];
+    h[0..8].copy_from_slice(NODE_MAGIC);
+    codec::put_u32(&mut h, 8, FORMAT_VERSION);
+    // h[12..16] reserved, zero.
+    codec::put_u64(&mut h, 16, meta.num_nodes as u64);
+    codec::put_u64(&mut h, 24, meta.degree_sum);
+    h
+}
+
+/// Decode and validate the node-table header.
+pub fn decode_node_header(h: &[u8]) -> Result<GraphMeta> {
+    if h.len() < NODE_HEADER_LEN as usize {
+        return Err(Error::corrupt("node table shorter than header"));
+    }
+    if &h[0..8] != NODE_MAGIC {
+        return Err(Error::corrupt("bad node table magic"));
+    }
+    let version = codec::try_get_u32(h, 8, "format version")?;
+    if version != FORMAT_VERSION {
+        return Err(Error::corrupt(format!(
+            "unsupported format version {version} (expected {FORMAT_VERSION})"
+        )));
+    }
+    let n = codec::try_get_u64(h, 16, "node count")?;
+    if n > u32::MAX as u64 {
+        return Err(Error::corrupt(format!("node count {n} exceeds u32 range")));
+    }
+    let degree_sum = codec::try_get_u64(h, 24, "degree sum")?;
+    Ok(GraphMeta {
+        num_nodes: n as u32,
+        degree_sum,
+    })
+}
+
+/// Encode one node-table entry.
+#[inline]
+pub fn encode_node_entry(offset: u64, degree: u32) -> [u8; NODE_ENTRY_LEN as usize] {
+    let mut e = [0u8; NODE_ENTRY_LEN as usize];
+    codec::put_u64(&mut e, 0, offset);
+    codec::put_u32(&mut e, 8, degree);
+    e
+}
+
+/// Decode one node-table entry into `(offset, degree)`.
+#[inline]
+pub fn decode_node_entry(e: &[u8]) -> (u64, u32) {
+    (codec::get_u64(e, 0), codec::get_u32(e, 8))
+}
+
+/// Paths of the two files comprising a stored graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphPaths {
+    /// Node table path (`<base>.nodes`).
+    pub nodes: PathBuf,
+    /// Edge table path (`<base>.edges`).
+    pub edges: PathBuf,
+}
+
+impl GraphPaths {
+    /// Derive the file pair from a base path (extension is appended).
+    pub fn from_base(base: &Path) -> Self {
+        let mut nodes = base.as_os_str().to_owned();
+        nodes.push(".nodes");
+        let mut edges = base.as_os_str().to_owned();
+        edges.push(".edges");
+        GraphPaths {
+            nodes: PathBuf::from(nodes),
+            edges: PathBuf::from(edges),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let meta = GraphMeta {
+            num_nodes: 12345,
+            degree_sum: 99_999,
+        };
+        let h = encode_node_header(&meta);
+        assert_eq!(decode_node_header(&h).unwrap(), meta);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let meta = GraphMeta {
+            num_nodes: 1,
+            degree_sum: 0,
+        };
+        let mut h = encode_node_header(&meta);
+        h[0] = b'X';
+        assert!(decode_node_header(&h).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let meta = GraphMeta {
+            num_nodes: 1,
+            degree_sum: 0,
+        };
+        let mut h = encode_node_header(&meta);
+        codec::put_u32(&mut h, 8, 77);
+        let err = decode_node_header(&h).unwrap_err();
+        assert!(err.to_string().contains("version 77"));
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        assert!(decode_node_header(&[0u8; 5]).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let e = encode_node_entry(1 << 40, 777);
+        assert_eq!(decode_node_entry(&e), (1 << 40, 777));
+    }
+
+    #[test]
+    fn meta_derived_sizes() {
+        let meta = GraphMeta {
+            num_nodes: 10,
+            degree_sum: 30,
+        };
+        assert_eq!(meta.num_edges(), 15);
+        assert_eq!(meta.node_file_len(), 32 + 120);
+        assert_eq!(meta.edge_file_len(), 8 + 120);
+        assert_eq!(meta.node_entry_offset(0), 32);
+        assert_eq!(meta.node_entry_offset(3), 32 + 36);
+    }
+
+    #[test]
+    fn paths_from_base() {
+        let p = GraphPaths::from_base(Path::new("/tmp/foo/g"));
+        assert_eq!(p.nodes, Path::new("/tmp/foo/g.nodes"));
+        assert_eq!(p.edges, Path::new("/tmp/foo/g.edges"));
+    }
+}

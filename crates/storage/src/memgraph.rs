@@ -1,0 +1,373 @@
+//! In-memory graph representations.
+//!
+//! [`MemGraph`] is an immutable CSR used by the in-memory baselines (IMCore)
+//! and as the oracle in tests. [`DynGraph`] is an update-friendly adjacency
+//! structure used by the in-memory maintenance baselines (IMInsert/IMDelete).
+//!
+//! Both normalise input the same way the disk builder does: undirected,
+//! self-loops dropped, duplicate edges dropped, neighbour lists sorted.
+
+use crate::error::{Error, Result};
+
+/// Normalise an edge list in place: symmetrise, drop self-loops and
+/// duplicates, sort pairs. Returns the implied node count (max id + 1),
+/// clamped up to `min_nodes`.
+fn normalize_edges(edges: &mut Vec<(u32, u32)>, min_nodes: u32) -> u32 {
+    let mut n = min_nodes;
+    let mut sym = Vec::with_capacity(edges.len() * 2);
+    for &(u, v) in edges.iter() {
+        if u == v {
+            continue;
+        }
+        sym.push((u, v));
+        sym.push((v, u));
+        let hi = u.max(v);
+        if hi >= n {
+            n = hi + 1;
+        }
+    }
+    sym.sort_unstable();
+    sym.dedup();
+    *edges = sym;
+    n
+}
+
+/// Immutable compressed-sparse-row undirected graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `nbrs` for node `v`. Length `n + 1`.
+    offsets: Vec<u64>,
+    /// Concatenated sorted neighbour lists.
+    nbrs: Vec<u32>,
+}
+
+impl MemGraph {
+    /// Build from an arbitrary edge list (normalised as documented above).
+    ///
+    /// `min_nodes` forces at least that many nodes even if the tail ids are
+    /// isolated.
+    pub fn from_edges(edges: impl IntoIterator<Item = (u32, u32)>, min_nodes: u32) -> MemGraph {
+        let mut list: Vec<(u32, u32)> = edges.into_iter().collect();
+        let n = normalize_edges(&mut list, min_nodes);
+        let mut offsets = vec![0u64; n as usize + 1];
+        for &(u, _) in &list {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let nbrs = list.into_iter().map(|(_, v)| v).collect();
+        MemGraph { offsets, nbrs }
+    }
+
+    /// Build directly from per-node sorted adjacency lists.
+    ///
+    /// Callers must guarantee symmetry; [`MemGraph::validate`] checks it.
+    pub fn from_adjacency(adj: Vec<Vec<u32>>) -> MemGraph {
+        let n = adj.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut total = 0u64;
+        for list in &adj {
+            total += list.len() as u64;
+            offsets.push(total);
+        }
+        let mut nbrs = Vec::with_capacity(total as usize);
+        for list in adj {
+            nbrs.extend(list);
+        }
+        MemGraph { offsets, nbrs }
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of undirected edges `m`.
+    pub fn num_edges(&self) -> u64 {
+        self.degree_sum() / 2
+    }
+
+    /// Sum of all degrees (`2m`).
+    pub fn degree_sum(&self) -> u64 {
+        *self.offsets.last().expect("offsets non-empty")
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as u32
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.nbrs[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// All degrees as a vector (used to seed `core(v) = deg(v)`).
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_nodes()).map(|v| self.degree(v)).collect()
+    }
+
+    /// True when `(u, v)` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        u < self.num_nodes() && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterate `(u, v)` with `u < v` (each undirected edge once).
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Bytes resident in memory (for the paper's memory-usage plots).
+    pub fn resident_bytes(&self) -> u64 {
+        (self.offsets.len() * std::mem::size_of::<u64>()
+            + self.nbrs.len() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Check structural invariants: sorted lists, ids in range, no
+    /// self-loops or duplicates, symmetry.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.num_nodes();
+        for v in 0..n {
+            let list = self.neighbors(v);
+            for (i, &u) in list.iter().enumerate() {
+                if u >= n {
+                    return Err(Error::corrupt(format!("neighbour {u} of {v} out of range")));
+                }
+                if u == v {
+                    return Err(Error::corrupt(format!("self-loop at {v}")));
+                }
+                if i > 0 && list[i - 1] >= u {
+                    return Err(Error::corrupt(format!(
+                        "adjacency of {v} not strictly sorted"
+                    )));
+                }
+                if !self.has_edge(u, v) {
+                    return Err(Error::corrupt(format!("edge ({v},{u}) not symmetric")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Update-friendly adjacency structure for in-memory maintenance baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynGraph {
+    adj: Vec<Vec<u32>>,
+    degree_sum: u64,
+}
+
+impl DynGraph {
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: u32) -> DynGraph {
+        DynGraph {
+            adj: vec![Vec::new(); n as usize],
+            degree_sum: 0,
+        }
+    }
+
+    /// Convert from a CSR graph.
+    pub fn from_mem(g: &MemGraph) -> DynGraph {
+        let adj = (0..g.num_nodes())
+            .map(|v| g.neighbors(v).to_vec())
+            .collect();
+        DynGraph {
+            adj,
+            degree_sum: g.degree_sum(),
+        }
+    }
+
+    /// Convert to an immutable CSR graph.
+    pub fn to_mem(&self) -> MemGraph {
+        MemGraph::from_adjacency(self.adj.clone())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> u64 {
+        self.degree_sum / 2
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.adj[v as usize].len() as u32
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// True when `(u, v)` is an edge.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        (u as usize) < self.adj.len() && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn check_pair(&self, u: u32, v: u32) -> Result<()> {
+        let n = self.num_nodes();
+        if u >= n {
+            return Err(Error::NodeOutOfRange { node: u, num_nodes: n });
+        }
+        if v >= n {
+            return Err(Error::NodeOutOfRange { node: v, num_nodes: n });
+        }
+        if u == v {
+            return Err(Error::InvalidArgument("self-loops are not supported".into()));
+        }
+        Ok(())
+    }
+
+    /// Insert edge `(u, v)`. Returns `false` (and changes nothing) when the
+    /// edge already exists.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> Result<bool> {
+        self.check_pair(u, v)?;
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => Ok(false),
+            Err(iu) => {
+                let iv = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("asymmetric adjacency");
+                self.adj[u as usize].insert(iu, v);
+                self.adj[v as usize].insert(iv, u);
+                self.degree_sum += 2;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Delete edge `(u, v)`. Returns `false` when the edge was absent.
+    pub fn delete_edge(&mut self, u: u32, v: u32) -> Result<bool> {
+        self.check_pair(u, v)?;
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => Ok(false),
+            Ok(iu) => {
+                let iv = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("asymmetric adjacency");
+                self.adj[u as usize].remove(iu);
+                self.adj[v as usize].remove(iv);
+                self.degree_sum -= 2;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Bytes resident in memory.
+    pub fn resident_bytes(&self) -> u64 {
+        let lists: u64 = self
+            .adj
+            .iter()
+            .map(|l| (l.capacity() * std::mem::size_of::<u32>()) as u64)
+            .sum();
+        lists + (self.adj.len() * std::mem::size_of::<Vec<u32>>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> MemGraph {
+        // 0-1-2 triangle, 3 hanging off 2, node 4 isolated.
+        MemGraph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3)], 5)
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(3, 0));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn normalisation_drops_loops_and_duplicates() {
+        let g = MemGraph::from_edges([(0, 1), (1, 0), (0, 1), (1, 1)], 0);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degrees_vector_matches() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degrees(), vec![2, 2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn validate_catches_asymmetry() {
+        let g = MemGraph::from_adjacency(vec![vec![1], vec![]]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_unsorted() {
+        let g = MemGraph::from_adjacency(vec![vec![2, 1], vec![0], vec![0]]);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn dyn_graph_insert_delete_round_trip() {
+        let base = triangle_plus_tail();
+        let mut d = DynGraph::from_mem(&base);
+        assert!(d.delete_edge(0, 1).unwrap());
+        assert!(!d.delete_edge(0, 1).unwrap());
+        assert!(d.insert_edge(0, 1).unwrap());
+        assert!(!d.insert_edge(0, 1).unwrap());
+        assert_eq!(d.to_mem(), base);
+    }
+
+    #[test]
+    fn dyn_graph_rejects_bad_ids() {
+        let mut d = DynGraph::empty(3);
+        assert!(matches!(
+            d.insert_edge(0, 7),
+            Err(Error::NodeOutOfRange { node: 7, .. })
+        ));
+        assert!(d.insert_edge(1, 1).is_err());
+    }
+
+    #[test]
+    fn dyn_graph_edge_count_tracks_updates() {
+        let mut d = DynGraph::empty(4);
+        d.insert_edge(0, 1).unwrap();
+        d.insert_edge(2, 3).unwrap();
+        assert_eq!(d.num_edges(), 2);
+        d.delete_edge(0, 1).unwrap();
+        assert_eq!(d.num_edges(), 1);
+        assert_eq!(d.degree(0), 0);
+    }
+
+    #[test]
+    fn mem_dyn_round_trip_preserves_structure() {
+        let g = MemGraph::from_edges((0..50u32).map(|i| (i, (i * 7 + 1) % 50)), 50);
+        let d = DynGraph::from_mem(&g);
+        assert_eq!(d.to_mem(), g);
+    }
+}

@@ -1,0 +1,496 @@
+//! Dynamic graph support: an in-memory edge update buffer over a disk graph.
+//!
+//! §V "Graph Maintenance" of the paper: *"we allow a memory buffer to
+//! maintain the latest inserted / deleted edges. We also index the edges in
+//! the memory buffer. When the buffer is full, we update the graph on disk
+//! and clear the buffer. Each time when we load `nbr(v)` from disk, we also
+//! need to obtain the inserted / deleted edges for `v` from the memory buffer
+//! and use them to compute the updated `nbr(v)`."*
+//!
+//! [`UpdateBuffer`] is that buffer; [`BufferedGraph`] pairs it with a
+//! [`DiskGraph`] and exposes the merged view through
+//! [`AdjacencyRead`], so every maintenance algorithm sees the up-to-date
+//! graph while paying disk I/O only for the base adjacency lists.
+
+use std::collections::HashMap;
+
+use crate::access::AdjacencyRead;
+use crate::builder::DiskGraphWriter;
+use crate::error::{Error, Result};
+use crate::format::GraphPaths;
+use crate::graph::DiskGraph;
+use crate::io::IoSnapshot;
+
+/// Pending edits for one node: sorted inserted and deleted neighbour ids.
+#[derive(Debug, Default, Clone)]
+struct NodeEdits {
+    ins: Vec<u32>,
+    del: Vec<u32>,
+}
+
+impl NodeEdits {
+    fn is_empty(&self) -> bool {
+        self.ins.is_empty() && self.del.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.ins.len() + self.del.len()
+    }
+}
+
+/// Indexed buffer of not-yet-flushed edge insertions and deletions.
+#[derive(Debug, Default)]
+pub struct UpdateBuffer {
+    per_node: HashMap<u32, NodeEdits>,
+    entries: usize,
+}
+
+/// Insert `x` into the sorted vec if absent; returns true when inserted.
+fn sorted_insert(v: &mut Vec<u32>, x: u32) -> bool {
+    match v.binary_search(&x) {
+        Ok(_) => false,
+        Err(i) => {
+            v.insert(i, x);
+            true
+        }
+    }
+}
+
+/// Remove `x` from the sorted vec if present; returns true when removed.
+fn sorted_remove(v: &mut Vec<u32>, x: u32) -> bool {
+    match v.binary_search(&x) {
+        Ok(i) => {
+            v.remove(i);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl UpdateBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        UpdateBuffer::default()
+    }
+
+    /// Number of (node, neighbour) edit entries held (each undirected edge
+    /// contributes two).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True when no edits are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    fn edit_one(&mut self, node: u32, nbr: u32, insert: bool) {
+        let edits = self.per_node.entry(node).or_default();
+        let before = edits.len();
+        if insert {
+            // An insert cancels a pending delete of the same edge.
+            if !sorted_remove(&mut edits.del, nbr) {
+                sorted_insert(&mut edits.ins, nbr);
+            }
+        } else if !sorted_remove(&mut edits.ins, nbr) {
+            sorted_insert(&mut edits.del, nbr);
+        }
+        let after = edits.len();
+        if after >= before {
+            self.entries += after - before;
+        } else {
+            self.entries -= before - after;
+        }
+        if edits.is_empty() {
+            self.per_node.remove(&node);
+        }
+    }
+
+    /// Record insertion of undirected edge `(u, v)`.
+    ///
+    /// The caller guarantees the edge is not already present in the merged
+    /// view (checked variants live on [`BufferedGraph`]).
+    pub fn record_insert(&mut self, u: u32, v: u32) {
+        self.edit_one(u, v, true);
+        self.edit_one(v, u, true);
+    }
+
+    /// Record deletion of undirected edge `(u, v)` (present in merged view).
+    pub fn record_delete(&mut self, u: u32, v: u32) {
+        self.edit_one(u, v, false);
+        self.edit_one(v, u, false);
+    }
+
+    /// Net degree change for `v` relative to the on-disk graph.
+    pub fn degree_delta(&self, v: u32) -> i64 {
+        match self.per_node.get(&v) {
+            None => 0,
+            Some(e) => e.ins.len() as i64 - e.del.len() as i64,
+        }
+    }
+
+    /// Merge the base (sorted) adjacency of `v` with pending edits into
+    /// `out` (cleared first), keeping sort order.
+    pub fn apply(&self, v: u32, base: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        match self.per_node.get(&v) {
+            None => out.extend_from_slice(base),
+            Some(e) => {
+                // Merge base \ del with ins; both inputs sorted.
+                let mut bi = 0usize;
+                let mut ii = 0usize;
+                while bi < base.len() || ii < e.ins.len() {
+                    let take_base = match (base.get(bi), e.ins.get(ii)) {
+                        (Some(&b), Some(&i)) => b <= i,
+                        (Some(_), None) => true,
+                        (None, Some(_)) => false,
+                        (None, None) => unreachable!(),
+                    };
+                    if take_base {
+                        let b = base[bi];
+                        bi += 1;
+                        if e.del.binary_search(&b).is_err() {
+                            // Defensive dedup: skip if equal to the pending
+                            // insert about to be emitted.
+                            if e.ins.get(ii) == Some(&b) {
+                                ii += 1;
+                            }
+                            out.push(b);
+                        }
+                    } else {
+                        out.push(e.ins[ii]);
+                        ii += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drop all pending edits.
+    pub fn clear(&mut self) {
+        self.per_node.clear();
+        self.entries = 0;
+    }
+
+    /// Approximate resident bytes (for memory reporting).
+    pub fn resident_bytes(&self) -> u64 {
+        let per_entry = std::mem::size_of::<u32>() as u64;
+        let map_overhead = (self.per_node.len()
+            * (std::mem::size_of::<u32>() + std::mem::size_of::<NodeEdits>() + 16))
+            as u64;
+        self.entries as u64 * per_entry + map_overhead
+    }
+}
+
+/// A disk graph plus pending updates, presenting the merged view.
+#[derive(Debug)]
+pub struct BufferedGraph {
+    disk: DiskGraph,
+    buffer: UpdateBuffer,
+    /// Flush once the buffer holds this many edit entries.
+    capacity: usize,
+    /// Net degree-sum change not yet flushed.
+    degree_sum_delta: i64,
+    /// Number of flushes performed (observable for tests/benches).
+    flushes: u64,
+    scratch: Vec<u32>,
+}
+
+/// Default edit-entry capacity of the in-memory buffer.
+pub const DEFAULT_BUFFER_CAPACITY: usize = 1 << 20;
+
+impl BufferedGraph {
+    /// Wrap `disk` with an update buffer of the given capacity (edit entries).
+    pub fn new(disk: DiskGraph, capacity: usize) -> Self {
+        BufferedGraph {
+            disk,
+            buffer: UpdateBuffer::new(),
+            capacity: capacity.max(2),
+            degree_sum_delta: 0,
+            flushes: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Wrap with [`DEFAULT_BUFFER_CAPACITY`].
+    pub fn with_default_capacity(disk: DiskGraph) -> Self {
+        Self::new(disk, DEFAULT_BUFFER_CAPACITY)
+    }
+
+    /// The underlying disk graph.
+    pub fn disk(&self) -> &DiskGraph {
+        &self.disk
+    }
+
+    /// Number of buffer flushes performed so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Pending edit entries.
+    pub fn pending_edits(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn check_pair(&self, u: u32, v: u32) -> Result<()> {
+        let n = self.num_nodes();
+        if u >= n {
+            return Err(Error::NodeOutOfRange { node: u, num_nodes: n });
+        }
+        if v >= n {
+            return Err(Error::NodeOutOfRange { node: v, num_nodes: n });
+        }
+        if u == v {
+            return Err(Error::InvalidArgument("self-loops are not supported".into()));
+        }
+        Ok(())
+    }
+
+    /// True when `(u, v)` exists in the merged view (costs one adjacency read).
+    pub fn has_edge(&mut self, u: u32, v: u32) -> Result<bool> {
+        self.check_pair(u, v)?;
+        let mut merged = Vec::new();
+        self.adjacency(u, &mut merged)?;
+        Ok(merged.binary_search(&v).is_ok())
+    }
+
+    /// Insert `(u, v)`, which must not already exist (unchecked for I/O
+    /// economy — use [`BufferedGraph::has_edge`] first when unsure).
+    /// Flushes to disk when the buffer is full.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        self.check_pair(u, v)?;
+        self.buffer.record_insert(u, v);
+        self.degree_sum_delta += 2;
+        self.maybe_flush()
+    }
+
+    /// Delete `(u, v)`, which must exist in the merged view.
+    pub fn delete_edge(&mut self, u: u32, v: u32) -> Result<()> {
+        self.check_pair(u, v)?;
+        self.buffer.record_delete(u, v);
+        self.degree_sum_delta -= 2;
+        self.maybe_flush()
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.buffer.len() >= self.capacity {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Apply all pending edits to the on-disk graph: sequentially rewrite the
+    /// node and edge tables (charged as write I/Os), atomically replace the
+    /// files, and clear the buffer.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let n = self.disk.num_nodes();
+        let paths = self.disk.paths().clone();
+        let tmp_base = {
+            let mut s = paths.nodes.as_os_str().to_owned();
+            s.push(".rewrite");
+            std::path::PathBuf::from(s)
+        };
+        let counter = self.disk.counter().clone();
+        let mut writer = DiskGraphWriter::create(&tmp_base, n, counter)?;
+        let mut base = Vec::new();
+        let mut merged = Vec::new();
+        for v in 0..n {
+            self.disk.adjacency(v, &mut base)?;
+            self.buffer.apply(v, &base, &mut merged);
+            writer.append_adjacency(v, &merged)?;
+        }
+        let new_paths: GraphPaths = writer.finish()?;
+        std::fs::rename(&new_paths.nodes, &paths.nodes)?;
+        std::fs::rename(&new_paths.edges, &paths.edges)?;
+        self.disk.reopen()?;
+        self.disk.invalidate_buffers();
+        self.buffer.clear();
+        self.degree_sum_delta = 0;
+        self.flushes += 1;
+        Ok(())
+    }
+
+    /// Resident bytes of the buffer (the only O(updates) memory held).
+    pub fn buffer_bytes(&self) -> u64 {
+        self.buffer.resident_bytes()
+    }
+}
+
+impl AdjacencyRead for BufferedGraph {
+    fn num_nodes(&self) -> u32 {
+        self.disk.num_nodes()
+    }
+
+    fn degree_sum(&self) -> u64 {
+        (self.disk.degree_sum() as i64 + self.degree_sum_delta) as u64
+    }
+
+    fn read_degrees(&mut self) -> Result<Vec<u32>> {
+        let mut degrees = self.disk.read_degrees()?;
+        for (v, d) in degrees.iter_mut().enumerate() {
+            let delta = self.buffer.degree_delta(v as u32);
+            *d = (*d as i64 + delta).max(0) as u32;
+        }
+        Ok(degrees)
+    }
+
+    fn adjacency(&mut self, v: u32, buf: &mut Vec<u32>) -> Result<()> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let res = self.disk.adjacency(v, &mut scratch);
+        if res.is_ok() {
+            self.buffer.apply(v, &scratch, buf);
+        }
+        self.scratch = scratch;
+        res
+    }
+
+    fn io(&self) -> IoSnapshot {
+        self.disk.io()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::mem_to_disk;
+    use crate::io::{IoCounter, DEFAULT_BLOCK_SIZE};
+    use crate::memgraph::{DynGraph, MemGraph};
+    use crate::tempdir::TempDir;
+
+    fn setup(capacity: usize) -> (TempDir, BufferedGraph, DynGraph) {
+        let g = MemGraph::from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)], 6);
+        let dir = TempDir::new("buftest").unwrap();
+        let disk = mem_to_disk(
+            &dir.path().join("g"),
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        )
+        .unwrap();
+        let mirror = DynGraph::from_mem(&g);
+        (dir, BufferedGraph::new(disk, capacity), mirror)
+    }
+
+    fn assert_same_view(bg: &mut BufferedGraph, mirror: &DynGraph) {
+        let mut buf = Vec::new();
+        for v in 0..bg.num_nodes() {
+            bg.adjacency(v, &mut buf).unwrap();
+            assert_eq!(buf.as_slice(), mirror.neighbors(v), "node {v}");
+        }
+        assert_eq!(bg.degree_sum(), mirror.num_edges() * 2);
+        assert_eq!(
+            bg.read_degrees().unwrap(),
+            (0..mirror.num_nodes())
+                .map(|v| mirror.degree(v))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn buffer_merges_inserts_and_deletes() {
+        let (_d, mut bg, mut mirror) = setup(1 << 20);
+        bg.insert_edge(4, 5).unwrap();
+        mirror.insert_edge(4, 5).unwrap();
+        bg.delete_edge(0, 1).unwrap();
+        mirror.delete_edge(0, 1).unwrap();
+        bg.insert_edge(0, 5).unwrap();
+        mirror.insert_edge(0, 5).unwrap();
+        assert_eq!(bg.flushes(), 0);
+        assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn delete_then_reinsert_cancels() {
+        let (_d, mut bg, mirror) = setup(1 << 20);
+        bg.delete_edge(0, 1).unwrap();
+        bg.insert_edge(0, 1).unwrap();
+        assert_eq!(bg.pending_edits(), 0);
+        let mut bg = bg;
+        assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn flush_rewrites_disk_and_preserves_view() {
+        let (_d, mut bg, mut mirror) = setup(1 << 20);
+        bg.insert_edge(4, 5).unwrap();
+        mirror.insert_edge(4, 5).unwrap();
+        bg.delete_edge(2, 3).unwrap();
+        mirror.delete_edge(2, 3).unwrap();
+        let writes_before = bg.io().write_ios;
+        bg.flush().unwrap();
+        assert!(bg.io().write_ios > writes_before, "flush must cost write I/Os");
+        assert_eq!(bg.pending_edits(), 0);
+        assert_eq!(bg.flushes(), 1);
+        assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn auto_flush_when_capacity_reached() {
+        let (_d, mut bg, mut mirror) = setup(4);
+        bg.insert_edge(0, 4).unwrap(); // 2 entries
+        mirror.insert_edge(0, 4).unwrap();
+        assert_eq!(bg.flushes(), 0);
+        bg.insert_edge(1, 5).unwrap(); // 4 entries -> flush
+        mirror.insert_edge(1, 5).unwrap();
+        assert_eq!(bg.flushes(), 1);
+        assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn has_edge_sees_merged_view() {
+        let (_d, mut bg, _m) = setup(1 << 20);
+        assert!(bg.has_edge(0, 1).unwrap());
+        bg.delete_edge(0, 1).unwrap();
+        assert!(!bg.has_edge(0, 1).unwrap());
+        bg.insert_edge(4, 5).unwrap();
+        assert!(bg.has_edge(5, 4).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_pairs() {
+        let (_d, mut bg, _m) = setup(1 << 20);
+        assert!(bg.insert_edge(0, 0).is_err());
+        assert!(bg.insert_edge(0, 99).is_err());
+        assert!(bg.delete_edge(99, 0).is_err());
+    }
+
+    #[test]
+    fn randomised_update_stream_matches_mirror() {
+        let (_d, mut bg, mut mirror) = setup(8);
+        // Deterministic pseudo-random stream of toggles.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..300 {
+            let u = (next() % 6) as u32;
+            let v = (next() % 6) as u32;
+            if u == v {
+                continue;
+            }
+            if mirror.has_edge(u, v) {
+                mirror.delete_edge(u, v).unwrap();
+                bg.delete_edge(u, v).unwrap();
+            } else {
+                mirror.insert_edge(u, v).unwrap();
+                bg.insert_edge(u, v).unwrap();
+            }
+        }
+        assert!(bg.flushes() > 0, "stream should have forced flushes");
+        assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn update_buffer_apply_handles_defensive_duplicate() {
+        // Inserting an edge already on disk must not produce duplicates in
+        // the merged view.
+        let mut ub = UpdateBuffer::new();
+        ub.record_insert(0, 2);
+        let mut out = Vec::new();
+        ub.apply(0, &[1, 2, 3], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

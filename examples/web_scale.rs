@@ -1,0 +1,79 @@
+//! Web-scale decomposition with bounded memory.
+//!
+//! Mirrors the paper's headline claim — decomposing a web graph whose edge
+//! table dwarfs the memory the algorithm is allowed — scaled to this
+//! machine. The graph is *generated straight to disk* with the
+//! memory-bounded external builder, then decomposed by all three
+//! semi-external variants; the report shows time, I/O and the `O(n)` node
+//! state each one holds (compare Fig. 9 b/d/f).
+//!
+//! ```sh
+//! cargo run --release --example web_scale            # default scale
+//! cargo run --release --example web_scale -- 2.0     # bigger
+//! ```
+
+use graphgen::dataset_by_name;
+use graphstore::{DiskGraph, IoCounter, TempDir, DEFAULT_BLOCK_SIZE};
+use semicore::{DecomposeOptions, Decomposition};
+
+fn main() -> graphstore::Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+
+    let spec = dataset_by_name("UK").expect("UK preset exists");
+    let dir = TempDir::new("kcore-webscale")?;
+    let base = dir.path().join("uk");
+
+    println!(
+        "building the UK web-graph stand-in at scale {scale} (paper's real UK: {} nodes, {} edges)…",
+        spec.paper.nodes, spec.paper.edges
+    );
+    let t0 = std::time::Instant::now();
+    let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
+    let disk = spec.build_disk(&base, scale, counter)?;
+    let n = disk.num_nodes();
+    let m = disk.num_edges();
+    let edge_bytes = disk.meta().edge_file_len();
+    println!(
+        "  built in {:.1} s: {} nodes, {} edges, edge table {:.1} MiB on disk",
+        t0.elapsed().as_secs_f64(),
+        n,
+        m,
+        edge_bytes as f64 / (1 << 20) as f64
+    );
+    drop(disk);
+
+    println!("\n{:<12} {:>9} {:>7} {:>12} {:>12} {:>12}", "algorithm", "time(s)", "iters", "read I/Os", "write I/Os", "state bytes");
+    let report = |name: &str, d: &Decomposition| {
+        println!(
+            "{:<12} {:>9.2} {:>7} {:>12} {:>12} {:>12}",
+            name,
+            d.stats.wall_time.as_secs_f64(),
+            d.stats.iterations,
+            d.stats.io.read_ios,
+            d.stats.io.write_ios,
+            d.stats.peak_memory_bytes
+        );
+    };
+
+    let opts = DecomposeOptions::default();
+    let open = |p: &std::path::Path| DiskGraph::open(p, IoCounter::new(DEFAULT_BLOCK_SIZE));
+
+    let d_star = semicore::semicore_star(&mut open(&base)?, &opts)?;
+    report("SemiCore*", &d_star);
+    let d_plus = semicore::semicore_plus(&mut open(&base)?, &opts)?;
+    report("SemiCore+", &d_plus);
+    let d_base = semicore::semicore(&mut open(&base)?, &opts)?;
+    report("SemiCore", &d_base);
+
+    assert_eq!(d_star.core, d_plus.core);
+    assert_eq!(d_star.core, d_base.core);
+    println!(
+        "\nall three agree; kmax = {}; node state is {:.2}% of the edge table",
+        d_star.kmax(),
+        100.0 * d_star.stats.peak_memory_bytes as f64 / edge_bytes as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,213 @@
+//! # kcore-suite — semi-external k-core decomposition at web scale
+//!
+//! Facade crate for the reproduction of *"I/O Efficient Core Graph
+//! Decomposition at Web Scale"* (Wen et al., ICDE 2016). It re-exports the
+//! three layers —
+//!
+//! * [`graphstore`]: disk-resident graph substrate with block-accurate I/O
+//!   accounting,
+//! * [`semicore`]: the SemiCore / SemiCore+ / SemiCore\* algorithms, the
+//!   EMCore / IMCore baselines, and the maintenance algorithms,
+//! * [`graphgen`]: seeded workload generators standing in for the paper's
+//!   12 datasets,
+//!
+//! — and adds [`CoreIndex`], a batteries-included handle that owns a
+//! disk-resident dynamic graph together with its maintained core numbers.
+//!
+//! ```
+//! use kcore_suite::CoreIndex;
+//! use graphstore::TempDir;
+//!
+//! let dir = TempDir::new("doc").unwrap();
+//! let mut index = CoreIndex::create(
+//!     &dir.path().join("g"),
+//!     [(0, 1), (1, 2), (0, 2), (2, 3)],
+//!     4,
+//! ).unwrap();
+//! assert_eq!(index.core(0), 2);
+//! index.insert_edge(1, 3).unwrap();
+//! index.insert_edge(0, 3).unwrap();   // 0,1,2,3 now form a K4
+//! assert_eq!(index.core(3), 3);
+//! index.delete_edge(0, 1).unwrap();
+//! assert_eq!(index.core(3), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use graphgen;
+pub use graphstore;
+pub use semicore;
+
+use std::path::Path;
+
+use graphstore::{
+    mem_to_disk, AdjacencyRead, BufferedGraph, IoCounter, IoSnapshot, MemGraph, Result,
+    DEFAULT_BLOCK_SIZE, DEFAULT_BUFFER_CAPACITY,
+};
+use semicore::{
+    semi_delete_star, semi_insert_star, semicore_star_state, CoreState, DecomposeOptions,
+    MaintainStats, RunStats, SparseMarks,
+};
+
+/// A disk-resident dynamic graph with continuously maintained core numbers.
+///
+/// Construction runs SemiCore\* once; every subsequent edge update is
+/// maintained incrementally with SemiDelete\* / SemiInsert\* — the paper's
+/// recommended configuration. All I/O flows through a block-granular
+/// counter, exposed via [`CoreIndex::io`].
+#[derive(Debug)]
+pub struct CoreIndex {
+    graph: BufferedGraph,
+    state: CoreState,
+    marks: SparseMarks,
+    decompose_stats: RunStats,
+}
+
+impl CoreIndex {
+    /// Build a graph from `edges` (undirected; self-loops and duplicates
+    /// dropped) at `<base>.nodes/.edges`, then decompose it.
+    pub fn create(
+        base: &Path,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+        min_nodes: u32,
+    ) -> Result<CoreIndex> {
+        let mem = MemGraph::from_edges(edges, min_nodes);
+        let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
+        let disk = mem_to_disk(base, &mem, counter)?;
+        Self::from_disk(BufferedGraph::with_default_capacity(disk))
+    }
+
+    /// Open an existing on-disk graph and decompose it.
+    pub fn open(base: &Path) -> Result<CoreIndex> {
+        let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
+        let disk = graphstore::DiskGraph::open(base, counter)?;
+        Self::from_disk(BufferedGraph::new(disk, DEFAULT_BUFFER_CAPACITY))
+    }
+
+    /// Wrap an already-buffered graph and decompose it.
+    pub fn from_disk(mut graph: BufferedGraph) -> Result<CoreIndex> {
+        let (state, decompose_stats) =
+            semicore_star_state(&mut graph, &DecomposeOptions::default())?;
+        let n = graph.num_nodes();
+        Ok(CoreIndex {
+            graph,
+            state,
+            marks: SparseMarks::new(n),
+            decompose_stats,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.graph.num_nodes()
+    }
+
+    /// Number of undirected edges (including buffered updates).
+    pub fn num_edges(&self) -> u64 {
+        self.graph.degree_sum() / 2
+    }
+
+    /// Core number of `v`.
+    pub fn core(&self, v: u32) -> u32 {
+        self.state.core[v as usize]
+    }
+
+    /// All core numbers.
+    pub fn cores(&self) -> &[u32] {
+        &self.state.core
+    }
+
+    /// The degeneracy `kmax`.
+    pub fn kmax(&self) -> u32 {
+        self.state.kmax()
+    }
+
+    /// Nodes of the k-core (`core(v) ≥ k`), per Lemma 2.1.
+    pub fn kcore_nodes(&self, k: u32) -> Vec<u32> {
+        (0..self.num_nodes())
+            .filter(|&v| self.state.core[v as usize] >= k)
+            .collect()
+    }
+
+    /// Statistics of the initial decomposition run.
+    pub fn decompose_stats(&self) -> &RunStats {
+        &self.decompose_stats
+    }
+
+    /// Insert edge `(u, v)` (must be absent) and maintain the cores
+    /// incrementally (SemiInsert\*).
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> Result<MaintainStats> {
+        semi_insert_star(&mut self.graph, &mut self.state, &mut self.marks, u, v)
+    }
+
+    /// Delete edge `(u, v)` (must be present) and maintain the cores
+    /// incrementally (SemiDelete\*).
+    pub fn delete_edge(&mut self, u: u32, v: u32) -> Result<MaintainStats> {
+        semi_delete_star(&mut self.graph, &mut self.state, u, v)
+    }
+
+    /// True when `(u, v)` exists (costs one adjacency read).
+    pub fn has_edge(&mut self, u: u32, v: u32) -> Result<bool> {
+        self.graph.has_edge(u, v)
+    }
+
+    /// Cumulative I/O performed through this index.
+    pub fn io(&self) -> IoSnapshot {
+        self.graph.io()
+    }
+
+    /// Bytes of in-memory node state (`core` + `cnt` + flags + buffer) —
+    /// the semi-external footprint.
+    pub fn resident_bytes(&self) -> u64 {
+        self.state.resident_bytes() + self.marks.resident_bytes() + self.graph.buffer_bytes()
+    }
+
+    /// Mutable access to the underlying graph (flush control, etc.).
+    pub fn graph_mut(&mut self) -> &mut BufferedGraph {
+        &mut self.graph
+    }
+
+    /// Check the Theorem 4.1 fixpoint certificate on the current state.
+    pub fn verify(&mut self) -> Result<bool> {
+        semicore::verify_cores(&mut self.graph, &self.state.core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstore::TempDir;
+
+    #[test]
+    fn create_query_update_cycle() {
+        let dir = TempDir::new("suite").unwrap();
+        let mut idx = CoreIndex::create(
+            &dir.path().join("g"),
+            semicore::fixtures::PAPER_EXAMPLE_EDGES,
+            9,
+        )
+        .unwrap();
+        assert_eq!(idx.cores(), &[3, 3, 3, 3, 2, 2, 2, 2, 1]);
+        assert_eq!(idx.kmax(), 3);
+        assert_eq!(idx.kcore_nodes(3), vec![0, 1, 2, 3]);
+        assert!(idx.verify().unwrap());
+
+        idx.delete_edge(0, 1).unwrap();
+        assert_eq!(idx.kmax(), 2);
+        idx.insert_edge(4, 6).unwrap();
+        assert_eq!(idx.cores(), &[2, 2, 2, 3, 3, 3, 3, 2, 1]);
+        assert!(idx.verify().unwrap());
+        assert_eq!(idx.num_edges(), 15);
+    }
+
+    #[test]
+    fn open_reuses_files() {
+        let dir = TempDir::new("suite").unwrap();
+        let base = dir.path().join("g");
+        {
+            CoreIndex::create(&base, [(0u32, 1u32), (1, 2), (0, 2)], 3).unwrap();
+        }
+        let idx = CoreIndex::open(&base).unwrap();
+        assert_eq!(idx.cores(), &[2, 2, 2]);
+    }
+}

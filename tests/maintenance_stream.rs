@@ -1,0 +1,150 @@
+//! Property tests for core maintenance: arbitrary update streams applied
+//! through SemiInsert / SemiInsert* / SemiDelete* must equal recomputation
+//! from scratch, preserve the Eq. 2 invariant, and agree across backends
+//! (in-memory dynamic graph vs disk graph + update buffer).
+
+use graphstore::{
+    mem_to_disk, snapshot_mem, BufferedGraph, DynGraph, IoCounter, MemGraph, TempDir,
+    DEFAULT_BLOCK_SIZE,
+};
+use proptest::prelude::*;
+use semicore::{
+    imcore, semi_delete_star, semi_insert, semi_insert_star, semicore_star_state,
+    DecomposeOptions, SparseMarks,
+};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Toggle(u32, u32),
+}
+
+fn arb_stream() -> impl Strategy<Value = (MemGraph, Vec<Op>)> {
+    (3u32..60, 0usize..150).prop_flat_map(|(n, m)| {
+        let edges = proptest::collection::vec((0..n, 0..n), m);
+        let ops = proptest::collection::vec((0..n, 0..n), 0usize..40);
+        (edges, ops).prop_map(move |(e, o)| {
+            (
+                MemGraph::from_edges(e, n),
+                o.into_iter().map(|(a, b)| Op::Toggle(a, b)).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn maintained_state_equals_scratch_recomputation((g, ops) in arb_stream()) {
+        let mut dynamic = DynGraph::from_mem(&g);
+        let (mut state, _) =
+            semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        let n = dynamic.num_nodes();
+        let mut marks = SparseMarks::new(n);
+
+        for op in ops {
+            let Op::Toggle(a, b) = op;
+            if a == b {
+                continue;
+            }
+            if dynamic.has_edge(a, b) {
+                semi_delete_star(&mut dynamic, &mut state, a, b).unwrap();
+            } else {
+                semi_insert_star(&mut dynamic, &mut state, &mut marks, a, b).unwrap();
+            }
+            let oracle = imcore(&dynamic.to_mem());
+            prop_assert_eq!(&state.core, &oracle.core);
+            prop_assert_eq!(state.check_cnt_invariant(&mut dynamic).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn two_phase_and_one_phase_insertions_agree((g, ops) in arb_stream()) {
+        let mut d1 = DynGraph::from_mem(&g);
+        let mut d2 = DynGraph::from_mem(&g);
+        let (mut s1, _) = semicore_star_state(&mut d1, &DecomposeOptions::default()).unwrap();
+        let mut s2 = s1.clone();
+        let n = d1.num_nodes();
+        let mut m1 = SparseMarks::new(n);
+        let mut m2 = SparseMarks::new(n);
+
+        for op in ops {
+            let Op::Toggle(a, b) = op;
+            if a == b || d1.has_edge(a, b) {
+                continue;
+            }
+            let r1 = semi_insert(&mut d1, &mut s1, &mut m1, a, b).unwrap();
+            let r2 = semi_insert_star(&mut d2, &mut s2, &mut m2, a, b).unwrap();
+            prop_assert_eq!(&s1.core, &s2.core);
+            prop_assert_eq!(&s1.cnt, &s2.cnt);
+            // The pruned expansion never exceeds the unpruned one.
+            prop_assert!(r2.candidates <= r1.candidates);
+        }
+    }
+
+    #[test]
+    fn disk_backend_maintenance_matches_in_memory((g, ops) in arb_stream()) {
+        let dir = TempDir::new("maint").unwrap();
+        let disk = mem_to_disk(
+            &dir.path().join("g"),
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        ).unwrap();
+        // Tiny buffer so flushes trigger mid-stream.
+        let mut buffered = BufferedGraph::new(disk, 16);
+        let mut dynamic = DynGraph::from_mem(&g);
+
+        let (mut s_disk, _) =
+            semicore_star_state(&mut buffered, &DecomposeOptions::default()).unwrap();
+        let mut s_mem = s_disk.clone();
+        let n = dynamic.num_nodes();
+        let mut marks_d = SparseMarks::new(n);
+        let mut marks_m = SparseMarks::new(n);
+
+        for op in ops {
+            let Op::Toggle(a, b) = op;
+            if a == b {
+                continue;
+            }
+            if dynamic.has_edge(a, b) {
+                semi_delete_star(&mut buffered, &mut s_disk, a, b).unwrap();
+                semi_delete_star(&mut dynamic, &mut s_mem, a, b).unwrap();
+            } else {
+                semi_insert_star(&mut buffered, &mut s_disk, &mut marks_d, a, b).unwrap();
+                semi_insert_star(&mut dynamic, &mut s_mem, &mut marks_m, a, b).unwrap();
+            }
+            prop_assert_eq!(&s_disk.core, &s_mem.core);
+        }
+        // The merged disk view equals the in-memory mirror.
+        let snap = snapshot_mem(&mut buffered).unwrap();
+        prop_assert_eq!(snap, dynamic.to_mem());
+    }
+
+    #[test]
+    fn theorem_3_1_deltas_bounded_by_one((g, ops) in arb_stream()) {
+        // Single-edge updates change each core number by at most 1.
+        let mut dynamic = DynGraph::from_mem(&g);
+        let (mut state, _) =
+            semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+        let n = dynamic.num_nodes();
+        let mut marks = SparseMarks::new(n);
+        for op in ops {
+            let Op::Toggle(a, b) = op;
+            if a == b {
+                continue;
+            }
+            let before = state.core.clone();
+            if dynamic.has_edge(a, b) {
+                semi_delete_star(&mut dynamic, &mut state, a, b).unwrap();
+                for (b4, now) in before.iter().zip(&state.core) {
+                    prop_assert!(*b4 == *now || *b4 == *now + 1);
+                }
+            } else {
+                semi_insert_star(&mut dynamic, &mut state, &mut marks, a, b).unwrap();
+                for (b4, now) in before.iter().zip(&state.core) {
+                    prop_assert!(*now == *b4 || *now == *b4 + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The paper's worked examples, asserted end to end — every trace the text
+//! gives is reproduced exactly (values, iteration counts and node
+//! computation counts).
+
+use graphstore::DynGraph;
+use semicore::fixtures::{paper_example_graph, PAPER_EXAMPLE_CORES};
+use semicore::{
+    semi_delete_star, semi_insert, semi_insert_star, semicore_star_state, DecomposeOptions,
+    SparseMarks,
+};
+
+#[test]
+fn example_2_1_core_numbers() {
+    let mut g = paper_example_graph();
+    let d = semicore::imcore(&g);
+    assert_eq!(d.core, PAPER_EXAMPLE_CORES);
+    // "the induced subgraph of {v0, v1, v2, v3} is a 3-core"
+    assert_eq!(d.kcore_nodes(3), vec![0, 1, 2, 3]);
+    // "no 4-core exists in G"
+    assert_eq!(d.kcore_size(4), 0);
+    assert!(semicore::verify_exact(&mut g, &d.core).unwrap());
+}
+
+#[test]
+fn example_4_1_semicore_36_computations_4_iterations() {
+    let mut g = paper_example_graph();
+    let d = semicore::semicore(&mut g, &DecomposeOptions::default()).unwrap();
+    assert_eq!(d.stats.iterations, 4, "Fig. 2: terminates in 4 iterations");
+    assert_eq!(d.stats.node_computations, 36, "9 nodes x 4 iterations");
+}
+
+#[test]
+fn example_4_2_semicore_plus_23_computations() {
+    let mut g = paper_example_graph();
+    let d = semicore::semicore_plus(&mut g, &DecomposeOptions::default()).unwrap();
+    assert_eq!(
+        d.stats.node_computations, 23,
+        "Example 4.2: reduces node computations from 36 to 23"
+    );
+}
+
+#[test]
+fn example_4_3_semicore_star_11_computations_3_iterations() {
+    let mut g = paper_example_graph();
+    let d = semicore::semicore_star(&mut g, &DecomposeOptions::default()).unwrap();
+    assert_eq!(d.stats.iterations, 3, "Example 4.3: only 3 iterations");
+    assert_eq!(
+        d.stats.node_computations, 11,
+        "Example 4.3: reduces node computations from 23 to 11"
+    );
+}
+
+#[test]
+fn example_4_3_cnt_of_v5_after_iteration_one_logic() {
+    // After convergence, cnt follows Eq. 2; the mid-run value the paper
+    // quotes (cnt(v5) = 2 after iteration 1) is asserted inside the unit
+    // tests of semicore_star; here we check the converged counters.
+    let mut g = paper_example_graph();
+    let (state, _) = semicore_star_state(&mut g, &DecomposeOptions::default()).unwrap();
+    assert_eq!(state.check_cnt_invariant(&mut g).unwrap(), None);
+    // v5 (core 2): neighbours v3(3), v4(2), v6(2), v7(2), v8(1) -> 4.
+    assert_eq!(state.cnt[5], 4);
+}
+
+#[test]
+fn example_5_1_delete_then_5_2_and_5_3_inserts() {
+    // The full §V narrative: delete (v0,v1), then insert (v4,v6), executed
+    // with both insertion algorithms; SemiInsert does 12 computations on a
+    // candidate set of 8, SemiInsert* does 5 on a live set of 5.
+    let g = paper_example_graph();
+
+    // SemiInsert path (Example 5.2).
+    let mut d1 = DynGraph::from_mem(&g);
+    let (mut s1, _) = semicore_star_state(&mut d1, &DecomposeOptions::default()).unwrap();
+    let del = semi_delete_star(&mut d1, &mut s1, 0, 1).unwrap();
+    assert_eq!(del.iterations, 1);
+    assert_eq!(del.node_computations, 4, "Example 5.1: 4 node computations");
+    assert_eq!(s1.core, vec![2, 2, 2, 2, 2, 2, 2, 2, 1]);
+
+    let mut marks = SparseMarks::new(9);
+    let ins = semi_insert(&mut d1, &mut s1, &mut marks, 4, 6).unwrap();
+    assert_eq!(ins.node_computations, 12, "Example 5.2: 12 node computations");
+    assert_eq!(s1.core, vec![2, 2, 2, 3, 3, 3, 3, 2, 1]);
+
+    // SemiInsert* path (Example 5.3).
+    let mut d2 = DynGraph::from_mem(&g);
+    let (mut s2, _) = semicore_star_state(&mut d2, &DecomposeOptions::default()).unwrap();
+    semi_delete_star(&mut d2, &mut s2, 0, 1).unwrap();
+    let ins = semi_insert_star(&mut d2, &mut s2, &mut marks, 4, 6).unwrap();
+    assert_eq!(ins.iterations, 2, "Fig. 8: 2 iterations");
+    assert_eq!(
+        ins.node_computations, 5,
+        "Example 5.3: decreases node computations from 12 to 5"
+    );
+    assert_eq!(s2.core, s1.core);
+    assert_eq!(s2.cnt, s1.cnt, "both insertions leave identical counters");
+}
+
+#[test]
+fn example_2_1_insertion_of_v7_v8() {
+    // "When an edge (v7, v8) is inserted in G, core(v8) increases from 1 to
+    // 2, and the core numbers of other nodes keep unchanged."
+    let g = paper_example_graph();
+    let mut dynamic = DynGraph::from_mem(&g);
+    let (mut state, _) = semicore_star_state(&mut dynamic, &DecomposeOptions::default()).unwrap();
+    let mut marks = SparseMarks::new(9);
+    semi_insert_star(&mut dynamic, &mut state, &mut marks, 7, 8).unwrap();
+    assert_eq!(state.core, vec![3, 3, 3, 3, 2, 2, 2, 2, 2]);
+}
+
+#[test]
+fn theorem_4_2_memory_is_linear_in_nodes() {
+    // SemiCore's reported memory must be Θ(n), independent of m.
+    let sparse = graphstore::MemGraph::from_edges((0..999u32).map(|i| (i, i + 1)), 1000);
+    let dense_edges: Vec<(u32, u32)> = (0..1000u32)
+        .flat_map(|u| (0..8u32).map(move |j| (u, (u + j + 1) % 1000)))
+        .collect();
+    let dense = graphstore::MemGraph::from_edges(dense_edges, 1000);
+    let opts = DecomposeOptions::default();
+    let a = semicore::semicore(&mut sparse.clone(), &opts).unwrap();
+    let b = semicore::semicore(&mut dense.clone(), &opts).unwrap();
+    // Same n -> same asymptotic state; allow scratch-buffer slack.
+    let ratio = b.stats.peak_memory_bytes as f64 / a.stats.peak_memory_bytes as f64;
+    assert!(ratio < 1.5, "memory should not scale with m (ratio {ratio})");
+}
