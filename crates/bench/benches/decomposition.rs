@@ -15,9 +15,7 @@ fn bench_decomposition(c: &mut Criterion) {
     let g = graph();
     let opts = DecomposeOptions::default();
     let mut group = c.benchmark_group("decomposition_30k");
-    group.bench_function("imcore", |b| {
-        b.iter(|| black_box(semicore::imcore(&g)))
-    });
+    group.bench_function("imcore", |b| b.iter(|| black_box(semicore::imcore(&g))));
     group.bench_function("semicore_star", |b| {
         b.iter_batched(
             || g.clone(),

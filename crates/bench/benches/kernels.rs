@@ -35,7 +35,13 @@ fn bench_compute_cnt(c: &mut Criterion) {
     for deg in [64usize, 4096] {
         let (core, nbrs) = setup(deg);
         group.bench_with_input(BenchmarkId::from_parameter(deg), &deg, |b, _| {
-            b.iter(|| black_box(compute_cnt(black_box(32), black_box(&core), black_box(&nbrs))))
+            b.iter(|| {
+                black_box(compute_cnt(
+                    black_box(32),
+                    black_box(&core),
+                    black_box(&nbrs),
+                ))
+            })
         });
     }
     group.finish();

@@ -44,9 +44,7 @@ fn bench_maintenance(c: &mut Criterion) {
             let (u, v) = s.victims[i % s.victims.len()];
             i += 1;
             semi_delete_star(&mut s.graph, &mut s.state, u, v).unwrap();
-            black_box(
-                semi_insert_star(&mut s.graph, &mut s.state, &mut s.marks, u, v).unwrap(),
-            );
+            black_box(semi_insert_star(&mut s.graph, &mut s.state, &mut s.marks, u, v).unwrap());
         })
     });
 

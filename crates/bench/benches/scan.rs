@@ -31,6 +31,28 @@ fn bench_scan(c: &mut Criterion) {
             }
         })
     });
+    group.bench_function("sequential_full_scan_borrowed", |b| {
+        let mut disk = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let n = disk.num_nodes();
+        b.iter(|| {
+            for v in 0..n {
+                disk.with_adjacency(v, |nbrs| black_box(nbrs.len()))
+                    .unwrap();
+            }
+        })
+    });
+    group.bench_function("sequential_full_scan_cached_borrowed", |b| {
+        let mut disk =
+            DiskGraph::open_with_cache(&base, IoCounter::new(DEFAULT_BLOCK_SIZE), bytes + 4096)
+                .unwrap();
+        let n = disk.num_nodes();
+        b.iter(|| {
+            for v in 0..n {
+                disk.with_adjacency(v, |nbrs| black_box(nbrs.len()))
+                    .unwrap();
+            }
+        })
+    });
     group.finish();
 
     let mut group = c.benchmark_group("disk_graph_random");

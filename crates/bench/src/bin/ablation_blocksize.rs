@@ -22,7 +22,11 @@ fn main() -> graphstore::Result<()> {
 
     println!("Ablation — block size sweep on the Twitter stand-in (scale {scale})\n");
     let mut t = Table::new(&[
-        "B", "SemiCore* I/O", "SemiCore I/O", "ratio", "SemiCore* time",
+        "B",
+        "SemiCore* I/O",
+        "SemiCore I/O",
+        "ratio",
+        "SemiCore* time",
     ]);
     for block in [1 << 10, 4 << 10, 16 << 10, 64 << 10] {
         let opts = DecomposeOptions::default();

@@ -13,8 +13,9 @@ use graphstore::{mem_to_disk, snapshot_mem, BufferedGraph, IoCounter, DEFAULT_BL
 use kcore_bench::harness::{fmt_count, fmt_secs, Args, Table};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use semicore::{semi_delete_star, semi_insert_star, semicore_star_state, DecomposeOptions,
-    SparseMarks};
+use semicore::{
+    semi_delete_star, semi_insert_star, semicore_star_state, DecomposeOptions, SparseMarks,
+};
 
 fn main() -> graphstore::Result<()> {
     let args = Args::parse();
@@ -30,7 +31,11 @@ fn main() -> graphstore::Result<()> {
         full.num_edges()
     );
     let mut t = Table::new(&[
-        "capacity", "flushes", "write I/Os", "read I/Os", "total time",
+        "capacity",
+        "flushes",
+        "write I/Os",
+        "read I/Os",
+        "total time",
     ]);
     for cap in [64usize, 512, 4096, 32768, 1 << 20] {
         let base = dir.path().join(format!("g{cap}"));

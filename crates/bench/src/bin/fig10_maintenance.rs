@@ -119,7 +119,11 @@ fn main() -> graphstore::Result<()> {
         "Fig. 10 — core maintenance, {group} graphs (scale {scale}): avg over {EDGES_PER_TEST} deletes then {EDGES_PER_TEST} inserts\n"
     );
     let mut t = Table::new(&[
-        "dataset", "algorithm", "avg time", "avg I/Os", "avg node comps",
+        "dataset",
+        "algorithm",
+        "avg time",
+        "avg I/Os",
+        "avg node comps",
     ]);
     for spec in graphgen::paper_datasets() {
         if spec.group != want {

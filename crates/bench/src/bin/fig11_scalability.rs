@@ -42,16 +42,18 @@ fn main() -> graphstore::Result<()> {
         let full = snapshot_mem(&mut disk)?;
         drop(disk);
 
-        for (dim, sampler) in [
-            ("|V|", true),
-            ("|E|", false),
-        ] {
-            println!(
-                "\nFig. 11 — {name} stand-in, varying {dim} (time and total I/Os)"
-            );
+        for (dim, sampler) in [("|V|", true), ("|E|", false)] {
+            println!("\nFig. 11 — {name} stand-in, varying {dim} (time and total I/Os)");
             let mut t = Table::new(&[
-                "fraction", "nodes", "edges", "SemiCore* t", "SemiCore+ t", "SemiCore t",
-                "SemiCore* I/O", "SemiCore+ I/O", "SemiCore I/O",
+                "fraction",
+                "nodes",
+                "edges",
+                "SemiCore* t",
+                "SemiCore+ t",
+                "SemiCore t",
+                "SemiCore* I/O",
+                "SemiCore+ I/O",
+                "SemiCore I/O",
             ]);
             for pct in [20u32, 40, 60, 80, 100] {
                 let f = pct as f64 / 100.0;

@@ -6,8 +6,9 @@
 //! cargo run --release -p kcore-bench --bin fig12_maint_scalability [-- --scale 1.0]
 //! ```
 
-use graphstore::{mem_to_disk, snapshot_mem, BufferedGraph, IoCounter, MemGraph,
-    DEFAULT_BLOCK_SIZE};
+use graphstore::{
+    mem_to_disk, snapshot_mem, BufferedGraph, IoCounter, MemGraph, DEFAULT_BLOCK_SIZE,
+};
 use kcore_bench::harness::{build_dataset, fmt_secs, Args, Table};
 use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
@@ -74,9 +75,7 @@ fn main() -> graphstore::Result<()> {
 
         for (dim, by_nodes) in [("|V|", true), ("|E|", false)] {
             println!("\nFig. 12 — {name} stand-in, varying {dim}: avg update time");
-            let mut t = Table::new(&[
-                "fraction", "SemiInsert", "SemiInsert*", "SemiDelete*",
-            ]);
+            let mut t = Table::new(&["fraction", "SemiInsert", "SemiInsert*", "SemiDelete*"]);
             for pct in [20u32, 40, 60, 80, 100] {
                 let f = pct as f64 / 100.0;
                 let g = if by_nodes {

@@ -11,8 +11,9 @@ use graphstore::{AdjacencyRead, DynGraph, MemGraph, Result};
 use kcore_bench::harness::Args;
 use semicore::fixtures::paper_example_graph;
 use semicore::localcore::{compute_cnt, local_core, Scratch};
-use semicore::{semi_delete_star, semi_insert_star, semicore_star_state, DecomposeOptions,
-    SparseMarks};
+use semicore::{
+    semi_delete_star, semi_insert_star, semicore_star_state, DecomposeOptions, SparseMarks,
+};
 
 fn print_row(label: &str, core: &[u32]) {
     print!("{label:<12}");
@@ -95,15 +96,20 @@ fn trace_maintenance() -> Result<()> {
     print_row("Old Value", &state.core);
     let st = semi_delete_star(&mut dynamic, &mut state, 0, 1)?;
     print_row("New Value", &state.core);
-    println!("  {} iterations, {} node computations\n", st.iterations, st.node_computations);
+    println!(
+        "  {} iterations, {} node computations\n",
+        st.iterations, st.node_computations
+    );
 
     println!("Fig. 8 — SemiInsert* (insert (v4, v6))");
     print_row("Old Value", &state.core);
     let mut marks = SparseMarks::new(9);
     let st = semi_insert_star(&mut dynamic, &mut state, &mut marks, 4, 6)?;
     print_row("New Value", &state.core);
-    println!("  {} iterations, {} node computations (paper: 2 iterations, 5 computations)",
-        st.iterations, st.node_computations);
+    println!(
+        "  {} iterations, {} node computations (paper: 2 iterations, 5 computations)",
+        st.iterations, st.node_computations
+    );
     Ok(())
 }
 

@@ -31,7 +31,10 @@ fn main() -> graphstore::Result<()> {
             disk.num_edges(),
             series.len()
         );
-        println!("{:>10} {:>14} {:>9}", "iteration", "changed nodes", "% of n");
+        println!(
+            "{:>10} {:>14} {:>9}",
+            "iteration", "changed nodes", "% of n"
+        );
         let n = disk.num_nodes() as f64;
         for (i, &c) in series.iter().enumerate() {
             // Log-style sampling of the series, as the figure's log axis does.

@@ -70,8 +70,15 @@ fn main() -> graphstore::Result<()> {
         "Fig. 9 — core decomposition, {group} graphs (scale {scale}): time (a/b), memory (c/d), I/Os (e/f)\n"
     );
     let mut t = Table::new(&[
-        "dataset", "algorithm", "time", "memory", "read I/O", "write I/O", "iters",
-        "node comps", "kmax",
+        "dataset",
+        "algorithm",
+        "time",
+        "memory",
+        "read I/O",
+        "write I/O",
+        "iters",
+        "node comps",
+        "kmax",
     ]);
     for spec in graphgen::paper_datasets() {
         if spec.group != want {
@@ -94,7 +101,9 @@ fn main() -> graphstore::Result<()> {
     }
     t.print();
     println!("\npaper shape to check: SemiCore* fastest and lowest-I/O of the semi-external trio;");
-    println!("SemiCore lowest memory; EMCore pays write I/Os and holds orders of magnitude more memory;");
+    println!(
+        "SemiCore lowest memory; EMCore pays write I/Os and holds orders of magnitude more memory;"
+    );
     println!("IMCore memory ≈ whole graph.");
     Ok(())
 }

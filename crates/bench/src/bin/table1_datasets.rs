@@ -19,8 +19,15 @@ fn main() -> graphstore::Result<()> {
 
     println!("Table I — datasets (paper vs generated stand-ins, scale {scale})\n");
     let mut t = Table::new(&[
-        "dataset", "|V| paper", "|E| paper", "dens", "kmax", "|V| ours", "|E| ours",
-        "dens", "kmax",
+        "dataset",
+        "|V| paper",
+        "|E| paper",
+        "dens",
+        "kmax",
+        "|V| ours",
+        "|E| ours",
+        "dens",
+        "kmax",
     ]);
     for spec in paper_datasets() {
         // Small graphs at full scale, big ones at a quarter to keep Table I

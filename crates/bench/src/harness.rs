@@ -31,7 +31,10 @@ impl Args {
 
     /// String option with default.
     pub fn get(&self, key: &str, default: &str) -> String {
-        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.map
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Parsed numeric option with default.
@@ -150,7 +153,9 @@ pub fn build_dataset(
     dir: &TempDir,
     block: usize,
 ) -> Result<DiskGraph> {
-    let base = dir.path().join(format!("{}-{scale}", spec.name.to_lowercase()));
+    let base = dir
+        .path()
+        .join(format!("{}-{scale}", spec.name.to_lowercase()));
     let paths = graphstore::GraphPaths::from_base(&base);
     if !paths.nodes.exists() {
         spec.build_disk(&base, scale, IoCounter::new(block))?;

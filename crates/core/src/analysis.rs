@@ -36,17 +36,12 @@ pub fn degeneracy_order(core: &[u32]) -> Vec<u32> {
 /// Connected components of the k-core (`G(V_k)` per Lemma 2.1), returned as
 /// sorted node lists, largest first. These are the "communities" of
 /// core-based community detection \[12, 15\].
-pub fn kcore_components(
-    g: &mut impl AdjacencyRead,
-    core: &[u32],
-    k: u32,
-) -> Result<Vec<Vec<u32>>> {
+pub fn kcore_components(g: &mut impl AdjacencyRead, core: &[u32], k: u32) -> Result<Vec<Vec<u32>>> {
     let n = g.num_nodes();
     assert_eq!(core.len(), n as usize);
     let mut seen = vec![false; n as usize];
     let mut components = Vec::new();
     let mut stack = Vec::new();
-    let mut nbrs = Vec::new();
     for s in 0..n {
         if core[s as usize] < k || seen[s as usize] {
             continue;
@@ -56,13 +51,14 @@ pub fn kcore_components(
         stack.push(s);
         while let Some(v) = stack.pop() {
             comp.push(v);
-            g.adjacency(v, &mut nbrs)?;
-            for &u in &nbrs {
-                if core[u as usize] >= k && !seen[u as usize] {
-                    seen[u as usize] = true;
-                    stack.push(u);
+            g.with_adjacency(v, |nbrs| {
+                for &u in nbrs {
+                    if core[u as usize] >= k && !seen[u as usize] {
+                        seen[u as usize] = true;
+                        stack.push(u);
+                    }
                 }
-            }
+            })?;
         }
         comp.sort_unstable();
         components.push(comp);
@@ -136,10 +132,10 @@ pub fn densest_core(g: &mut impl AdjacencyRead, core: &[u32]) -> Result<(Vec<u32
         .collect();
     let inside: HashMap<u32, ()> = nodes.iter().map(|&v| (v, ())).collect();
     let mut internal = 0u64;
-    let mut nbrs = Vec::new();
     for &v in &nodes {
-        g.adjacency(v, &mut nbrs)?;
-        internal += nbrs.iter().filter(|u| inside.contains_key(u)).count() as u64;
+        internal += g.with_adjacency(v, |nbrs| {
+            nbrs.iter().filter(|u| inside.contains_key(u)).count() as u64
+        })?;
     }
     let density = if nodes.is_empty() {
         0.0
@@ -169,7 +165,10 @@ mod tests {
     #[test]
     fn degeneracy_order_is_sorted_by_core() {
         let order = degeneracy_order(&PAPER_EXAMPLE_CORES);
-        let cores: Vec<u32> = order.iter().map(|&v| PAPER_EXAMPLE_CORES[v as usize]).collect();
+        let cores: Vec<u32> = order
+            .iter()
+            .map(|&v| PAPER_EXAMPLE_CORES[v as usize])
+            .collect();
         let mut sorted = cores.clone();
         sorted.sort_unstable();
         assert_eq!(cores, sorted);
@@ -193,7 +192,10 @@ mod tests {
         let mut nbrs = Vec::new();
         for v in 0..9u32 {
             g.adjacency(v, &mut nbrs).unwrap();
-            let forward = nbrs.iter().filter(|&&u| pos[u as usize] > pos[v as usize]).count();
+            let forward = nbrs
+                .iter()
+                .filter(|&&u| pos[u as usize] > pos[v as usize])
+                .count();
             assert!(forward <= kmax, "node {v} has {forward} forward neighbours");
         }
     }
@@ -216,10 +218,8 @@ mod tests {
     #[test]
     fn components_split_across_disconnected_cores() {
         // Two triangles, disconnected.
-        let mut g = graphstore::MemGraph::from_edges(
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
-            6,
-        );
+        let mut g =
+            graphstore::MemGraph::from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], 6);
         let core = vec![2u32; 6];
         let comps = kcore_components(&mut g, &core, 2).unwrap();
         assert_eq!(comps.len(), 2);

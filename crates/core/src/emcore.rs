@@ -77,14 +77,12 @@ pub fn emcore(g: &mut impl AdjacencyRead, opts: &EmCoreOptions) -> Result<Decomp
     let mut part_max_ub: Vec<u32> = (0..parts)
         .map(|i| {
             let m = store.meta(i);
-            (m.start..m.end)
-                .map(|v| ub[v as usize])
-                .max()
-                .unwrap_or(0)
+            (m.start..m.end).map(|v| ub[v as usize]).max().unwrap_or(0)
         })
         .collect();
 
-    let mut peak_mem = (n as u64) * 4 /* ub */ + (n as u64) * 4 /* core */ + finalized.resident_bytes();
+    let mut peak_mem =
+        (n as u64) * 4 /* ub */ + (n as u64) * 4 /* core */ + finalized.resident_bytes();
 
     let mut ku = u32::MAX;
     while remaining > 0 && ku >= 1 {
@@ -164,11 +162,10 @@ pub fn emcore(g: &mut impl AdjacencyRead, opts: &EmCoreOptions) -> Result<Decomp
                 }
             }
         }
-        let gmem_bytes: u64 = adj.iter().map(|a| a.len() as u64 * 4).sum::<u64>()
-            + (ln as u64) * 32;
-        peak_mem = peak_mem.max(
-            (n as u64) * 8 + finalized.resident_bytes() + loaded_bytes + gmem_bytes,
-        );
+        let gmem_bytes: u64 =
+            adj.iter().map(|a| a.len() as u64 * 4).sum::<u64>() + (ln as u64) * 32;
+        peak_mem =
+            peak_mem.max((n as u64) * 8 + finalized.resident_bytes() + loaded_bytes + gmem_bytes);
 
         // Line 9: peel Gmem with deposits; cores >= kl are exact.
         let core_mem = peel_with_deposits(&adj, &deposit);
@@ -215,9 +212,7 @@ pub fn emcore(g: &mut impl AdjacencyRead, opts: &EmCoreOptions) -> Result<Decomp
 /// and removals only ever decrement the local part.
 fn peel_with_deposits(adj: &[Vec<u32>], deposit: &[u32]) -> Vec<u32> {
     let n = adj.len();
-    let mut degree: Vec<u32> = (0..n)
-        .map(|v| adj[v].len() as u32 + deposit[v])
-        .collect();
+    let mut degree: Vec<u32> = (0..n).map(|v| adj[v].len() as u32 + deposit[v]).collect();
     let maxd = degree.iter().copied().max().unwrap_or(0) as usize;
     let mut bin = vec![0u32; maxd + 2];
     for &d in &degree {
@@ -290,7 +285,9 @@ mod tests {
     fn matches_imcore_on_random_graphs() {
         let mut seed = 12u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for trial in 0..15 {
@@ -309,7 +306,9 @@ mod tests {
         // top-down rounds, still correct.
         let mut seed = 77u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         let n = 400u32;

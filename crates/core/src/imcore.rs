@@ -167,7 +167,9 @@ mod tests {
     fn matches_naive_peeling_on_pseudorandom_graphs() {
         let mut state = 7u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for trial in 0..30 {

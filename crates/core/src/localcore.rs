@@ -88,10 +88,7 @@ pub fn compute_cnt(threshold: u32, core: &[u32], nbrs: &[u32]) -> u32 {
 pub fn local_core_naive(cold: u32, core: &[u32], nbrs: &[u32]) -> u32 {
     let mut best = 0;
     for k in 1..=cold {
-        let support = nbrs
-            .iter()
-            .filter(|&&u| core[u as usize] >= k)
-            .count() as u32;
+        let support = nbrs.iter().filter(|&&u| core[u as usize] >= k).count() as u32;
         if support >= k {
             best = k;
         }
@@ -152,7 +149,9 @@ mod tests {
         let mut s = Scratch::new();
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for trial in 0..500 {

@@ -107,7 +107,9 @@ mod tests {
     fn deletion_matches_scratch_recomputation_on_random_graphs() {
         let mut seed = 13u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _ in 0..20 {

@@ -102,7 +102,9 @@ mod tests {
     fn random_stream_matches_oracle() {
         let mut seed = 5u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         let n = 30u32;

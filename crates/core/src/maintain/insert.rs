@@ -63,7 +63,6 @@ pub fn semi_insert(
 
     // Lines 7-21: expand the candidate set, lifting each member by one.
     let mut window = ScanWindow::span(u, u, n);
-    let mut nbrs: Vec<u32> = Vec::new();
     while window.update {
         window.begin_iteration();
         let mut w = window.vmin as u64;
@@ -74,26 +73,26 @@ pub fn semi_insert(
                 // Line 12: optimistic lift.
                 state.core[wu as usize] = cold + 1;
                 stats.candidates += 1;
-                g.adjacency(wu, &mut nbrs)?;
                 stats.node_computations += 1;
-                // Line 14: recompute cnt at the lifted level.
-                state.cnt[wu as usize] =
-                    compute_cnt(cold + 1, &state.core, &nbrs) as i32;
-                // Lines 15-16: w now supports neighbours at cold + 1.
-                for &x in &nbrs {
-                    if state.core[x as usize] == cold + 1 && x != wu {
-                        state.cnt[x as usize] += 1;
+                g.with_adjacency(wu, |nbrs| {
+                    // Line 14: recompute cnt at the lifted level.
+                    state.cnt[wu as usize] = compute_cnt(cold + 1, &state.core, nbrs) as i32;
+                    // Lines 15-16: w now supports neighbours at cold + 1.
+                    for &x in nbrs {
+                        if state.core[x as usize] == cold + 1 && x != wu {
+                            state.cnt[x as usize] += 1;
+                        }
                     }
-                }
-                // Lines 17-20: activate same-level neighbours.
-                for &x in &nbrs {
-                    if state.core[x as usize] == cold && marks.get(x) == INACTIVE {
-                        marks.set(x, ACTIVE);
-                        cand_min = cand_min.min(x);
-                        cand_max = cand_max.max(x);
-                        window.schedule(x, wu);
+                    // Lines 17-20: activate same-level neighbours.
+                    for &x in nbrs {
+                        if state.core[x as usize] == cold && marks.get(x) == INACTIVE {
+                            marks.set(x, ACTIVE);
+                            cand_min = cand_min.min(x);
+                            cand_max = cand_max.max(x);
+                            window.schedule(x, wu);
+                        }
                     }
-                }
+                })?;
             }
             w += 1;
         }
@@ -165,7 +164,9 @@ mod tests {
     fn insertion_matches_scratch_recomputation_on_random_graphs() {
         let mut seed = 71u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _ in 0..20 {

@@ -77,7 +77,6 @@ pub fn semi_insert_star(
     marks.clear_all();
     marks.set(u, Q);
     let mut window = ScanWindow::span(u, u, n);
-    let mut nbrs: Vec<u32> = Vec::new();
 
     // Lines 4-28.
     while window.update {
@@ -85,84 +84,71 @@ pub fn semi_insert_star(
         let mut w = window.vmin as u64;
         while w <= window.vmax as u64 {
             let vp = w as u32;
-            let mut loaded = false;
+            let status = marks.get(vp);
 
             // Lines 7-17: transition ? -> sqrt.
-            if marks.get(vp) == Q {
-                g.adjacency(vp, &mut nbrs)?;
-                loaded = true;
+            if status == Q {
                 stats.node_computations += 1;
                 stats.candidates += 1;
-                // Whether sqrt-neighbours counted vp optimistically in their
-                // ComputeCnt*: vp's Eq. 2 cnt is stable from initialisation
-                // until this moment, so testing it now is equivalent to
-                // testing it at their computation time. Only the root can
-                // fail this (expansion gates on it, line 15).
-                let counted_by_yes_nbrs = state.cnt[vp as usize] >= viable;
-                // Line 9: ComputeCnt* (Eq. 4 with Eq. 2 counters as the
-                // optimistic proxy for unresolved neighbours).
-                let mut s = 0i32;
-                for &x in &nbrs {
-                    let cx = state.core[x as usize];
-                    if cx > cold
-                        || (cx == cold
-                            && state.cnt[x as usize] >= viable
-                            && marks.get(x) != NO)
-                    {
-                        s += 1;
+                g.with_adjacency(vp, |nbrs| {
+                    // Whether sqrt-neighbours counted vp optimistically in
+                    // their ComputeCnt*: vp's Eq. 2 cnt is stable from
+                    // initialisation until this moment, so testing it now is
+                    // equivalent to testing it at their computation time.
+                    // Only the root can fail this (expansion gates on it,
+                    // line 15).
+                    let counted_by_yes_nbrs = state.cnt[vp as usize] >= viable;
+                    // Line 9: ComputeCnt* (Eq. 4 with Eq. 2 counters as the
+                    // optimistic proxy for unresolved neighbours).
+                    let mut s = 0i32;
+                    for &x in nbrs {
+                        let cx = state.core[x as usize];
+                        if cx > cold
+                            || (cx == cold && state.cnt[x as usize] >= viable && marks.get(x) != NO)
+                        {
+                            s += 1;
+                        }
                     }
-                }
-                state.cnt[vp as usize] = s;
-                // Line 10.
-                marks.set(vp, YES);
-                state.core[vp as usize] = cold + 1;
-                // Lines 11-12 (disambiguated, see module docs).
-                for &x in &nbrs {
-                    if state.core[x as usize] == cold + 1 && x != vp {
-                        if marks.get(x) == YES {
-                            if !counted_by_yes_nbrs {
+                    state.cnt[vp as usize] = s;
+                    // Line 10.
+                    marks.set(vp, YES);
+                    state.core[vp as usize] = cold + 1;
+                    // Lines 11-12 (disambiguated, see module docs).
+                    for &x in nbrs {
+                        if state.core[x as usize] == cold + 1 && x != vp {
+                            if marks.get(x) == YES {
+                                if !counted_by_yes_nbrs {
+                                    state.cnt[x as usize] += 1;
+                                }
+                            } else {
                                 state.cnt[x as usize] += 1;
                             }
-                        } else {
-                            state.cnt[x as usize] += 1;
                         }
                     }
-                }
-                // Lines 13-17: expand viable φ neighbours (Lemma 5.3 prune).
-                if state.cnt[vp as usize] >= viable {
-                    for &x in &nbrs {
-                        if state.core[x as usize] == cold
-                            && state.cnt[x as usize] >= viable
-                            && marks.get(x) == PHI
-                        {
-                            marks.set(x, Q);
-                            window.schedule(x, vp);
+                    // Lines 13-17: expand viable φ nbrs (Lemma 5.3 prune).
+                    if state.cnt[vp as usize] >= viable {
+                        for &x in nbrs {
+                            if state.core[x as usize] == cold
+                                && state.cnt[x as usize] >= viable
+                                && marks.get(x) == PHI
+                            {
+                                marks.set(x, Q);
+                                window.schedule(x, vp);
+                            }
                         }
                     }
-                }
-            }
-
-            // Lines 18-27: transition sqrt -> x.
-            if marks.get(vp) == YES && state.cnt[vp as usize] < viable {
-                if !loaded {
-                    g.adjacency(vp, &mut nbrs)?;
-                    stats.node_computations += 1;
-                }
-                // Lines 20-21: back to Eq. 2 at the old level.
-                marks.set(vp, NO);
-                state.core[vp as usize] = cold;
-                state.cnt[vp as usize] = compute_cnt(cold, &state.core, &nbrs) as i32;
-                // Lines 22-27 (disambiguated).
-                for &x in &nbrs {
-                    if marks.get(x) == YES {
-                        state.cnt[x as usize] -= 1;
-                        if state.cnt[x as usize] < viable {
-                            window.schedule(x, vp);
-                        }
-                    } else if state.core[x as usize] == cold + 1 {
-                        state.cnt[x as usize] -= 1;
+                    // Lines 18-27 on the just-promoted node: reuse the loaded
+                    // adjacency (no extra node computation charged).
+                    if state.cnt[vp as usize] < viable {
+                        demote(vp, nbrs, state, marks, &mut window, cold, viable);
                     }
-                }
+                })?;
+            } else if status == YES && state.cnt[vp as usize] < viable {
+                // Lines 18-27: transition sqrt -> x on a revisited node.
+                stats.node_computations += 1;
+                g.with_adjacency(vp, |nbrs| {
+                    demote(vp, nbrs, state, marks, &mut window, cold, viable);
+                })?;
             }
             w += 1;
         }
@@ -173,6 +159,33 @@ pub fn semi_insert_star(
     stats.io = g.io().since(&io_before);
     stats.wall_time = start.elapsed();
     Ok(stats)
+}
+
+/// Lines 20–27: demote `vp` from √ to × — back to Eq. 2 at the old level,
+/// decrementing the neighbours that counted it (see module docs for the
+/// one-adjustment-per-event disambiguation).
+fn demote(
+    vp: u32,
+    nbrs: &[u32],
+    state: &mut CoreState,
+    marks: &mut SparseMarks,
+    window: &mut ScanWindow,
+    cold: u32,
+    viable: i32,
+) {
+    marks.set(vp, NO);
+    state.core[vp as usize] = cold;
+    state.cnt[vp as usize] = compute_cnt(cold, &state.core, nbrs) as i32;
+    for &x in nbrs {
+        if marks.get(x) == YES {
+            state.cnt[x as usize] -= 1;
+            if state.cnt[x as usize] < viable {
+                window.schedule(x, vp);
+            }
+        } else if state.core[x as usize] == cold + 1 {
+            state.cnt[x as usize] -= 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +252,9 @@ mod tests {
     fn matches_two_phase_insert_and_oracle_on_random_streams() {
         let mut seed = 2718u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _ in 0..20 {
@@ -257,8 +272,7 @@ mod tests {
                 if a == b || dyn_a.has_edge(a, b) {
                     continue;
                 }
-                let s1 =
-                    semi_insert_star(&mut dyn_a, &mut state_a, &mut marks_a, a, b).unwrap();
+                let s1 = semi_insert_star(&mut dyn_a, &mut state_a, &mut marks_a, a, b).unwrap();
                 let s2 = semi_insert(&mut dyn_b, &mut state_b, &mut marks_b, a, b).unwrap();
                 let oracle = imcore(&dyn_a.to_mem());
                 assert_eq!(state_a.core, oracle.core, "insert ({a},{b})");
@@ -278,7 +292,9 @@ mod tests {
     fn mixed_insert_delete_stream_stays_consistent() {
         let mut seed = 31u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         let n = 40u32;
@@ -371,7 +387,17 @@ mod edge_case_tests {
     fn insertion_at_the_top_core_level() {
         // Insert inside the kmax core where promotion requires the densest
         // support: K4 plus one satellite connected to all four -> K5.
-        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 0), (4, 1), (4, 2)];
+        let edges = vec![
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 0),
+            (4, 1),
+            (4, 2),
+        ];
         let g = MemGraph::from_edges(edges, 5);
         let mut dynamic = DynGraph::from_mem(&g);
         let (mut state, _) =

@@ -23,23 +23,24 @@ pub fn semicore(g: &mut impl AdjacencyRead, opts: &DecomposeOptions) -> Result<D
     let mut core = g.read_degrees()?;
     let mut per_iter = opts.track_changed_per_iteration.then(Vec::new);
 
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut scratch = Scratch::new();
     let mut update = n > 0;
     while update {
         update = false;
         let mut changed = 0u64;
-        // Lines 5-9: one sequential pass over all nodes.
+        // Lines 5-9: one sequential pass over all nodes, visiting each
+        // adjacency list in place (copy-free on in-memory backends).
         for v in 0..n {
-            g.adjacency(v, &mut nbrs)?;
-            let cold = core[v as usize];
-            let cnew = local_core(cold, &core, &nbrs, &mut scratch);
             stats.node_computations += 1;
-            if cnew != cold {
-                core[v as usize] = cnew;
-                update = true;
-                changed += 1;
-            }
+            g.with_adjacency(v, |nbrs| {
+                let cold = core[v as usize];
+                let cnew = local_core(cold, &core, nbrs, &mut scratch);
+                if cnew != cold {
+                    core[v as usize] = cnew;
+                    update = true;
+                    changed += 1;
+                }
+            })?;
         }
         stats.iterations += 1;
         if let Some(p) = per_iter.as_mut() {
@@ -103,7 +104,9 @@ mod tests {
     fn matches_imcore_on_random_graphs() {
         let mut state = 99u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..25 {

@@ -17,10 +17,7 @@ use crate::stats::{DecomposeOptions, Decomposition, RunStats};
 use crate::window::ScanWindow;
 
 /// Run SemiCore+ (Algorithm 4) over any graph access.
-pub fn semicore_plus(
-    g: &mut impl AdjacencyRead,
-    opts: &DecomposeOptions,
-) -> Result<Decomposition> {
+pub fn semicore_plus(g: &mut impl AdjacencyRead, opts: &DecomposeOptions) -> Result<Decomposition> {
     let start = Instant::now();
     let io_before = g.io();
     let mut stats = RunStats::new("SemiCore+");
@@ -32,7 +29,6 @@ pub fn semicore_plus(
     let mut window = ScanWindow::full(n);
     let mut per_iter = opts.track_changed_per_iteration.then(Vec::new);
 
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut scratch = Scratch::new();
     if n == 0 {
         window.update = false;
@@ -47,19 +43,20 @@ pub fn semicore_plus(
             if active.get(vu) {
                 // Line 8: consume the activation.
                 active.clear(vu);
-                g.adjacency(vu, &mut nbrs)?;
-                let cold = core[vu as usize];
-                let cnew = local_core(cold, &core, &nbrs, &mut scratch);
                 stats.node_computations += 1;
-                if cnew != cold {
-                    core[vu as usize] = cnew;
-                    changed += 1;
-                    // Lines 11-14: re-activate neighbours and widen windows.
-                    for &u in &nbrs {
-                        active.set(u);
-                        window.schedule(u, vu);
+                g.with_adjacency(vu, |nbrs| {
+                    let cold = core[vu as usize];
+                    let cnew = local_core(cold, &core, nbrs, &mut scratch);
+                    if cnew != cold {
+                        core[vu as usize] = cnew;
+                        changed += 1;
+                        // Lines 11-14: re-activate neighbours, widen windows.
+                        for &u in nbrs {
+                            active.set(u);
+                            window.schedule(u, vu);
+                        }
                     }
-                }
+                })?;
             }
             v += 1;
         }
@@ -110,7 +107,9 @@ mod tests {
     fn computes_fewer_nodes_than_semicore() {
         let mut state = 4242u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let n = 300u32;
@@ -129,7 +128,9 @@ mod tests {
     fn matches_imcore_on_random_graphs() {
         let mut state = 31337u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..25 {
@@ -146,18 +147,29 @@ mod tests {
     fn disk_run_is_read_only_and_cheaper_than_semicore() {
         let mut state = 777u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let n = 2000u32;
-        let edges: Vec<(u32, u32)> =
-            (0..6000).map(|_| (next() % n, next() % n)).collect();
+        let edges: Vec<(u32, u32)> = (0..6000).map(|_| (next() % n, next() % n)).collect();
         let g = MemGraph::from_edges(edges, n);
         let dir = TempDir::new("semiplus").unwrap();
 
-        let mut d1 = mem_to_disk(&dir.path().join("a"), &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let mut d1 = mem_to_disk(
+            &dir.path().join("a"),
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        )
+        .unwrap();
         let base = semicore(&mut d1, &DecomposeOptions::default()).unwrap();
-        let mut d2 = mem_to_disk(&dir.path().join("b"), &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let mut d2 = mem_to_disk(
+            &dir.path().join("b"),
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        )
+        .unwrap();
         let plus = semicore_plus(&mut d2, &DecomposeOptions::default()).unwrap();
 
         assert_eq!(base.core, plus.core);

@@ -34,7 +34,6 @@ pub(crate) fn star_converge(
     stats: &mut RunStats,
     mut per_iter: Option<&mut Vec<u64>>,
 ) -> Result<()> {
-    let mut nbrs: Vec<u32> = Vec::new();
     let mut scratch = Scratch::new();
     let core = &mut state.core;
     let cnt = &mut state.cnt;
@@ -50,30 +49,31 @@ pub(crate) fn star_converge(
             let vu = v as u32;
             // Line 7: the Lemma 4.2 trigger.
             if (cnt[vu as usize] as i64) < core[vu as usize] as i64 {
-                g.adjacency(vu, &mut nbrs)?;
-                let cold = core[vu as usize];
-                let cnew = local_core(cold, core, &nbrs, &mut scratch);
                 stats.node_computations += 1;
-                if cnew != cold {
-                    changed += 1;
-                }
-                core[vu as usize] = cnew;
-                // Line 10: re-establish Eq. 2 for v itself.
-                cnt[vu as usize] = compute_cnt(cnew, core, &nbrs) as i32;
-                // Line 11 (UpdateNbrCnt): v stopped supporting neighbours
-                // whose core lies in (cnew, cold].
-                for &u in &nbrs {
-                    let cu = core[u as usize];
-                    if cu > cnew && cu <= cold {
-                        cnt[u as usize] -= 1;
+                g.with_adjacency(vu, |nbrs| {
+                    let cold = core[vu as usize];
+                    let cnew = local_core(cold, core, nbrs, &mut scratch);
+                    if cnew != cold {
+                        changed += 1;
                     }
-                }
-                // Lines 12-13: schedule neighbours that now violate Lemma 4.2.
-                for &u in &nbrs {
-                    if (cnt[u as usize] as i64) < core[u as usize] as i64 {
-                        window.schedule(u, vu);
+                    core[vu as usize] = cnew;
+                    // Line 10: re-establish Eq. 2 for v itself.
+                    cnt[vu as usize] = compute_cnt(cnew, core, nbrs) as i32;
+                    // Line 11 (UpdateNbrCnt): v stopped supporting neighbours
+                    // whose core lies in (cnew, cold].
+                    for &u in nbrs {
+                        let cu = core[u as usize];
+                        if cu > cnew && cu <= cold {
+                            cnt[u as usize] -= 1;
+                        }
                     }
-                }
+                    // Lines 12-13: schedule neighbours violating Lemma 4.2.
+                    for &u in nbrs {
+                        if (cnt[u as usize] as i64) < core[u as usize] as i64 {
+                            window.schedule(u, vu);
+                        }
+                    }
+                })?;
             }
             v += 1;
         }
@@ -116,10 +116,7 @@ pub fn semicore_star_state(
 }
 
 /// Run SemiCore* (Algorithm 5) over any graph access.
-pub fn semicore_star(
-    g: &mut impl AdjacencyRead,
-    opts: &DecomposeOptions,
-) -> Result<Decomposition> {
+pub fn semicore_star(g: &mut impl AdjacencyRead, opts: &DecomposeOptions) -> Result<Decomposition> {
     let (state, stats) = semicore_star_state(g, opts)?;
     Ok(Decomposition {
         core: state.core,
@@ -165,7 +162,9 @@ mod tests {
     fn matches_imcore_on_random_graphs() {
         let mut state = 555u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..30 {
@@ -182,7 +181,9 @@ mod tests {
     fn computes_no_more_than_semicore_plus() {
         let mut state = 2024u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let n = 400u32;
@@ -200,7 +201,9 @@ mod tests {
         // first full pass must each decrease a core estimate.
         let mut state = 808u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let n = 300u32;
@@ -234,16 +237,28 @@ mod tests {
     fn disk_run_reads_less_than_semicore() {
         let mut state = 99999u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         let n = 3000u32;
         let edges: Vec<(u32, u32)> = (0..9000).map(|_| (next() % n, next() % n)).collect();
         let g = MemGraph::from_edges(edges, n);
         let dir = TempDir::new("semistar").unwrap();
-        let mut d1 = mem_to_disk(&dir.path().join("a"), &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let mut d1 = mem_to_disk(
+            &dir.path().join("a"),
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        )
+        .unwrap();
         let base = semicore(&mut d1, &DecomposeOptions::default()).unwrap();
-        let mut d2 = mem_to_disk(&dir.path().join("b"), &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let mut d2 = mem_to_disk(
+            &dir.path().join("b"),
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        )
+        .unwrap();
         let star = semicore_star(&mut d2, &DecomposeOptions::default()).unwrap();
         assert_eq!(base.core, star.core);
         assert_eq!(star.stats.io.write_ios, 0);

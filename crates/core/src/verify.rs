@@ -55,21 +55,22 @@ pub fn find_violations(g: &mut impl AdjacencyRead, core: &[u32]) -> Result<Vec<V
     let n = g.num_nodes();
     assert_eq!(core.len(), n as usize, "core array length must equal n");
     let mut violations = Vec::new();
-    let mut nbrs = Vec::new();
     for v in 0..n {
-        g.adjacency(v, &mut nbrs)?;
         let c = core[v as usize];
-        let mut support = 0u32;
-        let mut higher = 0u32;
-        for &u in &nbrs {
-            let cu = core[u as usize];
-            if cu >= c {
-                support += 1;
+        let (support, higher) = g.with_adjacency(v, |nbrs| {
+            let mut support = 0u32;
+            let mut higher = 0u32;
+            for &u in nbrs {
+                let cu = core[u as usize];
+                if cu >= c {
+                    support += 1;
+                }
+                if cu > c {
+                    higher += 1;
+                }
             }
-            if cu > c {
-                higher += 1;
-            }
-        }
+            (support, higher)
+        })?;
         let cond1 = c == 0 || support >= c;
         let cond2 = higher < c + 1;
         if !(cond1 && cond2) {
@@ -208,7 +209,9 @@ mod tests {
     fn verify_exact_agrees_with_imcore_on_random_graphs() {
         let mut seed = 909u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for _ in 0..15 {

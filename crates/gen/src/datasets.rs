@@ -13,7 +13,7 @@
 
 use graphstore::{DiskGraph, ExternalGraphBuilder, IoCounter, MemGraph, Result};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ba::preferential_attachment;
 use crate::rmat::{rmat_stream, Rmat};
@@ -107,7 +107,7 @@ impl DatasetSpec {
         &self,
         base: &Path,
         scale: f64,
-        counter: Rc<IoCounter>,
+        counter: Arc<IoCounter>,
     ) -> Result<DiskGraph> {
         let n = self.nodes(scale);
         let mut builder = ExternalGraphBuilder::new(4 << 20)?;
@@ -146,15 +146,7 @@ fn log2_ceil(n: u32) -> u32 {
 pub fn paper_datasets() -> Vec<DatasetSpec> {
     use DatasetGroup::*;
     use Family::*;
-    let row = |name,
-               group,
-               nodes,
-               edges,
-               density,
-               kmax,
-               family,
-               base_nodes,
-               seed| DatasetSpec {
+    let row = |name, group, nodes, edges, density, kmax, family, base_nodes, seed| DatasetSpec {
         name,
         group,
         paper: PaperStats {
@@ -169,19 +161,99 @@ pub fn paper_datasets() -> Vec<DatasetSpec> {
     };
     vec![
         // Small group: real n / 50.
-        row("DBLP", Small, 317_080, 1_049_866, 3.31, 113, Social, 6_342, 101),
-        row("Youtube", Small, 1_134_890, 2_987_624, 2.63, 51, Social, 22_698, 102),
-        row("WIKI", Small, 2_394_385, 5_021_410, 2.10, 131, Web, 47_888, 103),
-        row("CPT", Small, 3_774_768, 16_518_948, 4.38, 64, Social, 75_495, 104),
-        row("LJ", Small, 3_997_962, 34_681_189, 8.67, 360, Social, 79_959, 105),
-        row("Orkut", Small, 3_072_441, 117_185_083, 38.14, 253, Social, 61_449, 106),
+        row(
+            "DBLP", Small, 317_080, 1_049_866, 3.31, 113, Social, 6_342, 101,
+        ),
+        row(
+            "Youtube", Small, 1_134_890, 2_987_624, 2.63, 51, Social, 22_698, 102,
+        ),
+        row(
+            "WIKI", Small, 2_394_385, 5_021_410, 2.10, 131, Web, 47_888, 103,
+        ),
+        row(
+            "CPT", Small, 3_774_768, 16_518_948, 4.38, 64, Social, 75_495, 104,
+        ),
+        row(
+            "LJ", Small, 3_997_962, 34_681_189, 8.67, 360, Social, 79_959, 105,
+        ),
+        row(
+            "Orkut",
+            Small,
+            3_072_441,
+            117_185_083,
+            38.14,
+            253,
+            Social,
+            61_449,
+            106,
+        ),
         // Big group: real n / 500, Clueweb capped for tractability.
-        row("Webbase", Big, 118_142_155, 1_019_903_190, 8.63, 1506, Web, 236_284, 107),
-        row("IT", Big, 41_291_594, 1_150_725_436, 27.86, 3224, Web, 82_583, 108),
-        row("Twitter", Big, 41_652_230, 1_468_365_182, 35.25, 2488, Social, 83_304, 109),
-        row("SK", Big, 50_636_154, 1_949_412_601, 38.49, 4510, Web, 101_272, 110),
-        row("UK", Big, 105_896_555, 3_738_733_648, 35.30, 5704, Web, 211_793, 111),
-        row("Clueweb", Big, 978_408_098, 42_574_107_469, 43.51, 4244, Web, 489_204, 112),
+        row(
+            "Webbase",
+            Big,
+            118_142_155,
+            1_019_903_190,
+            8.63,
+            1506,
+            Web,
+            236_284,
+            107,
+        ),
+        row(
+            "IT",
+            Big,
+            41_291_594,
+            1_150_725_436,
+            27.86,
+            3224,
+            Web,
+            82_583,
+            108,
+        ),
+        row(
+            "Twitter",
+            Big,
+            41_652_230,
+            1_468_365_182,
+            35.25,
+            2488,
+            Social,
+            83_304,
+            109,
+        ),
+        row(
+            "SK",
+            Big,
+            50_636_154,
+            1_949_412_601,
+            38.49,
+            4510,
+            Web,
+            101_272,
+            110,
+        ),
+        row(
+            "UK",
+            Big,
+            105_896_555,
+            3_738_733_648,
+            35.30,
+            5704,
+            Web,
+            211_793,
+            111,
+        ),
+        row(
+            "Clueweb",
+            Big,
+            978_408_098,
+            42_574_107_469,
+            43.51,
+            4244,
+            Web,
+            489_204,
+            112,
+        ),
     ]
 }
 
@@ -201,7 +273,10 @@ mod tests {
     fn twelve_rows_matching_table_one() {
         let ds = paper_datasets();
         assert_eq!(ds.len(), 12);
-        assert_eq!(ds.iter().filter(|d| d.group == DatasetGroup::Small).count(), 6);
+        assert_eq!(
+            ds.iter().filter(|d| d.group == DatasetGroup::Small).count(),
+            6
+        );
         let clueweb = ds.last().unwrap();
         assert_eq!(clueweb.name, "Clueweb");
         assert_eq!(clueweb.paper.nodes, 978_408_098);
@@ -210,7 +285,10 @@ mod tests {
 
     #[test]
     fn density_of_standins_tracks_table_one() {
-        for d in paper_datasets().iter().filter(|d| d.group == DatasetGroup::Small) {
+        for d in paper_datasets()
+            .iter()
+            .filter(|d| d.group == DatasetGroup::Small)
+        {
             let g = d.generate_mem(0.1);
             let density = g.num_edges() as f64 / g.num_nodes() as f64;
             let target = d.paper.density;

@@ -22,7 +22,9 @@ pub mod rmat;
 pub mod sample;
 
 pub use ba::preferential_attachment;
-pub use datasets::{dataset_by_name, paper_datasets, DatasetGroup, DatasetSpec, Family, PaperStats};
+pub use datasets::{
+    dataset_by_name, paper_datasets, DatasetGroup, DatasetSpec, Family, PaperStats,
+};
 pub use er::gnm;
 pub use rmat::{rmat_edges, Rmat};
 pub use sample::{sample_edges, sample_nodes};

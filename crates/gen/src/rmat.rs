@@ -69,7 +69,9 @@ pub fn rmat_stream(params: Rmat, m: u64, seed: u64, mut emit: impl FnMut(u32, u3
         "scale must be in 1..32"
     );
     assert!(
-        params.a >= 0.0 && params.b >= 0.0 && params.c >= 0.0
+        params.a >= 0.0
+            && params.b >= 0.0
+            && params.c >= 0.0
             && params.a + params.b + params.c <= 1.0 + 1e-9,
         "probabilities must be a valid distribution"
     );

@@ -54,10 +54,7 @@ pub fn sample_edges(g: &MemGraph, fraction: f64, seed: u64) -> MemGraph {
         "fraction must lie in [0, 1]"
     );
     let mut rng = SmallRng::seed_from_u64(seed);
-    let edges: Vec<(u32, u32)> = g
-        .edges()
-        .filter(|_| rng.gen::<f64>() < fraction)
-        .collect();
+    let edges: Vec<(u32, u32)> = g.edges().filter(|_| rng.gen::<f64>() < fraction).collect();
     MemGraph::from_edges(edges, g.num_nodes())
 }
 

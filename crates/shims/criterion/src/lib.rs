@@ -1,0 +1,448 @@
+//! In-repo shim for the subset of the Criterion benchmarking API this
+//! workspace uses (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `iter` / `iter_batched`, throughput annotation).
+//!
+//! The build environment has no crates-registry access, so this crate stands
+//! in for the real Criterion. It measures wall time with a warmup pass and
+//! an adaptive iteration count, prints one line per benchmark, and — when
+//! `CRITERION_JSON` names a file — appends machine-readable results so
+//! `scripts/bench.sh` can accumulate a perf trajectory.
+//!
+//! When invoked with `--test` (what `cargo test` passes to `harness = false`
+//! targets) every benchmark runs exactly one iteration.
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (split across samples).
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function[/parameter]`).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iterations: u64,
+    /// Optional throughput annotation (bytes or elements per iteration).
+    pub throughput: Option<Throughput>,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes its batches. The shim runs one input per
+/// iteration regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Identifier of a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id carrying a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id carrying only a parameter value (function name comes from the
+    /// group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        let mut s = group.to_string();
+        if let Some(f) = &self.function {
+            s.push('/');
+            s.push_str(f);
+        }
+        if let Some(p) = &self.parameter {
+            s.push('/');
+            s.push_str(p);
+        }
+        s
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    quick: bool,
+    sample_size: usize,
+    result_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` called in a tight loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.quick {
+            black_box(routine());
+            self.result_ns = 0.0;
+            self.iterations = 1;
+            return;
+        }
+        // Warmup + calibration: estimate one iteration's cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = MEASURE_BUDGET.min(once * self.sample_size as u32 * 4);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = t1.elapsed();
+        self.result_ns = total.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+
+    /// Measure `routine` over fresh inputs produced by `setup` (setup time
+    /// excluded from the measurement).
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        if self.quick {
+            black_box(routine(setup()));
+            self.result_ns = 0.0;
+            self.iterations = 1;
+            return;
+        }
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = MEASURE_BUDGET.min(once * self.sample_size as u32 * 4);
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+        }
+        self.result_ns = measured.as_nanos() as f64 / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// Top-level benchmark driver (the shim's stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            quick: false,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the nominal sample count (scales the measurement budget).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Read `--test` / filter settings from the process arguments
+    /// (called by `criterion_group!`).
+    pub fn configure_from_args(&mut self) {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.quick = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline" => {
+                    if args.peek().is_some_and(|v| !v.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                flag if flag.starts_with('-') => {}
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if !self.wants(&id) {
+            return;
+        }
+        let mut b = Bencher {
+            quick: self.quick,
+            sample_size: self.sample_size,
+            result_ns: 0.0,
+            iterations: 0,
+        };
+        f(&mut b);
+        let result = BenchResult {
+            id,
+            mean_ns: b.result_ns,
+            iterations: b.iterations,
+            throughput,
+        };
+        report(&result, self.quick);
+        self.results.push(result);
+    }
+
+    /// Write accumulated results as JSON lines to `CRITERION_JSON`, if set.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("criterion shim: cannot open {path}");
+            return;
+        };
+        for r in &self.results {
+            let tp = match r.throughput {
+                Some(Throughput::Bytes(b)) => format!(",\"bytes_per_iter\":{b}"),
+                Some(Throughput::Elements(e)) => format!(",\"elements_per_iter\":{e}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                file,
+                "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iterations\":{}{}}}",
+                r.id, r.mean_ns, r.iterations, tp
+            );
+        }
+    }
+}
+
+fn report(r: &BenchResult, quick: bool) {
+    if quick {
+        println!("{:<44} ok (test mode)", r.id);
+        return;
+    }
+    let human = if r.mean_ns >= 1e9 {
+        format!("{:.3} s", r.mean_ns / 1e9)
+    } else if r.mean_ns >= 1e6 {
+        format!("{:.2} ms", r.mean_ns / 1e6)
+    } else if r.mean_ns >= 1e3 {
+        format!("{:.2} µs", r.mean_ns / 1e3)
+    } else {
+        format!("{:.1} ns", r.mean_ns)
+    };
+    let tp = match r.throughput {
+        Some(Throughput::Bytes(b)) if r.mean_ns > 0.0 => {
+            let gib_s = b as f64 / r.mean_ns; // bytes/ns == GB/s
+            format!("  [{gib_s:.2} GB/s]")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{:<44} time: {human:>10}/iter  ({} iters){tp}",
+        r.id, r.iterations
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().render(&self.name);
+        let tp = self.throughput;
+        self.criterion.run_one(id, tp, f);
+        self
+    }
+
+    /// Benchmark a function over an explicit input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.render(&self.name);
+        let tp = self.throughput;
+        self.criterion.run_one(id, tp, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op in the shim; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group: a function running each target against one
+/// configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default().sample_size(10);
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns > 0.0);
+        assert!(c.results[0].iterations >= 1);
+    }
+
+    #[test]
+    fn groups_render_ids() {
+        let id = BenchmarkId::from_parameter(64).render("local_core");
+        assert_eq!(id, "local_core/64");
+        let id = BenchmarkId::new("f", "p").render("g");
+        assert_eq!(id, "g/f/p");
+    }
+
+    #[test]
+    fn iter_batched_runs_in_quick_mode() {
+        let mut b = Bencher {
+            quick: true,
+            sample_size: 10,
+            result_ns: 1.0,
+            iterations: 0,
+        };
+        let mut calls = 0;
+        b.iter_batched(
+            || 5u32,
+            |x| {
+                calls += 1;
+                x * 2
+            },
+            BatchSize::LargeInput,
+        );
+        assert_eq!(calls, 1);
+        assert_eq!(b.iterations, 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! In-repo shim for the subset of the `proptest` API this workspace's tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, `collection::vec`, `any::<T>()`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assume!` macros.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test seed (derived from the test name) rather than OS entropy, and
+//! there is **no shrinking** — a failing case reports the panic message with
+//! the case number so it can be replayed by running the same test again.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Deterministic SplitMix64 driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Erase the strategy type (API parity; the shim just boxes).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Integers samplable by the range strategies.
+pub trait SampleValue: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn from_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from the type's full domain.
+    fn from_full(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_sample_value {
+    ($($t:ty),*) => {$(
+        impl SampleValue for $t {
+            fn from_range(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            fn from_full(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_value!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<T: SampleValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::from_range(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy for any value of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: SampleValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::from_full(rng)
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: SampleValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Number-of-elements specification for [`vec`]: an exact count or a
+    /// half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values drawn from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo
+                + if span > 1 {
+                    rng.below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Config and runner plumbing used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use super::{Strategy, TestRng};
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// `prop_assert!`-style failure.
+        Fail(String),
+    }
+
+    /// Execution parameters for one property.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives the cases of one property test.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Runner with a seed derived deterministically from the test name.
+        pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+            // FNV-1a over the name: stable across runs and platforms.
+            let mut h = 0xcbf29ce484222325u64;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            TestRunner {
+                config,
+                rng: TestRng::new(h),
+            }
+        }
+
+        /// Configured case count.
+        pub fn cases(&self) -> u32 {
+            self.config.cases
+        }
+
+        /// Draw one value from `strategy`.
+        pub fn sample<S: Strategy>(&mut self, strategy: &S) -> S::Value {
+            strategy.generate(&mut self.rng)
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declare property tests. Supports the forms this workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]
+///     #[test]
+///     fn prop(x in 0u32..10, (a, b) in arb_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $(
+         $(#[$meta:meta])*
+         fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    $(let $pat = runner.sample(&{ $strategy });)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) => {}
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property failed at case {case}: {msg}");
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        let strat = collection::vec((0u32..7, 0usize..3), 0usize..20);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 20);
+            for (a, b) in v {
+                assert!(a < 7 && b < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut rng = crate::TestRng::new(2);
+        let strat = (2u32..10).prop_flat_map(|n| (Just(n), 0u32..n));
+        for _ in 0..200 {
+            let (n, x) = strat.generate(&mut rng);
+            assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        use crate::test_runner::{ProptestConfig, TestRunner};
+        let s = 0u64..1_000_000;
+        let mut a = TestRunner::new(ProptestConfig::with_cases(5), "same");
+        let mut b = TestRunner::new(ProptestConfig::with_cases(5), "same");
+        let mut c = TestRunner::new(ProptestConfig::with_cases(5), "different");
+        let xs: Vec<u64> = (0..5).map(|_| a.sample(&s)).collect();
+        let ys: Vec<u64> = (0..5).map(|_| b.sample(&s)).collect();
+        let zs: Vec<u64> = (0..5).map(|_| c.sample(&s)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 1u32..50, v in collection::vec(0u8..10, 0usize..8)) {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 1);
+            prop_assert!(v.len() < 8, "len {} out of bounds", v.len());
+            prop_assert_eq!(x + 1, 1 + x);
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

@@ -27,6 +27,20 @@ pub trait AdjacencyRead {
     /// Load `nbr(v)` into `buf` (cleared first), sorted ascending.
     fn adjacency(&mut self, v: u32, buf: &mut Vec<u32>) -> Result<()>;
 
+    /// Visit `nbr(v)` as a borrowed slice — the copy-free path the hot
+    /// loops use. In-memory backends hand out their internal slice
+    /// directly; the disk backend decodes out of its block cache where
+    /// alignment allows. The default implementation falls back to
+    /// [`AdjacencyRead::adjacency`] through a temporary buffer.
+    fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R>
+    where
+        Self: Sized,
+    {
+        let mut buf = Vec::new();
+        self.adjacency(v, &mut buf)?;
+        Ok(f(&buf))
+    }
+
     /// Snapshot of I/O performed so far through this handle.
     fn io(&self) -> IoSnapshot;
 }
@@ -46,6 +60,10 @@ impl AdjacencyRead for crate::graph::DiskGraph {
 
     fn adjacency(&mut self, v: u32, buf: &mut Vec<u32>) -> Result<()> {
         crate::graph::DiskGraph::adjacency(self, v, buf)
+    }
+
+    fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
+        crate::graph::DiskGraph::with_adjacency(self, v, f)
     }
 
     fn io(&self) -> IoSnapshot {
@@ -78,6 +96,16 @@ impl AdjacencyRead for MemGraph {
         Ok(())
     }
 
+    fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
+        if v >= MemGraph::num_nodes(self) {
+            return Err(crate::error::Error::NodeOutOfRange {
+                node: v,
+                num_nodes: MemGraph::num_nodes(self),
+            });
+        }
+        Ok(f(self.neighbors(v)))
+    }
+
     fn io(&self) -> IoSnapshot {
         IoSnapshot::default()
     }
@@ -108,6 +136,16 @@ impl AdjacencyRead for crate::memgraph::DynGraph {
         buf.clear();
         buf.extend_from_slice(self.neighbors(v));
         Ok(())
+    }
+
+    fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
+        if v >= crate::memgraph::DynGraph::num_nodes(self) {
+            return Err(crate::error::Error::NodeOutOfRange {
+                node: v,
+                num_nodes: crate::memgraph::DynGraph::num_nodes(self),
+            });
+        }
+        Ok(f(self.neighbors(v)))
     }
 
     fn io(&self) -> IoSnapshot {
@@ -158,7 +196,7 @@ impl DynamicGraph for crate::memgraph::DynGraph {
     }
 }
 
-impl<G: DynamicGraph + ?Sized> DynamicGraph for &mut G {
+impl<G: DynamicGraph> DynamicGraph for &mut G {
     fn insert_edge(&mut self, u: u32, v: u32) -> Result<()> {
         (**self).insert_edge(u, v)
     }
@@ -168,7 +206,7 @@ impl<G: DynamicGraph + ?Sized> DynamicGraph for &mut G {
     }
 }
 
-impl<G: AdjacencyRead + ?Sized> AdjacencyRead for &mut G {
+impl<G: AdjacencyRead> AdjacencyRead for &mut G {
     fn num_nodes(&self) -> u32 {
         (**self).num_nodes()
     }
@@ -185,11 +223,17 @@ impl<G: AdjacencyRead + ?Sized> AdjacencyRead for &mut G {
         (**self).adjacency(v, buf)
     }
 
+    fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R>
+    where
+        Self: Sized,
+    {
+        (**self).with_adjacency(v, f)
+    }
+
     fn io(&self) -> IoSnapshot {
         (**self).io()
     }
 }
-
 
 /// Materialise any graph access into an in-memory CSR snapshot (one full
 /// sequential read). Handy for cross-checking maintained state against

@@ -4,7 +4,7 @@
 use std::collections::BinaryHeap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 use crate::format::{self, GraphPaths};
@@ -21,7 +21,7 @@ use crate::tempdir::TempDir;
 /// the node table at [`DiskGraphWriter::finish`].
 pub struct DiskGraphWriter {
     paths: GraphPaths,
-    counter: Rc<IoCounter>,
+    counter: Arc<IoCounter>,
     num_nodes: u32,
     node_entries: Vec<u8>,
     edge_writer: BlockWriter,
@@ -31,7 +31,7 @@ pub struct DiskGraphWriter {
 
 impl DiskGraphWriter {
     /// Begin writing a graph with `num_nodes` nodes at `<base>.nodes/.edges`.
-    pub fn create(base: &Path, num_nodes: u32, counter: Rc<IoCounter>) -> Result<Self> {
+    pub fn create(base: &Path, num_nodes: u32, counter: Arc<IoCounter>) -> Result<Self> {
         let paths = GraphPaths::from_base(base);
         if let Some(parent) = paths.nodes.parent() {
             std::fs::create_dir_all(parent)?;
@@ -122,7 +122,7 @@ impl DiskGraphWriter {
 }
 
 /// Write an in-memory graph to disk and return the file pair.
-pub fn write_mem_graph(base: &Path, g: &MemGraph, counter: Rc<IoCounter>) -> Result<GraphPaths> {
+pub fn write_mem_graph(base: &Path, g: &MemGraph, counter: Arc<IoCounter>) -> Result<GraphPaths> {
     let mut w = DiskGraphWriter::create(base, g.num_nodes(), counter)?;
     for v in 0..g.num_nodes() {
         w.append_adjacency(v, g.neighbors(v))?;
@@ -131,7 +131,7 @@ pub fn write_mem_graph(base: &Path, g: &MemGraph, counter: Rc<IoCounter>) -> Res
 }
 
 /// Convenience: write `g` at `base` and open it as a [`DiskGraph`].
-pub fn mem_to_disk(base: &Path, g: &MemGraph, counter: Rc<IoCounter>) -> Result<DiskGraph> {
+pub fn mem_to_disk(base: &Path, g: &MemGraph, counter: Arc<IoCounter>) -> Result<DiskGraph> {
     write_mem_graph(base, g, counter.clone())?;
     DiskGraph::open(base, counter)
 }
@@ -219,7 +219,10 @@ impl ExternalGraphBuilder {
         }
         self.buf.sort_unstable();
         self.buf.dedup();
-        let path = self.scratch.path().join(format!("run{}.bin", self.runs.len()));
+        let path = self
+            .scratch
+            .path()
+            .join(format!("run{}.bin", self.runs.len()));
         let mut w = BufWriter::new(std::fs::File::create(&path)?);
         for &x in &self.buf {
             w.write_all(&x.to_le_bytes())?;
@@ -236,7 +239,7 @@ impl ExternalGraphBuilder {
         mut self,
         base: &Path,
         min_nodes: u32,
-        counter: Rc<IoCounter>,
+        counter: Arc<IoCounter>,
     ) -> Result<DiskGraph> {
         self.spill()?;
         let n = if self.saw_edge {
@@ -313,7 +316,7 @@ mod tests {
     use super::*;
     use crate::io::DEFAULT_BLOCK_SIZE;
 
-    fn counter() -> Rc<IoCounter> {
+    fn counter() -> Arc<IoCounter> {
         IoCounter::new(DEFAULT_BLOCK_SIZE)
     }
 

@@ -1,0 +1,649 @@
+//! Memory-budgeted block cache (buffer pool) for disk graphs.
+//!
+//! The paper's external-memory model gives every algorithm a memory budget
+//! `M` alongside the block size `B`; the seed storage layer only modelled
+//! `B`, keeping O(1) buffered state and physically re-fetching every hot
+//! block the random-access phases of SemiCore\* / SemiInsert\* / SemiDelete\*
+//! touch. [`BlockCache`] makes the `M` side operational: a pool of `B`-sized
+//! frames under a byte budget, shared by the node- and edge-table readers of
+//! one [`DiskGraph`](crate::DiskGraph).
+//!
+//! Accounting contract: a read served from a resident frame charges **no**
+//! read I/O; a miss charges exactly one read I/O for the block fetched. A
+//! cold sequential scan therefore still costs `ceil(N / B)` I/Os — identical
+//! to the uncached model — while re-visits of resident blocks are free, so
+//! `read_ios` reports *blocks physically fetched*. A budget of zero frames
+//! is expressed by simply not attaching a cache (see
+//! [`DiskGraph::open_with_cache`](crate::DiskGraph::open_with_cache)).
+//!
+//! ## Eviction policies
+//!
+//! No single policy can guarantee both of the properties below at every
+//! pool size (a current-block exemption is content-dependent state, which
+//! is exactly what the stack-policy proof forbids), so each policy owns one:
+//!
+//! * [`EvictionPolicy::Lru`] — strict least-recently-used, no exemptions.
+//!   A stack policy: re-running an access sequence against a warm cache can
+//!   never charge more than the cold run did. The safe choice for
+//!   unpredictable access patterns.
+//! * [`EvictionPolicy::ScanLifo`] — CLOCK over re-referenced frames plus
+//!   newest-first eviction among never-re-referenced ones, with each file's
+//!   most-recently-touched frame **pinned**. The pin reproduces the
+//!   uncached reader's "current block stays buffered" freebie, so (with one
+//!   frame per file) attaching a cache of *any* size never charges more
+//!   than no cache, request by request. One-shot scan traffic displaces
+//!   itself instead of flushing the retained prefix, which is what earns
+//!   cross-iteration hits under the *ascending re-scan* pattern of the
+//!   semi-external convergence loops — a pattern where pure recency
+//!   retention yields zero reuse. Not a stack policy: adversarial patterns
+//!   can exhibit Bélády-style anomalies (a warm start charging slightly
+//!   more than a cold one), the price of scan resistance. The default for
+//!   [`DiskGraph`](crate::DiskGraph), whose workloads are exactly those
+//!   convergence scans.
+//!
+//! The pool is wrapped in `Arc<Mutex<..>>` by its users; contention is nil
+//! today (single-threaded algorithms) and the lock keeps cached graph
+//! handles `Send` for the planned parallel scans. Note for that future
+//! work: readers currently hold the pool lock across the physical fetch of
+//! a missed block, which would serialize concurrent scans on disk latency —
+//! fetch-outside-lock (or per-frame latches) should land together with the
+//! first multi-threaded reader.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::error::Result;
+
+/// Key of one cached block: (file id within the pool, block index).
+type BlockKey = (u32, u64);
+
+/// Sentinel for "no frame" in the intrusive LRU list.
+const NONE: u32 = u32::MAX;
+
+/// How the pool picks eviction victims. See the module docs for the
+/// trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Strict least-recently-used (anomaly-free stack policy).
+    #[default]
+    Lru,
+    /// Scan-resistant hybrid: CLOCK for re-referenced frames, newest-first
+    /// for one-shot traffic. Best for cyclic ascending scans.
+    ScanLifo,
+}
+
+/// One `B`-sized frame (the tail block of a file may be shorter).
+#[derive(Debug)]
+struct Frame {
+    key: Option<BlockKey>,
+    data: Vec<u8>,
+    /// Re-referenced since load (ScanLifo protection bit; streak hits on the
+    /// pinned frame do not count — see `get_or_load`).
+    referenced: bool,
+    /// Intrusive LRU list links (Lru policy).
+    prev: u32,
+    next: u32,
+}
+
+/// Hit/miss/eviction counters of one pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block requests served from a resident frame (not charged).
+    pub hits: u64,
+    /// Block requests that required a physical fetch (charged 1 I/O each).
+    pub misses: u64,
+    /// Frames whose contents were discarded to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded pool of disk blocks. See the module docs for policy and
+/// accounting contracts.
+#[derive(Debug)]
+pub struct BlockCache {
+    block_size: usize,
+    max_frames: usize,
+    policy: EvictionPolicy,
+    frames: Vec<Frame>,
+    map: HashMap<BlockKey, usize>,
+    /// CLOCK hand (ScanLifo fallback sweep).
+    hand: usize,
+    /// Keyless frames (invalidated or failed loads) to reuse before evicting.
+    free: Vec<usize>,
+    /// Insertion-ordered stack of never-re-referenced frames (ScanLifo).
+    cold_stack: Vec<usize>,
+    /// LRU list endpoints (Lru): `lru_head` is the coldest frame.
+    lru_head: u32,
+    lru_tail: u32,
+    /// Per-file most-recently-touched frame, exempt from eviction.
+    pinned: HashMap<u32, usize>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Pool of `B`-sized frames under `budget_bytes` of memory
+    /// (`M / B` frames, minimum one).
+    ///
+    /// Callers expressing "no cache" should skip construction entirely
+    /// rather than build a degenerate pool; see [`BlockCache::shared`] for
+    /// the budget-aware constructor.
+    pub fn new(block_size: usize, budget_bytes: u64, policy: EvictionPolicy) -> BlockCache {
+        assert!(block_size > 0, "block size must be positive");
+        let max_frames = ((budget_bytes / block_size as u64) as usize).max(1);
+        BlockCache {
+            block_size,
+            max_frames,
+            policy,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            free: Vec::new(),
+            cold_stack: Vec::new(),
+            lru_head: NONE,
+            lru_tail: NONE,
+            pinned: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Budget-aware shared-pool constructor: `None` when the budget cannot
+    /// hold `min_frames` blocks (the uncached behaviour), otherwise a pool
+    /// ready to be shared by several readers. Pass the number of files that
+    /// will share the pool as `min_frames` so every reader keeps its pinned
+    /// current block.
+    pub fn shared(
+        block_size: usize,
+        budget_bytes: u64,
+        min_frames: u64,
+        policy: EvictionPolicy,
+    ) -> Option<Arc<Mutex<BlockCache>>> {
+        if budget_bytes < min_frames.max(1) * block_size as u64 {
+            return None;
+        }
+        Some(Arc::new(Mutex::new(BlockCache::new(
+            block_size,
+            budget_bytes,
+            policy,
+        ))))
+    }
+
+    /// The frame size `B`.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Maximum number of resident frames (`M / B`).
+    pub fn capacity_frames(&self) -> usize {
+        self.max_frames
+    }
+
+    /// Frames currently holding a block.
+    pub fn resident_frames(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Bytes currently held in frames.
+    pub fn resident_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.data.len() as u64).sum()
+    }
+
+    /// Counters since construction (or the last [`BlockCache::reset_stats`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Keys of all resident blocks (diagnostics; order unspecified).
+    pub fn resident_keys(&self) -> Vec<(u32, u64)> {
+        self.map.keys().copied().collect()
+    }
+
+    /// Zero the hit/miss/eviction counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Look up `(file, block)`; on miss, fill a frame of `len` bytes via
+    /// `load` and insert it. Returns the frame's bytes and whether a miss
+    /// occurred (the caller charges one read I/O per miss).
+    pub fn get_or_load(
+        &mut self,
+        file: u32,
+        block: u64,
+        len: usize,
+        load: impl FnOnce(&mut [u8]) -> Result<()>,
+    ) -> Result<(&[u8], bool)> {
+        debug_assert!(len <= self.block_size);
+        if let Some(&idx) = self.map.get(&(file, block)) {
+            self.stats.hits += 1;
+            match self.policy {
+                EvictionPolicy::Lru => {
+                    // Recency refreshes on *every* touch — canonical stack
+                    // behaviour is what makes the warm-start guarantee hold.
+                    self.lru_unlink(idx);
+                    self.lru_push_mru(idx);
+                }
+                EvictionPolicy::ScanLifo => {
+                    // A hit on the file's current (pinned) frame is streak
+                    // continuation — traffic the uncached single-window
+                    // reader serves for free — and carries no reuse signal.
+                    // Only a return to a *different* resident block counts
+                    // as a genuine re-reference.
+                    if self.pinned.get(&file) != Some(&idx) {
+                        self.frames[idx].referenced = true;
+                        self.pinned.insert(file, idx);
+                    }
+                }
+            }
+            return Ok((&self.frames[idx].data, false));
+        }
+        self.stats.misses += 1;
+        let idx = self.grab_frame(file);
+        let frame = &mut self.frames[idx];
+        frame.data.resize(len, 0);
+        if let Err(e) = load(&mut frame.data) {
+            // The frame holds no valid block; recycle it first next time.
+            self.free.push(idx);
+            return Err(e);
+        }
+        frame.key = Some((file, block));
+        // Inserted with the reference bit clear: a block must be revisited
+        // to earn protection, which keeps one-shot scan traffic from
+        // flushing the genuinely hot set.
+        frame.referenced = false;
+        self.map.insert((file, block), idx);
+        match self.policy {
+            EvictionPolicy::Lru => self.lru_push_mru(idx),
+            EvictionPolicy::ScanLifo => {
+                self.pinned.insert(file, idx);
+                self.cold_stack.push(idx);
+            }
+        }
+        Ok((&self.frames[idx].data, true))
+    }
+
+    /// Drop every frame belonging to `file` (its backing file was replaced).
+    pub fn invalidate_file(&mut self, file: u32) {
+        self.pinned.remove(&file);
+        self.map.retain(|&(f, _), _| f != file);
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].key.is_some_and(|(f, _)| f == file) {
+                self.drop_frame(idx);
+            }
+        }
+    }
+
+    /// Drop all frames.
+    pub fn clear(&mut self) {
+        self.pinned.clear();
+        self.map.clear();
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].key.is_some() {
+                self.drop_frame(idx);
+            }
+        }
+    }
+
+    /// Detach `idx` from all bookkeeping and add it to the free pool.
+    /// The map entry must already be gone.
+    fn drop_frame(&mut self, idx: usize) {
+        if self.policy == EvictionPolicy::Lru {
+            self.lru_unlink(idx);
+        }
+        let frame = &mut self.frames[idx];
+        frame.key = None;
+        frame.referenced = false;
+        // Length drives resident_bytes(); capacity is kept for reuse.
+        frame.data.clear();
+        self.free.push(idx);
+    }
+
+    /// Index of a frame free to overwrite for a block of `for_file`:
+    /// recycle invalidated frames, grow the pool while under budget,
+    /// otherwise evict per policy. Pinned frames are passed over while any
+    /// ordinary victim exists; when only pins remain, the requesting file's
+    /// own pin is sacrificed first, so each file degrades to exactly the
+    /// one-current-block buffer of the uncached reader rather than files
+    /// evicting each other's position.
+    fn grab_frame(&mut self, for_file: u32) -> usize {
+        while let Some(idx) = self.free.pop() {
+            // Invalidation and load failure can enqueue an index twice; skip
+            // entries that regained a key in the meantime.
+            if self.frames[idx].key.is_none() {
+                return idx;
+            }
+        }
+        if self.frames.len() < self.max_frames {
+            self.frames.push(Frame {
+                key: None,
+                data: Vec::with_capacity(self.block_size),
+                referenced: false,
+                prev: NONE,
+                next: NONE,
+            });
+            return self.frames.len() - 1;
+        }
+        let idx = match self.policy {
+            EvictionPolicy::Lru => self.pick_lru_victim(),
+            EvictionPolicy::ScanLifo => self.pick_scan_victim(for_file),
+        };
+        if self.policy == EvictionPolicy::Lru {
+            self.lru_unlink(idx);
+        }
+        let frame = &mut self.frames[idx];
+        if let Some(key) = frame.key.take() {
+            self.map.remove(&key);
+            self.stats.evictions += 1;
+        }
+        frame.referenced = false;
+        // A forced eviction can take another file's pinned frame; drop any
+        // pin still pointing here so it cannot shield the new occupant.
+        self.pinned.retain(|_, &mut p| p != idx);
+        idx
+    }
+
+    /// Lru victim: the globally coldest frame. No pin exemptions — any
+    /// content-dependent exemption would break the stack (inclusion)
+    /// property behind the warm-start guarantee.
+    fn pick_lru_victim(&mut self) -> usize {
+        debug_assert!(self.lru_head != NONE, "full pool has a list head");
+        self.lru_head as usize
+    }
+
+    /// ScanLifo victim: newest never-re-referenced frame, falling back to
+    /// escalating CLOCK sweeps.
+    fn pick_scan_victim(&mut self, for_file: u32) -> usize {
+        // Pop insertion-stack entries, discarding stale ones (re-referenced
+        // since load — they earned CLOCK protection). Entries pinned by
+        // *other* files are set aside and restored: they are merely
+        // *currently* exempt, not protected forever.
+        let mut still_pinned: Vec<usize> = Vec::with_capacity(self.pinned.len());
+        let mut victim = None;
+        while let Some(idx) = self.cold_stack.pop() {
+            let frame = &self.frames[idx];
+            if frame.referenced || frame.key.is_none() {
+                continue;
+            }
+            if self.pinned.iter().any(|(&f, &p)| p == idx && f != for_file) {
+                still_pinned.push(idx);
+                continue;
+            }
+            victim = Some(idx);
+            break;
+        }
+        while let Some(idx) = still_pinned.pop() {
+            self.cold_stack.push(idx);
+        }
+        if let Some(idx) = victim {
+            return idx;
+        }
+        // Escalating sweeps: (1) CLOCK over frames not pinned by other
+        // files, clearing reference bits; (2) allow anything (a pool
+        // smaller than its foreign pin set cannot honour the exemption).
+        let len = self.frames.len();
+        let mut scanned = 0usize;
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % len;
+            scanned += 1;
+            let forced = scanned > 2 * len + 1;
+            if !forced {
+                let pinned_by_other = self.pinned.iter().any(|(&f, &p)| p == idx && f != for_file);
+                if pinned_by_other {
+                    continue;
+                }
+            }
+            let frame = &mut self.frames[idx];
+            if frame.referenced && !forced {
+                frame.referenced = false;
+                continue;
+            }
+            return idx;
+        }
+    }
+
+    fn lru_unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let f = &self.frames[idx];
+            (f.prev, f.next)
+        };
+        if prev != NONE {
+            self.frames[prev as usize].next = next;
+        } else if self.lru_head == idx as u32 {
+            self.lru_head = next;
+        }
+        if next != NONE {
+            self.frames[next as usize].prev = prev;
+        } else if self.lru_tail == idx as u32 {
+            self.lru_tail = prev;
+        }
+        let f = &mut self.frames[idx];
+        f.prev = NONE;
+        f.next = NONE;
+    }
+
+    fn lru_push_mru(&mut self, idx: usize) {
+        let tail = self.lru_tail;
+        let f = &mut self.frames[idx];
+        f.prev = tail;
+        f.next = NONE;
+        if tail != NONE {
+            self.frames[tail as usize].next = idx as u32;
+        } else {
+            self.lru_head = idx as u32;
+        }
+        self.lru_tail = idx as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_with(cache: &mut BlockCache, file: u32, block: u64, byte: u8) -> bool {
+        let (_, miss) = cache
+            .get_or_load(file, block, 4, |buf| {
+                buf.fill(byte);
+                Ok(())
+            })
+            .unwrap();
+        miss
+    }
+
+    fn lru(frames: u64) -> BlockCache {
+        BlockCache::new(4, frames * 4, EvictionPolicy::Lru)
+    }
+
+    fn scan_lifo(frames: u64) -> BlockCache {
+        BlockCache::new(4, frames * 4, EvictionPolicy::ScanLifo)
+    }
+
+    #[test]
+    fn hits_after_first_load_both_policies() {
+        for mut c in [lru(16), scan_lifo(16)] {
+            assert!(fill_with(&mut c, 0, 7, 0xAB));
+            assert!(!fill_with(&mut c, 0, 7, 0xCD));
+            let (data, miss) = c.get_or_load(0, 7, 4, |_| unreachable!()).unwrap();
+            assert!(!miss);
+            assert_eq!(data, &[0xAB; 4], "hit returns the originally loaded bytes");
+            assert_eq!(c.stats().hits, 2);
+            assert_eq!(c.stats().misses, 1);
+        }
+    }
+
+    #[test]
+    fn files_do_not_collide() {
+        for mut c in [lru(16), scan_lifo(16)] {
+            fill_with(&mut c, 0, 1, 1);
+            fill_with(&mut c, 1, 1, 2);
+            let (a, _) = c.get_or_load(0, 1, 4, |_| unreachable!()).unwrap();
+            assert_eq!(a, &[1; 4]);
+            let (b, _) = c.get_or_load(1, 1, 4, |_| unreachable!()).unwrap();
+            assert_eq!(b, &[2; 4]);
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        for mut c in [lru(4), scan_lifo(4)] {
+            for blk in 0..4 {
+                fill_with(&mut c, 0, blk, blk as u8);
+            }
+            assert_eq!(c.resident_frames(), 4);
+            fill_with(&mut c, 0, 99, 99);
+            assert_eq!(c.resident_frames(), 4);
+            assert_eq!(c.stats().evictions, 1);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = lru(3);
+        fill_with(&mut c, 0, 0, 0);
+        fill_with(&mut c, 0, 1, 1);
+        fill_with(&mut c, 0, 2, 2);
+        // Touch 0 so 1 becomes the coldest; a new block must evict 1.
+        assert!(!fill_with(&mut c, 0, 0, 0));
+        fill_with(&mut c, 0, 3, 3);
+        assert!(!fill_with(&mut c, 0, 0, 0), "recently used survived");
+        assert!(fill_with(&mut c, 0, 1, 1), "coldest was evicted");
+    }
+
+    #[test]
+    fn scan_lifo_retains_prefix_under_cyclic_scan() {
+        // Cycle over 12 blocks with 5 frames (one consumed as the rotating
+        // slot). Pure recency retention scores zero hits on every lap; the
+        // scan-resistant policy must keep a stable prefix instead.
+        let mut c = scan_lifo(5);
+        for _lap in 0..3 {
+            for blk in 0..12 {
+                fill_with(&mut c, 0, blk, blk as u8);
+            }
+        }
+        let s = c.stats();
+        assert!(
+            s.hits >= 6,
+            "cyclic scan should hit the retained prefix (hits {})",
+            s.hits
+        );
+    }
+
+    #[test]
+    fn pinned_current_block_survives_other_files_traffic() {
+        let mut c = scan_lifo(2);
+        fill_with(&mut c, 0, 5, 5);
+        // A burst of single-use traffic from the other file must not evict
+        // file 0's current block (the uncached-parity pin).
+        for blk in 0..6 {
+            fill_with(&mut c, 1, blk, blk as u8);
+        }
+        assert!(!fill_with(&mut c, 0, 5, 5), "pinned block was evicted");
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        for mut c in [lru(16), scan_lifo(16)] {
+            fill_with(&mut c, 0, 0, 1);
+            fill_with(&mut c, 1, 0, 2);
+            c.invalidate_file(0);
+            assert!(fill_with(&mut c, 0, 0, 3), "file 0 must reload");
+            assert!(!fill_with(&mut c, 1, 0, 2), "file 1 untouched");
+        }
+    }
+
+    #[test]
+    fn load_failure_leaves_no_mapping() {
+        for mut c in [lru(4), scan_lifo(4)] {
+            let err = c.get_or_load(0, 0, 4, |_| Err(crate::error::Error::corrupt("injected")));
+            assert!(err.is_err());
+            assert_eq!(c.resident_frames(), 0);
+            assert!(fill_with(&mut c, 0, 0, 5), "same block fetches again");
+        }
+    }
+
+    #[test]
+    fn shared_enforces_minimum_frames() {
+        let p = EvictionPolicy::Lru;
+        assert!(BlockCache::shared(4096, 0, 2, p).is_none());
+        assert!(BlockCache::shared(4096, 8191, 2, p).is_none());
+        assert!(BlockCache::shared(4096, 8192, 2, p).is_some());
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        for mut c in [lru(8), scan_lifo(8)] {
+            for blk in 0..8 {
+                fill_with(&mut c, 0, blk, 1);
+            }
+            c.clear();
+            assert_eq!(c.resident_frames(), 0);
+            // Everything reloads; the recycled frames must behave.
+            for blk in 0..8 {
+                assert!(fill_with(&mut c, 0, blk, 2));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut c = lru(16);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        fill_with(&mut c, 0, 0, 0);
+        fill_with(&mut c, 0, 1, 0);
+        fill_with(&mut c, 0, 0, 0);
+        fill_with(&mut c, 0, 1, 0);
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// Exhaustive-ish randomised check of the LRU warm-start guarantee: a
+    /// warm replay of any access sequence charges no more than the cold run.
+    #[test]
+    fn lru_warm_replay_never_costs_more() {
+        let mut state = 0xC0FFEEu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..50 {
+            let frames = 2 + next() % 6;
+            let blocks = 1 + next() % 14;
+            let pattern: Vec<(u32, u64)> = (0..(20 + next() % 60))
+                .map(|_| ((next() % 2) as u32, next() % blocks))
+                .collect();
+            let mut c = lru(frames);
+            let run = |c: &mut BlockCache| {
+                let before = c.stats().misses;
+                for &(f, b) in &pattern {
+                    fill_with(c, f, b, 1);
+                }
+                c.stats().misses - before
+            };
+            let cold = run(&mut c);
+            let warm = run(&mut c);
+            assert!(
+                warm <= cold,
+                "trial {trial}: warm {warm} > cold {cold} (frames {frames}, blocks {blocks})\npattern: {pattern:?}"
+            );
+        }
+    }
+}

@@ -122,6 +122,8 @@ mod tests {
     #[test]
     fn odd_length_run_is_corrupt() {
         let mut out = Vec::new();
-        assert!(decode_u32_run(&[1, 2, 3], &mut out).unwrap_err().is_corrupt());
+        assert!(decode_u32_run(&[1, 2, 3], &mut out)
+            .unwrap_err()
+            .is_corrupt());
     }
 }

@@ -38,12 +38,12 @@ pub fn read_edge_list(path: &Path, mut sink: impl FnMut(u32, u32) -> Result<()>)
                 )))
             }
         };
-        let u: u32 = a.parse().map_err(|_| {
-            Error::corrupt(format!("line {lineno}: invalid node id {a:?}"))
-        })?;
-        let v: u32 = b.parse().map_err(|_| {
-            Error::corrupt(format!("line {lineno}: invalid node id {b:?}"))
-        })?;
+        let u: u32 = a
+            .parse()
+            .map_err(|_| Error::corrupt(format!("line {lineno}: invalid node id {a:?}")))?;
+        let v: u32 = b
+            .parse()
+            .map_err(|_| Error::corrupt(format!("line {lineno}: invalid node id {b:?}")))?;
         sink(u, v)?;
         count += 1;
     }
@@ -55,7 +55,7 @@ pub fn read_edge_list(path: &Path, mut sink: impl FnMut(u32, u32) -> Result<()>)
 pub fn edge_list_to_disk(
     input: &Path,
     base: &Path,
-    counter: std::rc::Rc<crate::io::IoCounter>,
+    counter: std::sync::Arc<crate::io::IoCounter>,
 ) -> Result<crate::DiskGraph> {
     let mut builder = crate::ExternalGraphBuilder::new(4 << 20)?;
     read_edge_list(input, |u, v| builder.add_edge(u, v))?;

@@ -1,41 +1,90 @@
 //! Disk-resident graph: open, random access and sequential scans.
 
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
+use crate::cache::{BlockCache, CacheStats, EvictionPolicy};
 use crate::error::{Error, Result};
 use crate::format::{self, GraphMeta, GraphPaths};
 use crate::io::{BlockReader, IoCounter, IoSnapshot};
 
+/// File id of the node table within a graph's shared block cache.
+const NODE_FILE: u32 = 0;
+/// File id of the edge table within a graph's shared block cache.
+const EDGE_FILE: u32 = 1;
+
 /// A read-only graph stored on disk as a node table + edge table pair.
 ///
 /// All reads are charged to the [`IoCounter`] supplied at open time, so the
-/// semi-external algorithms can report I/O exactly as the paper does. The
-/// struct holds only O(1) memory (two single-window block readers); the node
-/// table is *not* cached in memory — the semi-external model keeps node
-/// *state* (core numbers, counts) in memory, not the node table itself, which
-/// is re-scanned from disk every iteration (§IV-A).
+/// semi-external algorithms can report I/O exactly as the paper does. By
+/// default the struct holds only O(1) memory (two single-window block
+/// readers); the node table is *not* cached in memory — the semi-external
+/// model keeps node *state* (core numbers, counts) in memory, not the node
+/// table itself, which is re-scanned from disk every iteration (§IV-A).
+///
+/// [`DiskGraph::open_with_cache`] attaches a memory-budgeted buffer pool
+/// shared by both tables, realising the model's `M` parameter: resident
+/// blocks are re-read for free and `read_ios` counts blocks physically
+/// fetched. With the budget at zero the behaviour (and every charged count)
+/// is identical to [`DiskGraph::open`].
 #[derive(Debug)]
 pub struct DiskGraph {
     paths: GraphPaths,
     meta: GraphMeta,
-    counter: Rc<IoCounter>,
+    counter: Arc<IoCounter>,
     node_reader: BlockReader,
     edge_reader: BlockReader,
+    /// Shared frame pool when opened with a cache budget.
+    cache: Option<Arc<Mutex<BlockCache>>>,
+    /// Reusable decode buffer for the borrowed-adjacency path.
+    adj_scratch: Vec<u32>,
 }
 
 impl DiskGraph {
     /// Open the graph stored at `<base>.nodes` / `<base>.edges`.
-    pub fn open(base: &Path, counter: Rc<IoCounter>) -> Result<DiskGraph> {
+    pub fn open(base: &Path, counter: Arc<IoCounter>) -> Result<DiskGraph> {
         Self::open_paths(GraphPaths::from_base(base), counter)
     }
 
+    /// Open with a block-cache budget of `cache_bytes` (the model's `M`),
+    /// using the scan-resistant eviction policy tuned for the semi-external
+    /// convergence loops ([`EvictionPolicy::ScanLifo`]).
+    ///
+    /// A budget below one frame per table (two blocks) behaves exactly like
+    /// [`DiskGraph::open`] — zero remains the semantics-preserving default
+    /// everywhere else in the crate.
+    pub fn open_with_cache(
+        base: &Path,
+        counter: Arc<IoCounter>,
+        cache_bytes: u64,
+    ) -> Result<DiskGraph> {
+        Self::open_with_cache_policy(base, counter, cache_bytes, EvictionPolicy::ScanLifo)
+    }
+
+    /// [`DiskGraph::open_with_cache`] with an explicit eviction policy.
+    pub fn open_with_cache_policy(
+        base: &Path,
+        counter: Arc<IoCounter>,
+        cache_bytes: u64,
+        policy: EvictionPolicy,
+    ) -> Result<DiskGraph> {
+        // One pinned frame per table, so any attached cache dominates the
+        // uncached per-reader buffers request by request.
+        let pool = BlockCache::shared(counter.block_size(), cache_bytes, 2, policy);
+        Self::open_paths_impl(GraphPaths::from_base(base), counter, pool)
+    }
+
     /// Open from an explicit file pair.
-    pub fn open_paths(paths: GraphPaths, counter: Rc<IoCounter>) -> Result<DiskGraph> {
-        let node_file = std::fs::File::open(&paths.nodes)?;
-        let edge_file = std::fs::File::open(&paths.edges)?;
-        let mut node_reader = BlockReader::new(node_file, counter.clone())?;
-        let edge_reader = BlockReader::new(edge_file, counter.clone())?;
+    pub fn open_paths(paths: GraphPaths, counter: Arc<IoCounter>) -> Result<DiskGraph> {
+        Self::open_paths_impl(paths, counter, None)
+    }
+
+    fn open_paths_impl(
+        paths: GraphPaths,
+        counter: Arc<IoCounter>,
+        cache: Option<Arc<Mutex<BlockCache>>>,
+    ) -> Result<DiskGraph> {
+        let (mut node_reader, edge_reader) = Self::open_readers(&paths, &counter, &cache)?;
 
         let mut header = [0u8; format::NODE_HEADER_LEN as usize];
         node_reader.read_exact_at(0, &mut header)?;
@@ -56,12 +105,60 @@ impl DiskGraph {
         }
         // Opening a graph is metadata work, not part of any measured run.
         counter.reset();
+        if let Some(pool) = cache.as_ref() {
+            pool.lock().expect("block cache poisoned").reset_stats();
+        }
         Ok(DiskGraph {
             paths,
             meta,
             counter,
             node_reader,
             edge_reader,
+            cache,
+            adj_scratch: Vec::new(),
+        })
+    }
+
+    /// Construct the reader pair, cached when a pool is supplied.
+    fn open_readers(
+        paths: &GraphPaths,
+        counter: &Arc<IoCounter>,
+        cache: &Option<Arc<Mutex<BlockCache>>>,
+    ) -> Result<(BlockReader, BlockReader)> {
+        let node_file = std::fs::File::open(&paths.nodes)?;
+        let edge_file = std::fs::File::open(&paths.edges)?;
+        Ok(match cache {
+            Some(pool) => (
+                BlockReader::new_cached(node_file, counter.clone(), pool.clone(), NODE_FILE)?,
+                BlockReader::new_cached(edge_file, counter.clone(), pool.clone(), EDGE_FILE)?,
+            ),
+            None => (
+                BlockReader::new(node_file, counter.clone())?,
+                BlockReader::new(edge_file, counter.clone())?,
+            ),
+        })
+    }
+
+    /// Hit/miss counters of the attached block cache (`None` when opened
+    /// without one).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
+            .as_ref()
+            .map(|pool| pool.lock().expect("block cache poisoned").stats())
+    }
+
+    /// Resident cache blocks as `(file, block)` keys (diagnostics).
+    pub fn cache_resident_keys(&self) -> Vec<(u32, u64)> {
+        self.cache.as_ref().map_or_else(Vec::new, |pool| {
+            pool.lock().expect("block cache poisoned").resident_keys()
+        })
+    }
+
+    /// Memory budget realised by the attached cache, in bytes (0 uncached).
+    pub fn cache_budget_bytes(&self) -> u64 {
+        self.cache.as_ref().map_or(0, |pool| {
+            let pool = pool.lock().expect("block cache poisoned");
+            (pool.capacity_frames() * pool.block_size()) as u64
         })
     }
 
@@ -91,7 +188,7 @@ impl DiskGraph {
     }
 
     /// The shared I/O counter.
-    pub fn counter(&self) -> &Rc<IoCounter> {
+    pub fn counter(&self) -> &Arc<IoCounter> {
         &self.counter
     }
 
@@ -136,19 +233,52 @@ impl DiskGraph {
         }
         buf.resize(degree as usize, 0);
         read_u32_run(&mut self.edge_reader, offset, buf)?;
-        for (i, &u) in buf.iter().enumerate() {
-            if u >= self.meta.num_nodes {
-                return Err(Error::corrupt(format!(
-                    "neighbour {u} of node {v} out of range"
-                )));
-            }
-            if i > 0 && buf[i - 1] >= u {
-                return Err(Error::corrupt(format!(
-                    "adjacency list of node {v} not strictly sorted"
-                )));
-            }
+        validate_run(v, self.meta.num_nodes, buf)
+    }
+
+    /// Visit `nbr(v)` as a borrowed slice, avoiding the caller-side copy.
+    ///
+    /// When the run sits inside a single resident cache frame (and the
+    /// platform is little-endian, matching the on-disk encoding) the slice
+    /// is decoded **in place from the frame** — no bytes are copied at all.
+    /// Otherwise the run is decoded into an internal scratch buffer that is
+    /// reused across calls. Charged identically to [`DiskGraph::adjacency`].
+    pub fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
+        let (offset, degree) = self.node_entry(v)?;
+        if degree == 0 {
+            return Ok(f(&[]));
         }
-        Ok(())
+        let n = self.meta.num_nodes;
+        let len_bytes = degree as usize * 4;
+        // Scratch is moved out for the duration so the visit closure and the
+        // reader can borrow disjointly; restored on every path. `f` travels
+        // in an Option because the fast path consumes it only when it runs.
+        let mut scratch = std::mem::take(&mut self.adj_scratch);
+        let mut f = Some(f);
+        let fast = {
+            let scratch = &mut scratch;
+            let f = &mut f;
+            self.edge_reader
+                .with_cached_run(offset, len_bytes, |bytes| {
+                    let run = borrow_or_decode(bytes, scratch);
+                    validate_run(v, n, run)?;
+                    Ok((f.take().expect("fast path visits once"))(run))
+                })
+        };
+        let out = match fast {
+            Ok(Some(r)) => Ok(r),
+            Err(e) => Err(e),
+            Ok(None) => {
+                // Uncached reader or multi-block run: decode a copy.
+                scratch.clear();
+                scratch.resize(degree as usize, 0);
+                read_u32_run(&mut self.edge_reader, offset, &mut scratch)
+                    .and_then(|()| validate_run(v, n, &scratch))
+                    .map(|()| (f.take().expect("fallback visits once"))(&scratch))
+            }
+        };
+        self.adj_scratch = scratch;
+        out
     }
 
     /// Read all degrees with one sequential node-table scan (charged).
@@ -178,8 +308,10 @@ impl DiskGraph {
         Ok(degrees)
     }
 
-    /// Drop buffered windows, so subsequent reads are charged in full.
-    /// Call after the files were replaced on disk.
+    /// Drop buffered windows (and any cached frames), so subsequent reads
+    /// are charged in full — e.g. to measure a fresh cold run. Note this
+    /// does not re-open the files: after an on-disk replacement the graph
+    /// must be re-opened (the update buffer's flush does both).
     pub fn invalidate_buffers(&mut self) {
         self.node_reader.invalidate();
         self.edge_reader.invalidate();
@@ -187,10 +319,13 @@ impl DiskGraph {
 
     /// Re-open the file pair in place (after a rewrite replaced the files).
     pub(crate) fn reopen(&mut self) -> Result<()> {
-        let node_file = std::fs::File::open(&self.paths.nodes)?;
-        let edge_file = std::fs::File::open(&self.paths.edges)?;
-        let mut node_reader = BlockReader::new(node_file, self.counter.clone())?;
-        let edge_reader = BlockReader::new(edge_file, self.counter.clone())?;
+        if let Some(pool) = self.cache.as_ref() {
+            let mut pool = pool.lock().expect("block cache poisoned");
+            pool.invalidate_file(NODE_FILE);
+            pool.invalidate_file(EDGE_FILE);
+        }
+        let (mut node_reader, edge_reader) =
+            Self::open_readers(&self.paths, &self.counter, &self.cache)?;
         let mut header = [0u8; format::NODE_HEADER_LEN as usize];
         node_reader.read_exact_at(0, &mut header)?;
         self.meta = format::decode_node_header(&header)?;
@@ -200,12 +335,47 @@ impl DiskGraph {
     }
 }
 
+/// Check a decoded adjacency run: ids in range, strictly sorted.
+fn validate_run(v: u32, num_nodes: u32, run: &[u32]) -> Result<()> {
+    for (i, &u) in run.iter().enumerate() {
+        if u >= num_nodes {
+            return Err(Error::corrupt(format!(
+                "neighbour {u} of node {v} out of range"
+            )));
+        }
+        if i > 0 && run[i - 1] >= u {
+            return Err(Error::corrupt(format!(
+                "adjacency list of node {v} not strictly sorted"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reinterpret raw little-endian frame bytes as a `u32` run without copying
+/// when alignment allows, falling back to a decode into `scratch`.
+fn borrow_or_decode<'a>(bytes: &'a [u8], scratch: &'a mut Vec<u32>) -> &'a [u32] {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: every bit pattern is a valid u32; align_to only yields a
+        // non-empty prefix/suffix when the pointer or length is misaligned,
+        // in which case we take the copy path below.
+        let (prefix, mid, suffix) = unsafe { bytes.align_to::<u32>() };
+        if prefix.is_empty() && suffix.is_empty() {
+            return mid;
+        }
+    }
+    scratch.clear();
+    scratch.extend(bytes.chunks_exact(4).map(|c| {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(c);
+        u32::from_le_bytes(b)
+    }));
+    scratch
+}
+
 /// Read `out.len()` little-endian u32 values starting at byte `offset`.
-pub(crate) fn read_u32_run(
-    reader: &mut BlockReader,
-    offset: u64,
-    out: &mut [u32],
-) -> Result<()> {
+pub(crate) fn read_u32_run(reader: &mut BlockReader, offset: u64, out: &mut [u32]) -> Result<()> {
     // Decode through a byte staging buffer; adjacency lists are short-lived
     // so a thread-local scratch would buy little.
     let mut bytes = vec![0u8; out.len() * 4];
@@ -327,8 +497,8 @@ mod tests {
             dg.adjacency(v, &mut buf).unwrap();
         }
         let snap = counter.snapshot();
-        let expected = (dg.meta().node_file_len() + dg.meta().edge_file_len())
-            / DEFAULT_BLOCK_SIZE as u64;
+        let expected =
+            (dg.meta().node_file_len() + dg.meta().edge_file_len()) / DEFAULT_BLOCK_SIZE as u64;
         // One full pass over both tables: within a couple of blocks of ideal.
         assert!(
             snap.read_ios <= expected + 4,

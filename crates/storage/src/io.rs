@@ -17,11 +17,12 @@
 //! Physical reads use a read-ahead window larger than `B` for speed; the
 //! charged I/O count is independent of the window size.
 
-use std::cell::Cell;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
+use crate::cache::BlockCache;
 use crate::error::{Error, Result};
 
 /// Default block size `B` (4 KiB, a typical page).
@@ -32,27 +33,31 @@ pub const DEFAULT_BLOCK_SIZE: usize = 4096;
 const READAHEAD_BLOCKS: usize = 64;
 
 /// Shared mutable I/O counters. Cloning the handle shares the counters.
+///
+/// Counters are atomic (relaxed) so graph handles are `Send` and future
+/// parallel scans can charge one shared counter without changing any
+/// charged count.
 #[derive(Debug)]
 pub struct IoCounter {
     block_size: usize,
-    read_ios: Cell<u64>,
-    write_ios: Cell<u64>,
-    read_bytes: Cell<u64>,
-    write_bytes: Cell<u64>,
-    seeks: Cell<u64>,
+    read_ios: AtomicU64,
+    write_ios: AtomicU64,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    seeks: AtomicU64,
 }
 
 impl IoCounter {
     /// Create a counter with the given block size `B`.
-    pub fn new(block_size: usize) -> Rc<Self> {
+    pub fn new(block_size: usize) -> Arc<Self> {
         assert!(block_size > 0, "block size must be positive");
-        Rc::new(IoCounter {
+        Arc::new(IoCounter {
             block_size,
-            read_ios: Cell::new(0),
-            write_ios: Cell::new(0),
-            read_bytes: Cell::new(0),
-            write_bytes: Cell::new(0),
-            seeks: Cell::new(0),
+            read_ios: AtomicU64::new(0),
+            write_ios: AtomicU64::new(0),
+            read_bytes: AtomicU64::new(0),
+            write_bytes: AtomicU64::new(0),
+            seeks: AtomicU64::new(0),
         })
     }
 
@@ -61,38 +66,38 @@ impl IoCounter {
         self.block_size
     }
 
-    fn charge_read(&self, blocks: u64, bytes: u64) {
-        self.read_ios.set(self.read_ios.get() + blocks);
-        self.read_bytes.set(self.read_bytes.get() + bytes);
+    pub(crate) fn charge_read(&self, blocks: u64, bytes: u64) {
+        self.read_ios.fetch_add(blocks, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     fn charge_write(&self, blocks: u64, bytes: u64) {
-        self.write_ios.set(self.write_ios.get() + blocks);
-        self.write_bytes.set(self.write_bytes.get() + bytes);
+        self.write_ios.fetch_add(blocks, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
     fn charge_seek(&self) {
-        self.seeks.set(self.seeks.get() + 1);
+        self.seeks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot the counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            read_ios: self.read_ios.get(),
-            write_ios: self.write_ios.get(),
-            read_bytes: self.read_bytes.get(),
-            write_bytes: self.write_bytes.get(),
-            seeks: self.seeks.get(),
+            read_ios: self.read_ios.load(Ordering::Relaxed),
+            write_ios: self.write_ios.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
         }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        self.read_ios.set(0);
-        self.write_ios.set(0);
-        self.read_bytes.set(0);
-        self.write_bytes.set(0);
-        self.seeks.set(0);
+        self.read_ios.store(0, Ordering::Relaxed);
+        self.write_ios.store(0, Ordering::Relaxed);
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -134,25 +139,34 @@ impl IoSnapshot {
 /// Reads may target any offset; forward-sequential patterns are served from a
 /// read-ahead window. The charged I/O count follows the rule documented at
 /// module level.
+///
+/// When a shared [`BlockCache`] is attached ([`BlockReader::new_cached`]),
+/// reads are served from the pool's frames instead of the private window and
+/// a read I/O is charged **only on cache miss** — `read_ios` then counts
+/// blocks physically fetched, the quantity the paper's memory-scalability
+/// experiments (Fig. 11) vary `M` against.
 #[derive(Debug)]
 pub struct BlockReader {
     file: File,
-    counter: Rc<IoCounter>,
+    counter: Arc<IoCounter>,
     file_len: u64,
-    /// Read-ahead window contents.
+    /// Read-ahead window contents (uncached mode only).
     window: Vec<u8>,
     /// Byte offset of the start of `window` (block aligned).
     window_start: u64,
     /// Last block charged to the counter, if any: subsequent requests starting
-    /// in this block do not pay for it again.
+    /// in this block do not pay for it again (uncached mode only; a cache
+    /// subsumes this single-block freebie).
     last_block: Option<u64>,
     /// End position of the previous request, to detect seeks.
     prev_end: u64,
+    /// Shared frame pool plus this reader's file id within it.
+    cache: Option<(Arc<Mutex<BlockCache>>, u32)>,
 }
 
 impl BlockReader {
     /// Open a reader over `file`, charging I/O to `counter`.
-    pub fn new(file: File, counter: Rc<IoCounter>) -> Result<Self> {
+    pub fn new(file: File, counter: Arc<IoCounter>) -> Result<Self> {
         let file_len = file.metadata()?.len();
         Ok(BlockReader {
             file,
@@ -162,7 +176,34 @@ impl BlockReader {
             window_start: 0,
             last_block: None,
             prev_end: 0,
+            cache: None,
         })
+    }
+
+    /// Open a reader whose blocks are cached in the shared `pool` under
+    /// `file_id`. The pool's block size must equal the counter's.
+    pub fn new_cached(
+        file: File,
+        counter: Arc<IoCounter>,
+        pool: Arc<Mutex<BlockCache>>,
+        file_id: u32,
+    ) -> Result<Self> {
+        let mut reader = Self::new(file, counter)?;
+        {
+            let cache = pool.lock().expect("block cache poisoned");
+            assert_eq!(
+                cache.block_size(),
+                reader.counter.block_size(),
+                "cache and counter must agree on the block size"
+            );
+        }
+        reader.cache = Some((pool, file_id));
+        Ok(reader)
+    }
+
+    /// True when this reader serves blocks from a shared cache pool.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Length of the underlying file in bytes.
@@ -171,8 +212,22 @@ impl BlockReader {
     }
 
     /// The shared I/O counter.
-    pub fn counter(&self) -> &Rc<IoCounter> {
+    pub fn counter(&self) -> &Arc<IoCounter> {
         &self.counter
+    }
+
+    /// Validate a read range, returning its exclusive end offset.
+    fn check_range(&self, offset: u64, len: usize) -> Result<u64> {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or_else(|| Error::corrupt("read range overflows u64"))?;
+        if end > self.file_len {
+            return Err(Error::corrupt(format!(
+                "read of {len} bytes at offset {offset} past end of file (len {})",
+                self.file_len
+            )));
+        }
+        Ok(end)
     }
 
     /// Read exactly `out.len()` bytes starting at `offset`.
@@ -183,16 +238,9 @@ impl BlockReader {
         if out.is_empty() {
             return Ok(());
         }
-        let end = offset
-            .checked_add(out.len() as u64)
-            .ok_or_else(|| Error::corrupt("read range overflows u64"))?;
-        if end > self.file_len {
-            return Err(Error::corrupt(format!(
-                "read of {} bytes at offset {} past end of file (len {})",
-                out.len(),
-                offset,
-                self.file_len
-            )));
+        let end = self.check_range(offset, out.len())?;
+        if self.cache.is_some() {
+            return self.read_cached(offset, end, out);
         }
         let b = self.counter.block_size() as u64;
         let first_block = offset / b;
@@ -222,37 +270,180 @@ impl BlockReader {
             let avail = self.window.len() - win_off;
             let want = out.len() - copied;
             let take = avail.min(want);
-            out[copied..copied + take]
-                .copy_from_slice(&self.window[win_off..win_off + take]);
+            out[copied..copied + take].copy_from_slice(&self.window[win_off..win_off + take]);
             copied += take;
             pos += take as u64;
         }
         Ok(())
     }
 
-    /// Physically read a block-aligned window covering `pos`.
-    fn fill_window(&mut self, pos: u64) -> Result<()> {
+    /// Serve a validated `[offset, end)` read through the shared cache,
+    /// charging one read I/O per block that was not already resident.
+    ///
+    /// Misses are filled from the reader's read-ahead window, so a cold
+    /// sequential scan issues the same large physical reads as the uncached
+    /// path; only the *charged* count differs (per miss instead of per
+    /// span). The window is per-reader measurement apparatus, like the
+    /// uncached mode's — it never affects charges.
+    fn read_cached(&mut self, offset: u64, end: u64, out: &mut [u8]) -> Result<()> {
+        if offset != self.prev_end {
+            self.counter.charge_seek();
+        }
+        self.prev_end = end;
         let b = self.counter.block_size() as u64;
-        let start = (pos / b) * b;
-        let want = (b as usize) * READAHEAD_BLOCKS;
-        let avail = (self.file_len - start) as usize;
-        let len = want.min(avail);
-        self.window.resize(len, 0);
-        self.file.seek(SeekFrom::Start(start))?;
-        self.file.read_exact(&mut self.window)?;
-        self.window_start = start;
+        let (pool, file_id) = self.cache.as_ref().expect("cached mode");
+        let mut cache = pool.lock().expect("block cache poisoned");
+        let window = &mut self.window;
+        let window_start = &mut self.window_start;
+        let file = &mut self.file;
+        let file_len = self.file_len;
+        let mut copied = 0usize;
+        for block in (offset / b)..=((end - 1) / b) {
+            let block_start = block * b;
+            let block_len = b.min(file_len - block_start) as usize;
+            let (data, missed) = cache.get_or_load(*file_id, block, block_len, |buf| {
+                fill_from_window(window, window_start, file, file_len, b, block_start, buf)
+            })?;
+            if missed {
+                self.counter.charge_read(1, 0);
+            }
+            let from = offset.max(block_start) - block_start;
+            let to = end.min(block_start + block_len as u64) - block_start;
+            let take = (to - from) as usize;
+            out[copied..copied + take].copy_from_slice(&data[from as usize..to as usize]);
+            copied += take;
+        }
+        debug_assert_eq!(copied, out.len());
+        self.counter.charge_read(0, out.len() as u64);
         Ok(())
     }
 
-    /// Forget buffered state, so the next read is charged in full.
+    /// When this reader is cached and `[offset, offset + len)` lies inside a
+    /// single block, ensure the block is resident (charging a miss if not)
+    /// and invoke `f` on the raw frame bytes of the range — the zero-copy
+    /// fast path for adjacency runs. Returns `Ok(None)` without calling `f`
+    /// when the fast path does not apply (uncached reader or multi-block
+    /// range); the caller must then fall back to [`BlockReader::read_exact_at`].
+    pub(crate) fn with_cached_run<R>(
+        &mut self,
+        offset: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> Result<R>,
+    ) -> Result<Option<R>> {
+        let Some((pool, file_id)) = self.cache.as_ref() else {
+            return Ok(None);
+        };
+        if len == 0 {
+            return Ok(None);
+        }
+        let end = self.check_range(offset, len)?;
+        let b = self.counter.block_size() as u64;
+        let block = offset / b;
+        if (end - 1) / b != block {
+            return Ok(None);
+        }
+        if offset != self.prev_end {
+            self.counter.charge_seek();
+        }
+        self.prev_end = end;
+        let block_start = block * b;
+        let block_len = b.min(self.file_len - block_start) as usize;
+        let mut cache = pool.lock().expect("block cache poisoned");
+        let window = &mut self.window;
+        let window_start = &mut self.window_start;
+        let file = &mut self.file;
+        let file_len = self.file_len;
+        let (data, missed) = cache.get_or_load(*file_id, block, block_len, |buf| {
+            fill_from_window(window, window_start, file, file_len, b, block_start, buf)
+        })?;
+        if missed {
+            self.counter.charge_read(1, 0);
+        }
+        self.counter.charge_read(0, len as u64);
+        let from = (offset - block_start) as usize;
+        f(&data[from..from + len]).map(Some)
+    }
+
+    /// Physically read a block-aligned window covering `pos`.
+    fn fill_window(&mut self, pos: u64) -> Result<()> {
+        fill_window_at(
+            &mut self.window,
+            &mut self.window_start,
+            &mut self.file,
+            self.file_len,
+            self.counter.block_size() as u64,
+            pos,
+        )
+    }
+
+    /// Forget buffered state, so the next read is charged in full. In
+    /// cached mode this also drops the file's frames from the shared pool.
     ///
-    /// Used when the underlying file has been replaced (e.g. after an update
-    /// buffer flush rewrites the graph).
+    /// This invalidates *buffers only* — the reader keeps its open file
+    /// handle and length. If the file on disk was replaced (e.g. renamed
+    /// over), the handle still sees the old contents; replacement requires
+    /// constructing a fresh reader, as
+    /// [`DiskGraph`](crate::DiskGraph)'s rewrite path does.
     pub fn invalidate(&mut self) {
         self.window.clear();
         self.last_block = None;
         self.prev_end = u64::MAX;
+        if let Some((pool, file_id)) = self.cache.as_ref() {
+            pool.lock()
+                .expect("block cache poisoned")
+                .invalidate_file(*file_id);
+        }
     }
+}
+
+/// Refill `window` with a read-ahead span starting at the block containing
+/// `pos` (free function so cache-load closures can borrow reader fields
+/// disjointly).
+fn fill_window_at(
+    window: &mut Vec<u8>,
+    window_start: &mut u64,
+    file: &mut File,
+    file_len: u64,
+    block_size: u64,
+    pos: u64,
+) -> Result<()> {
+    let start = (pos / block_size) * block_size;
+    let want = (block_size as usize) * READAHEAD_BLOCKS;
+    let avail = (file_len - start) as usize;
+    let len = want.min(avail);
+    window.resize(len, 0);
+    file.seek(SeekFrom::Start(start))?;
+    file.read_exact(window)?;
+    *window_start = start;
+    Ok(())
+}
+
+/// Copy the block at `block_start` into `buf`, serving from (and refilling)
+/// the read-ahead window so cold sequential misses cost one large physical
+/// read per `READAHEAD_BLOCKS`, not one syscall per block.
+fn fill_from_window(
+    window: &mut Vec<u8>,
+    window_start: &mut u64,
+    file: &mut File,
+    file_len: u64,
+    block_size: u64,
+    block_start: u64,
+    buf: &mut [u8],
+) -> Result<()> {
+    let end = block_start + buf.len() as u64;
+    if block_start < *window_start || end > *window_start + window.len() as u64 {
+        fill_window_at(
+            window,
+            window_start,
+            file,
+            file_len,
+            block_size,
+            block_start,
+        )?;
+    }
+    let from = (block_start - *window_start) as usize;
+    buf.copy_from_slice(&window[from..from + buf.len()]);
+    Ok(())
 }
 
 /// Buffered writer with block-granular write accounting.
@@ -263,13 +454,13 @@ impl BlockReader {
 #[derive(Debug)]
 pub struct BlockWriter {
     file: std::io::BufWriter<File>,
-    counter: Rc<IoCounter>,
+    counter: Arc<IoCounter>,
     pos: u64,
 }
 
 impl BlockWriter {
     /// Start writing `file` from offset zero.
-    pub fn new(file: File, counter: Rc<IoCounter>) -> Self {
+    pub fn new(file: File, counter: Arc<IoCounter>) -> Self {
         BlockWriter {
             file: std::io::BufWriter::with_capacity(1 << 20, file),
             counter,

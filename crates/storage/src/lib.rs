@@ -34,6 +34,7 @@
 
 pub mod access;
 pub mod builder;
+pub mod cache;
 pub mod codec;
 pub mod edgelist;
 pub mod error;
@@ -46,7 +47,10 @@ pub mod tempdir;
 pub mod update_buffer;
 
 pub use access::{snapshot_mem, AdjacencyRead, DynamicGraph};
-pub use builder::{disk_to_mem, mem_to_disk, write_mem_graph, DiskGraphWriter, ExternalGraphBuilder};
+pub use builder::{
+    disk_to_mem, mem_to_disk, write_mem_graph, DiskGraphWriter, ExternalGraphBuilder,
+};
+pub use cache::{BlockCache, CacheStats, EvictionPolicy};
 pub use error::{Error, Result};
 pub use format::{GraphMeta, GraphPaths};
 pub use graph::DiskGraph;

@@ -11,7 +11,7 @@
 //! `v: u32, degree: u32, nbrs: u32 × degree`.
 
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::access::AdjacencyRead;
 use crate::codec;
@@ -58,7 +58,7 @@ impl LoadedPartition {
 #[derive(Debug)]
 pub struct PartitionStore {
     _scratch: TempDir,
-    counter: Rc<IoCounter>,
+    counter: Arc<IoCounter>,
     parts: Vec<PartitionMeta>,
     num_nodes: u32,
 }
@@ -71,7 +71,7 @@ impl PartitionStore {
     pub fn build(
         source: &mut impl AdjacencyRead,
         target_bytes: u64,
-        counter: Rc<IoCounter>,
+        counter: Arc<IoCounter>,
     ) -> Result<PartitionStore> {
         if target_bytes < 64 {
             return Err(Error::InvalidArgument(
@@ -160,6 +160,14 @@ impl PartitionStore {
         let mut bytes = vec![0u8; len as usize];
         reader.read_exact_at(0, &mut bytes)?;
         let count = codec::try_get_u32(&bytes, 0, "partition record count")? as usize;
+        // Every record occupies at least 8 bytes; a larger count cannot come
+        // from a well-formed file and must not drive an allocation.
+        if count > bytes.len().saturating_sub(4) / 8 {
+            return Err(Error::corrupt(format!(
+                "partition record count {count} exceeds file size {}",
+                bytes.len()
+            )));
+        }
         let mut entries = Vec::with_capacity(count);
         let mut at = 4usize;
         for _ in 0..count {
@@ -193,7 +201,10 @@ impl PartitionStore {
                 )));
             }
         }
-        let dir = self.parts[i].path.parent().expect("partition has parent dir");
+        let dir = self.parts[i]
+            .path
+            .parent()
+            .expect("partition has parent dir");
         let tmp = dir.join(format!("part{i}.new"));
         let meta = write_partition_at(&tmp, start, end, entries, &self.counter)?;
         std::fs::rename(&tmp, &self.parts[i].path)?;
@@ -214,7 +225,7 @@ fn write_partition(
     start: u32,
     end: u32,
     entries: &[(u32, Vec<u32>)],
-    counter: &Rc<IoCounter>,
+    counter: &Arc<IoCounter>,
 ) -> Result<PartitionMeta> {
     let path = dir.join(format!("part{index}.bin"));
     write_partition_at(&path, start, end, entries, counter)
@@ -225,7 +236,7 @@ fn write_partition_at(
     start: u32,
     end: u32,
     entries: &[(u32, Vec<u32>)],
-    counter: &Rc<IoCounter>,
+    counter: &Arc<IoCounter>,
 ) -> Result<PartitionMeta> {
     let file = std::fs::File::create(path)?;
     let mut w = BlockWriter::new(file, counter.clone());
@@ -265,9 +276,11 @@ mod tests {
     #[test]
     fn build_covers_all_nodes() {
         let mut g = grid(100);
-        let store =
-            PartitionStore::build(&mut g, 256, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
-        assert!(store.len() > 1, "small target must produce several partitions");
+        let store = PartitionStore::build(&mut g, 256, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        assert!(
+            store.len() > 1,
+            "small target must produce several partitions"
+        );
         let mut covered = 0u32;
         for i in 0..store.len() {
             let m = store.meta(i);
@@ -280,8 +293,7 @@ mod tests {
     #[test]
     fn load_round_trips_adjacency() {
         let mut g = grid(50);
-        let store =
-            PartitionStore::build(&mut g, 300, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let store = PartitionStore::build(&mut g, 300, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
         for i in 0..store.len() {
             let p = store.load(i).unwrap();
             for (v, nbrs) in &p.entries {
@@ -293,8 +305,7 @@ mod tests {
     #[test]
     fn partition_of_locates_nodes() {
         let mut g = grid(64);
-        let store =
-            PartitionStore::build(&mut g, 200, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let store = PartitionStore::build(&mut g, 200, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
         for v in 0..64u32 {
             let i = store.partition_of(v);
             let m = store.meta(i);
@@ -347,8 +358,7 @@ mod corruption_tests {
     #[test]
     fn corrupted_partition_file_errors_not_panics() {
         let mut g = MemGraph::from_edges((0..40u32).map(|i| (i, (i + 1) % 40)), 40);
-        let store =
-            PartitionStore::build(&mut g, 300, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let store = PartitionStore::build(&mut g, 300, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
         // Overwrite partition 0's file with a bogus record count.
         let path = store.parts[0].path.clone();
         let mut bytes = std::fs::read(&path).unwrap();
@@ -360,8 +370,7 @@ mod corruption_tests {
     #[test]
     fn truncated_partition_file_errors() {
         let mut g = MemGraph::from_edges((0..40u32).map(|i| (i, (i + 1) % 40)), 40);
-        let store =
-            PartitionStore::build(&mut g, 300, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let store = PartitionStore::build(&mut g, 300, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
         let path = store.parts[0].path.clone();
         let len = std::fs::metadata(&path).unwrap().len();
         let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();

@@ -121,6 +121,11 @@ impl UpdateBuffer {
         self.edit_one(v, u, false);
     }
 
+    /// True when `v` has pending inserted or deleted neighbours.
+    pub fn has_edits(&self, v: u32) -> bool {
+        self.per_node.contains_key(&v)
+    }
+
     /// Net degree change for `v` relative to the on-disk graph.
     pub fn degree_delta(&self, v: u32) -> i64 {
         match self.per_node.get(&v) {
@@ -194,6 +199,8 @@ pub struct BufferedGraph {
     /// Number of flushes performed (observable for tests/benches).
     flushes: u64,
     scratch: Vec<u32>,
+    /// Second reusable buffer for the borrowed-visit merge path.
+    merge_scratch: Vec<u32>,
 }
 
 /// Default edit-entry capacity of the in-memory buffer.
@@ -209,6 +216,7 @@ impl BufferedGraph {
             degree_sum_delta: 0,
             flushes: 0,
             scratch: Vec::new(),
+            merge_scratch: Vec::new(),
         }
     }
 
@@ -235,13 +243,21 @@ impl BufferedGraph {
     fn check_pair(&self, u: u32, v: u32) -> Result<()> {
         let n = self.num_nodes();
         if u >= n {
-            return Err(Error::NodeOutOfRange { node: u, num_nodes: n });
+            return Err(Error::NodeOutOfRange {
+                node: u,
+                num_nodes: n,
+            });
         }
         if v >= n {
-            return Err(Error::NodeOutOfRange { node: v, num_nodes: n });
+            return Err(Error::NodeOutOfRange {
+                node: v,
+                num_nodes: n,
+            });
         }
         if u == v {
-            return Err(Error::InvalidArgument("self-loops are not supported".into()));
+            return Err(Error::InvalidArgument(
+                "self-loops are not supported".into(),
+            ));
         }
         Ok(())
     }
@@ -347,6 +363,24 @@ impl AdjacencyRead for BufferedGraph {
         res
     }
 
+    fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
+        if !self.buffer.has_edits(v) {
+            // No pending edits: expose the disk adjacency without merging —
+            // the common case pays zero extra copies.
+            return self.disk.with_adjacency(v, f);
+        }
+        let mut base = std::mem::take(&mut self.scratch);
+        let mut merged = std::mem::take(&mut self.merge_scratch);
+        let res = self.disk.adjacency(v, &mut base);
+        let out = res.map(|()| {
+            self.buffer.apply(v, &base, &mut merged);
+            f(&merged)
+        });
+        self.scratch = base;
+        self.merge_scratch = merged;
+        out
+    }
+
     fn io(&self) -> IoSnapshot {
         self.disk.io()
     }
@@ -420,7 +454,10 @@ mod tests {
         mirror.delete_edge(2, 3).unwrap();
         let writes_before = bg.io().write_ios;
         bg.flush().unwrap();
-        assert!(bg.io().write_ios > writes_before, "flush must cost write I/Os");
+        assert!(
+            bg.io().write_ios > writes_before,
+            "flush must cost write I/Os"
+        );
         assert_eq!(bg.pending_edits(), 0);
         assert_eq!(bg.flushes(), 1);
         assert_same_view(&mut bg, &mirror);
@@ -462,7 +499,9 @@ mod tests {
         // Deterministic pseudo-random stream of toggles.
         let mut state = 0x9E3779B97F4A7C15u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for _ in 0..300 {

@@ -28,7 +28,11 @@ fn main() -> graphstore::Result<()> {
     );
 
     let dir = TempDir::new("kcore-community")?;
-    let mut disk = mem_to_disk(&dir.path().join("lj"), &g, IoCounter::new(DEFAULT_BLOCK_SIZE))?;
+    let mut disk = mem_to_disk(
+        &dir.path().join("lj"),
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+    )?;
 
     let d = semicore_star(&mut disk, &DecomposeOptions::default())?;
     println!(
@@ -46,7 +50,10 @@ fn main() -> graphstore::Result<()> {
         println!("  {:>4}  {:>8}", k, d.kcore_size(k));
         k = (k * 2).max(k + 1);
     }
-    println!("  {kmax:>4}  {:>8}  <- innermost (kmax) core", d.kcore_size(kmax));
+    println!(
+        "  {kmax:>4}  {:>8}  <- innermost (kmax) core",
+        d.kcore_size(kmax)
+    );
 
     // The kmax-core is the densest nucleus: report its density.
     let nucleus = d.kcore_nodes(kmax);

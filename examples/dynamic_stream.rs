@@ -11,20 +11,28 @@
 //! ```
 
 use graphgen::preferential_attachment;
+use graphstore::snapshot_mem;
 use graphstore::{mem_to_disk, BufferedGraph, IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
 use kcore_suite::CoreIndex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use graphstore::snapshot_mem;
 use semicore::imcore;
 
 fn main() -> graphstore::Result<()> {
     let n = 20_000u32;
     let g = MemGraph::from_edges(preferential_attachment(n, 5, 42), n);
-    println!("base graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!(
+        "base graph: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     let dir = TempDir::new("kcore-stream")?;
-    let disk = mem_to_disk(&dir.path().join("g"), &g, IoCounter::new(DEFAULT_BLOCK_SIZE))?;
+    let disk = mem_to_disk(
+        &dir.path().join("g"),
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+    )?;
     // A small buffer forces periodic flushes so their cost is visible.
     let mut index = CoreIndex::from_disk(BufferedGraph::new(disk, 4096))?;
     println!(

@@ -17,7 +17,11 @@ fn main() -> graphstore::Result<()> {
     // The running example graph of the paper (Fig. 1): 9 nodes, 15 edges.
     let mut index = CoreIndex::create(&base, PAPER_EXAMPLE_EDGES, 9)?;
 
-    println!("graph: {} nodes, {} edges", index.num_nodes(), index.num_edges());
+    println!(
+        "graph: {} nodes, {} edges",
+        index.num_nodes(),
+        index.num_edges()
+    );
     println!("kmax (degeneracy): {}", index.kmax());
     for v in 0..index.num_nodes() {
         println!("  core(v{v}) = {}", index.core(v));

@@ -45,7 +45,10 @@ fn main() -> graphstore::Result<()> {
     );
     drop(disk);
 
-    println!("\n{:<12} {:>9} {:>7} {:>12} {:>12} {:>12}", "algorithm", "time(s)", "iters", "read I/Os", "write I/Os", "state bytes");
+    println!(
+        "\n{:<12} {:>9} {:>7} {:>12} {:>12} {:>12}",
+        "algorithm", "time(s)", "iters", "read I/Os", "write I/Os", "state bytes"
+    );
     let report = |name: &str, d: &Decomposition| {
         println!(
             "{:<12} {:>9.2} {:>7} {:>12} {:>12} {:>12}",

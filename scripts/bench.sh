@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run the Criterion micro-benchmark suites and the cache-budget ablation,
+# accumulating machine-readable results in BENCH_*.json (JSON lines) so the
+# perf trajectory of the repo builds up run over run.
+#
+# Usage: scripts/bench.sh [output-prefix]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+prefix="${1:-BENCH}"
+# Absolute paths: cargo runs bench executables with the package directory
+# as their working directory.
+criterion_out="$(pwd)/${prefix}_criterion.json"
+cache_out="$(pwd)/${prefix}_cache.json"
+
+stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+echo "# bench run ${stamp} @ ${rev}" >> "${criterion_out}"
+for suite in kernels scan decomposition maintenance; do
+    echo "== ${suite}"
+    CRITERION_JSON="${criterion_out}" cargo bench -q -p kcore-bench --bench "${suite}"
+done
+
+echo "== ablation_cache"
+echo "# bench run ${stamp} @ ${rev}" >> "${cache_out}"
+cargo run --release -q -p kcore-bench --bin ablation_cache -- --json "${cache_out}"
+
+echo
+echo "results appended to ${criterion_out} and ${cache_out}"

@@ -51,14 +51,12 @@ fn main() -> graphstore::Result<()> {
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
         "build" => {
-            let (Some(input), Some(base)) = (args.get(1), args.get(2)) else { usage() };
+            let (Some(input), Some(base)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
             let t0 = std::time::Instant::now();
             let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
-            let g = edgelist::edge_list_to_disk(
-                Path::new(input),
-                Path::new(base),
-                counter,
-            )?;
+            let g = edgelist::edge_list_to_disk(Path::new(input), Path::new(base), counter)?;
             println!(
                 "built {base}.nodes/.edges: {} nodes, {} edges in {:.2} s",
                 g.num_nodes(),

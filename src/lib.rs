@@ -41,8 +41,8 @@ pub use semicore;
 use std::path::Path;
 
 use graphstore::{
-    mem_to_disk, AdjacencyRead, BufferedGraph, IoCounter, IoSnapshot, MemGraph, Result,
-    DEFAULT_BLOCK_SIZE, DEFAULT_BUFFER_CAPACITY,
+    AdjacencyRead, BufferedGraph, IoCounter, IoSnapshot, MemGraph, Result, DEFAULT_BLOCK_SIZE,
+    DEFAULT_BUFFER_CAPACITY,
 };
 use semicore::{
     semi_delete_star, semi_insert_star, semicore_star_state, CoreState, DecomposeOptions,
@@ -71,17 +71,41 @@ impl CoreIndex {
         edges: impl IntoIterator<Item = (u32, u32)>,
         min_nodes: u32,
     ) -> Result<CoreIndex> {
+        Self::create_with_cache(base, edges, min_nodes, 0)
+    }
+
+    /// Like [`CoreIndex::create`], but serve disk blocks through a cache of
+    /// `cache_bytes` (the external-memory model's `M`). Zero keeps the
+    /// uncached O(1)-buffer behaviour.
+    pub fn create_with_cache(
+        base: &Path,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+        min_nodes: u32,
+        cache_bytes: u64,
+    ) -> Result<CoreIndex> {
         let mem = MemGraph::from_edges(edges, min_nodes);
         let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
-        let disk = mem_to_disk(base, &mem, counter)?;
+        graphstore::write_mem_graph(base, &mem, counter.clone())?;
+        let disk = graphstore::DiskGraph::open_with_cache(base, counter, cache_bytes)?;
         Self::from_disk(BufferedGraph::with_default_capacity(disk))
     }
 
     /// Open an existing on-disk graph and decompose it.
     pub fn open(base: &Path) -> Result<CoreIndex> {
+        Self::open_with_cache(base, 0)
+    }
+
+    /// Like [`CoreIndex::open`], with a block-cache budget of `cache_bytes`.
+    pub fn open_with_cache(base: &Path, cache_bytes: u64) -> Result<CoreIndex> {
         let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
-        let disk = graphstore::DiskGraph::open(base, counter)?;
+        let disk = graphstore::DiskGraph::open_with_cache(base, counter, cache_bytes)?;
         Self::from_disk(BufferedGraph::new(disk, DEFAULT_BUFFER_CAPACITY))
+    }
+
+    /// Hit/miss statistics of the disk block cache (`None` when opened
+    /// without a budget).
+    pub fn cache_stats(&self) -> Option<graphstore::CacheStats> {
+        self.graph.disk().cache_stats()
     }
 
     /// Wrap an already-buffered graph and decompose it.

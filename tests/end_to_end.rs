@@ -25,7 +25,11 @@ fn emcore_runs_on_disk_built_dataset() {
     let spec = dataset_by_name("DBLP").unwrap();
     let dir = TempDir::new("e2e").unwrap();
     let mut disk = spec
-        .build_disk(&dir.path().join("g"), 0.05, IoCounter::new(DEFAULT_BLOCK_SIZE))
+        .build_disk(
+            &dir.path().join("g"),
+            0.05,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+        )
         .unwrap();
     let opts = EmCoreOptions {
         partition_bytes: 8192,
@@ -57,8 +61,8 @@ fn core_index_maintains_through_heavy_stream() {
     let g = spec.generate_mem(0.02);
     let dir = TempDir::new("e2e").unwrap();
     let edges: Vec<(u32, u32)> = g.edges().collect();
-    let mut idx = CoreIndex::create(&dir.path().join("g"), edges.iter().copied(), g.num_nodes())
-        .unwrap();
+    let mut idx =
+        CoreIndex::create(&dir.path().join("g"), edges.iter().copied(), g.num_nodes()).unwrap();
 
     // Delete 50 edges, reinsert them (the Fig. 10 protocol), then verify.
     let victims: Vec<(u32, u32)> = edges.iter().step_by(edges.len() / 50).copied().collect();

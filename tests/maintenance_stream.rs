@@ -9,8 +9,8 @@ use graphstore::{
 };
 use proptest::prelude::*;
 use semicore::{
-    imcore, semi_delete_star, semi_insert, semi_insert_star, semicore_star_state,
-    DecomposeOptions, SparseMarks,
+    imcore, semi_delete_star, semi_insert, semi_insert_star, semicore_star_state, DecomposeOptions,
+    SparseMarks,
 };
 
 #[derive(Debug, Clone, Copy)]

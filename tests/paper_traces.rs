@@ -79,7 +79,10 @@ fn example_5_1_delete_then_5_2_and_5_3_inserts() {
 
     let mut marks = SparseMarks::new(9);
     let ins = semi_insert(&mut d1, &mut s1, &mut marks, 4, 6).unwrap();
-    assert_eq!(ins.node_computations, 12, "Example 5.2: 12 node computations");
+    assert_eq!(
+        ins.node_computations, 12,
+        "Example 5.2: 12 node computations"
+    );
     assert_eq!(s1.core, vec![2, 2, 2, 3, 3, 3, 3, 2, 1]);
 
     // SemiInsert* path (Example 5.3).
@@ -121,5 +124,8 @@ fn theorem_4_2_memory_is_linear_in_nodes() {
     let b = semicore::semicore(&mut dense.clone(), &opts).unwrap();
     // Same n -> same asymptotic state; allow scratch-buffer slack.
     let ratio = b.stats.peak_memory_bytes as f64 / a.stats.peak_memory_bytes as f64;
-    assert!(ratio < 1.5, "memory should not scale with m (ratio {ratio})");
+    assert!(
+        ratio < 1.5,
+        "memory should not scale with m (ratio {ratio})"
+    );
 }

@@ -9,10 +9,9 @@ use graphstore::{
 use proptest::prelude::*;
 
 fn arb_edges() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
-    (2u32..150, 0usize..500)
-        .prop_flat_map(|(n, m)| {
-            proptest::collection::vec((0..n, 0..n), m).prop_map(move |e| (n, e))
-        })
+    (2u32..150, 0usize..500).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |e| (n, e))
+    })
 }
 
 proptest! {
