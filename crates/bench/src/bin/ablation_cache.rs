@@ -16,29 +16,9 @@
 
 use std::io::Write as _;
 
-use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, DEFAULT_BLOCK_SIZE};
-use kcore_bench::harness::{fmt_bytes, fmt_count, fmt_secs, Args, Table};
+use graphstore::{mem_to_disk, DiskGraph, IoCounter, DEFAULT_BLOCK_SIZE};
+use kcore_bench::harness::{fmt_bytes, fmt_count, fmt_secs, graph_standin, Args, Table};
 use semicore::DecomposeOptions;
-
-/// Deterministic ablation workload: `family` graph targeting `edges` edges
-/// at average density `m/n ≈ density`.
-pub fn graph_standin(family: &str, edges: u64, density: u64) -> MemGraph {
-    let density = density.max(2);
-    match family {
-        "ba" => {
-            let n = (edges / density).max(64) as u32;
-            MemGraph::from_edges(graphgen::preferential_attachment(n, density as u32, 42), n)
-        }
-        _ => {
-            let n_target = (edges / density).max(64);
-            let scale = (64 - n_target.leading_zeros() as u64).clamp(8, 30) as u32;
-            let p = graphgen::Rmat::web(scale);
-            // Oversample: R-MAT repeats edges, normalisation dedups (heavily
-            // at high density).
-            MemGraph::from_edges(graphgen::rmat_edges(p, edges * 3, 42), p.num_nodes())
-        }
-    }
-}
 
 fn main() -> graphstore::Result<()> {
     let args = Args::parse();

@@ -4,7 +4,28 @@
 use std::collections::HashMap;
 
 use graphgen::DatasetSpec;
-use graphstore::{DiskGraph, IoCounter, Result, TempDir};
+use graphstore::{DiskGraph, IoCounter, MemGraph, Result, TempDir};
+
+/// Deterministic ablation workload shared by the `ablation_*` sweeps:
+/// a `family` ("ba" or "rmat") graph targeting `edges` edges at average
+/// density `m/n ≈ density`.
+pub fn graph_standin(family: &str, edges: u64, density: u64) -> MemGraph {
+    let density = density.max(2);
+    match family {
+        "ba" => {
+            let n = (edges / density).max(64) as u32;
+            MemGraph::from_edges(graphgen::preferential_attachment(n, density as u32, 42), n)
+        }
+        _ => {
+            let n_target = (edges / density).max(64);
+            let scale = (64 - n_target.leading_zeros() as u64).clamp(8, 30) as u32;
+            let p = graphgen::Rmat::web(scale);
+            // Oversample: R-MAT repeats edges, normalisation dedups (heavily
+            // at high density).
+            MemGraph::from_edges(graphgen::rmat_edges(p, edges * 3, 42), p.num_nodes())
+        }
+    }
+}
 
 /// Minimal `--key value` / `--flag` argument parser (no external crates).
 #[derive(Debug)]

@@ -20,6 +20,17 @@
 //! (with block-accurate I/O accounting), buffered dynamic graphs, or pure
 //! in-memory graphs.
 //!
+//! ## Scan execution (sequential or parallel)
+//!
+//! Each decomposition algorithm also comes in a `_with` form
+//! ([`semicore_with`], [`semicore_plus_with`], [`semicore_star_with`],
+//! [`semicore_star_state_with`]) taking a [`ScanExecutor`]: the sequential
+//! executor reproduces the paper's exact schedule, while
+//! [`ScanExecutor::Parallel`] shards every convergence pass across a worker
+//! pool reading through [`graphstore::ShardableRead`] handles — final core
+//! numbers are bit-identical, wall-clock drops with cores. See
+//! [`executor`] for the determinism and charged-I/O guarantees.
+//!
 //! ## Maintenance (§V)
 //!
 //! [`semi_delete_star`] (Alg. 6), [`semi_insert`] (Alg. 7) and
@@ -41,11 +52,12 @@
 //! assert_eq!(d.stats.io.write_ios, 0); // read-only, unlike EMCore
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod bits;
 pub mod emcore;
+pub mod executor;
 pub mod fixtures;
 pub mod imcore;
 pub mod localcore;
@@ -59,15 +71,18 @@ pub mod verify;
 pub mod window;
 
 pub use emcore::{emcore, EmCoreOptions};
+pub use executor::ScanExecutor;
 pub use imcore::imcore;
 pub use maintain::delete::semi_delete_star;
 pub use maintain::inmem::InMemoryCores;
 pub use maintain::insert::semi_insert;
 pub use maintain::insert_star::semi_insert_star;
 pub use maintain::{MaintainStats, SparseMarks};
-pub use semicore::semicore;
-pub use semicore_plus::semicore_plus;
-pub use semicore_star::{semicore_star, semicore_star_state};
+pub use semicore::{semicore, semicore_with};
+pub use semicore_plus::{semicore_plus, semicore_plus_with};
+pub use semicore_star::{
+    semicore_star, semicore_star_state, semicore_star_state_with, semicore_star_with,
+};
 pub use state::CoreState;
 pub use stats::{DecomposeOptions, Decomposition, RunStats};
 pub use verify::{find_violations, verify_cores, verify_exact, Violation};

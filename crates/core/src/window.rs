@@ -69,13 +69,24 @@ impl ScanWindow {
             self.vmax = u;
         }
         if u < v {
-            self.update = true;
-            if u < self.next_min {
-                self.next_min = u;
-            }
-            if u > self.next_max {
-                self.next_max = u;
-            }
+            self.schedule_next(u);
+        }
+    }
+
+    /// Schedule `u` for the *next* iteration unconditionally.
+    ///
+    /// The parallel scan executor's merge path: sharded passes have no
+    /// in-pass propagation (a pass computes from a frozen snapshot), so
+    /// every implicated node — forward or backward of the node that
+    /// implicated it — waits for the next pass.
+    #[inline]
+    pub fn schedule_next(&mut self, u: u32) {
+        self.update = true;
+        if u < self.next_min {
+            self.next_min = u;
+        }
+        if u > self.next_max {
+            self.next_max = u;
         }
     }
 

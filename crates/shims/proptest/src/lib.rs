@@ -189,7 +189,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`]: an exact count or a
+    /// Number-of-elements specification for [`vec()`]: an exact count or a
     /// half-open range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {

@@ -41,13 +41,24 @@
 //!   [`DiskGraph`](crate::DiskGraph), whose workloads are exactly those
 //!   convergence scans.
 //!
-//! The pool is wrapped in `Arc<Mutex<..>>` by its users; contention is nil
-//! today (single-threaded algorithms) and the lock keeps cached graph
-//! handles `Send` for the planned parallel scans. Note for that future
-//! work: readers currently hold the pool lock across the physical fetch of
-//! a missed block, which would serialize concurrent scans on disk latency —
-//! fetch-outside-lock (or per-frame latches) should land together with the
-//! first multi-threaded reader.
+//! ## Concurrency
+//!
+//! The pool is wrapped in `Arc<Mutex<..>>` by its users and is shared by
+//! every reader of one graph — including the per-worker shard handles the
+//! parallel scan executor opens (see
+//! [`DiskGraph::try_clone`](crate::DiskGraph::try_clone)). Frame contents
+//! are handed out as [`Arc`] clones, so the pool lock protects only the
+//! lookup/eviction bookkeeping: decoding and visiting a block's bytes
+//! happens entirely *outside* the lock, which is what lets concurrent
+//! workers make progress on cache hits. An evicted frame's bytes stay alive
+//! until the last in-flight reader drops its handle (resident memory can
+//! transiently exceed the budget by one block per concurrent reader).
+//!
+//! A missed block is still fetched while the lock is held, serializing
+//! concurrent *cold* fetches — a faithful model of the single disk
+//! underneath, and the reason the charged miss count stays deterministic:
+//! each distinct block misses exactly once per residency, no matter how
+//! many workers race for it.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -73,10 +84,14 @@ pub enum EvictionPolicy {
 }
 
 /// One `B`-sized frame (the tail block of a file may be shorter).
+///
+/// `data` is `Arc`-shared with in-flight readers so block bytes can be
+/// visited outside the pool lock; eviction swaps the `Arc` rather than
+/// mutating through it.
 #[derive(Debug)]
 struct Frame {
     key: Option<BlockKey>,
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
     /// Re-referenced since load (ScanLifo protection bit; streak hits on the
     /// pinned frame do not count — see `get_or_load`).
     referenced: bool,
@@ -86,6 +101,13 @@ struct Frame {
 }
 
 /// Hit/miss/eviction counters of one pool.
+///
+/// Counts *pool lookups* only: streak re-reads of a reader's current block
+/// are served from that reader's frame memo (see
+/// [`BlockReader`](crate::io::BlockReader)) and never reach the pool, so
+/// `hits` measures block-transition reuse, not raw request volume. Charged
+/// I/O is unaffected either way (memo traffic and pool hits both charge
+/// nothing).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Block requests served from a resident frame (not charged).
@@ -219,15 +241,20 @@ impl BlockCache {
     }
 
     /// Look up `(file, block)`; on miss, fill a frame of `len` bytes via
-    /// `load` and insert it. Returns the frame's bytes and whether a miss
-    /// occurred (the caller charges one read I/O per miss).
+    /// `load` and insert it. Returns a shared handle to the frame's bytes
+    /// and whether a miss occurred (the caller charges one read I/O per
+    /// miss).
+    ///
+    /// The returned [`Arc`] stays valid after the pool lock is released —
+    /// callers should drop the lock *before* decoding or visiting the
+    /// bytes, so concurrent readers only serialize on the bookkeeping.
     pub fn get_or_load(
         &mut self,
         file: u32,
         block: u64,
         len: usize,
         load: impl FnOnce(&mut [u8]) -> Result<()>,
-    ) -> Result<(&[u8], bool)> {
+    ) -> Result<(Arc<Vec<u8>>, bool)> {
         debug_assert!(len <= self.block_size);
         if let Some(&idx) = self.map.get(&(file, block)) {
             self.stats.hits += 1;
@@ -250,17 +277,25 @@ impl BlockCache {
                     }
                 }
             }
-            return Ok((&self.frames[idx].data, false));
+            return Ok((Arc::clone(&self.frames[idx].data), false));
         }
         self.stats.misses += 1;
         let idx = self.grab_frame(file);
-        let frame = &mut self.frames[idx];
-        frame.data.resize(len, 0);
-        if let Err(e) = load(&mut frame.data) {
+        // Reuse the frame's buffer when no reader still holds it; otherwise
+        // the old bytes belong to an in-flight visit and a fresh allocation
+        // takes their place (never `make_mut`: that would memcpy doomed
+        // bytes only for `load` to overwrite every one of them).
+        if Arc::get_mut(&mut self.frames[idx].data).is_none() {
+            self.frames[idx].data = Arc::new(Vec::with_capacity(len));
+        }
+        let buf = Arc::get_mut(&mut self.frames[idx].data).expect("frame buffer uniquely owned");
+        buf.resize(len, 0);
+        if let Err(e) = load(buf) {
             // The frame holds no valid block; recycle it first next time.
             self.free.push(idx);
             return Err(e);
         }
+        let frame = &mut self.frames[idx];
         frame.key = Some((file, block));
         // Inserted with the reference bit clear: a block must be revisited
         // to earn protection, which keeps one-shot scan traffic from
@@ -274,7 +309,7 @@ impl BlockCache {
                 self.cold_stack.push(idx);
             }
         }
-        Ok((&self.frames[idx].data, true))
+        Ok((Arc::clone(&self.frames[idx].data), true))
     }
 
     /// Drop every frame belonging to `file` (its backing file was replaced).
@@ -308,8 +343,12 @@ impl BlockCache {
         let frame = &mut self.frames[idx];
         frame.key = None;
         frame.referenced = false;
-        // Length drives resident_bytes(); capacity is kept for reuse.
-        frame.data.clear();
+        // Length drives resident_bytes(). In-flight readers sharing the Arc
+        // keep the old bytes alive; the pool's view becomes empty either way.
+        match Arc::get_mut(&mut frame.data) {
+            Some(buf) => buf.clear(),
+            None => frame.data = Arc::new(Vec::new()),
+        }
         self.free.push(idx);
     }
 
@@ -331,7 +370,7 @@ impl BlockCache {
         if self.frames.len() < self.max_frames {
             self.frames.push(Frame {
                 key: None,
-                data: Vec::with_capacity(self.block_size),
+                data: Arc::new(Vec::with_capacity(self.block_size)),
                 referenced: false,
                 prev: NONE,
                 next: NONE,
@@ -480,7 +519,11 @@ mod tests {
             assert!(!fill_with(&mut c, 0, 7, 0xCD));
             let (data, miss) = c.get_or_load(0, 7, 4, |_| unreachable!()).unwrap();
             assert!(!miss);
-            assert_eq!(data, &[0xAB; 4], "hit returns the originally loaded bytes");
+            assert_eq!(
+                data.as_slice(),
+                &[0xAB; 4],
+                "hit returns the originally loaded bytes"
+            );
             assert_eq!(c.stats().hits, 2);
             assert_eq!(c.stats().misses, 1);
         }
@@ -492,9 +535,9 @@ mod tests {
             fill_with(&mut c, 0, 1, 1);
             fill_with(&mut c, 1, 1, 2);
             let (a, _) = c.get_or_load(0, 1, 4, |_| unreachable!()).unwrap();
-            assert_eq!(a, &[1; 4]);
+            assert_eq!(a.as_slice(), &[1; 4]);
             let (b, _) = c.get_or_load(1, 1, 4, |_| unreachable!()).unwrap();
-            assert_eq!(b, &[2; 4]);
+            assert_eq!(b.as_slice(), &[2; 4]);
         }
     }
 
@@ -574,6 +617,21 @@ mod tests {
             assert_eq!(c.resident_frames(), 0);
             assert!(fill_with(&mut c, 0, 0, 5), "same block fetches again");
         }
+    }
+
+    #[test]
+    fn handed_out_bytes_survive_eviction() {
+        // The visit-outside-lock contract: a reader holding a frame handle
+        // keeps the original bytes even after the pool evicts and refills
+        // the frame underneath it.
+        let mut c = lru(2);
+        fill_with(&mut c, 0, 0, 7);
+        let (held, _) = c.get_or_load(0, 0, 4, |_| unreachable!()).unwrap();
+        for blk in 1..5 {
+            fill_with(&mut c, 0, blk, blk as u8);
+        }
+        assert!(fill_with(&mut c, 0, 0, 9), "block 0 was evicted");
+        assert_eq!(held.as_slice(), &[7; 4], "in-flight handle kept its bytes");
     }
 
     #[test]

@@ -53,6 +53,25 @@ impl DiskGraph {
     /// A budget below one frame per table (two blocks) behaves exactly like
     /// [`DiskGraph::open`] — zero remains the semantics-preserving default
     /// everywhere else in the crate.
+    ///
+    /// ```
+    /// use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, TempDir};
+    ///
+    /// let dir = TempDir::new("doc").unwrap();
+    /// let g = MemGraph::from_edges([(0, 1), (1, 2), (0, 2)], 3);
+    /// mem_to_disk(&dir.path().join("g"), &g, IoCounter::new(4096)).unwrap();
+    ///
+    /// // Attach a 1 MiB buffer pool: re-reads of resident blocks are free.
+    /// let counter = IoCounter::new(4096);
+    /// let mut disk =
+    ///     DiskGraph::open_with_cache(&dir.path().join("g"), counter, 1 << 20).unwrap();
+    /// let mut nbrs = Vec::new();
+    /// disk.adjacency(1, &mut nbrs).unwrap();
+    /// let cold = disk.io().read_ios;
+    /// disk.adjacency(0, &mut nbrs).unwrap(); // resident: charges nothing
+    /// disk.adjacency(2, &mut nbrs).unwrap();
+    /// assert_eq!(disk.io().read_ios, cold);
+    /// ```
     pub fn open_with_cache(
         base: &Path,
         counter: Arc<IoCounter>,
@@ -136,6 +155,31 @@ impl DiskGraph {
                 BlockReader::new(node_file, counter.clone())?,
                 BlockReader::new(edge_file, counter.clone())?,
             ),
+        })
+    }
+
+    /// Open an additional read handle over the same file pair, sharing this
+    /// handle's [`IoCounter`] and (when attached) block-cache pool.
+    ///
+    /// This is what the parallel scan executor hands each worker thread:
+    /// every handle owns its own O(1) reader state (read-ahead window,
+    /// decode scratch) so scans proceed concurrently, while charged I/O
+    /// accumulates in the one shared counter and fetched blocks land in the
+    /// one shared pool — a block fetched by any worker is a free hit for
+    /// all of them. Unlike [`DiskGraph::open`], cloning does **not** reset
+    /// the counter or the cache statistics: the clone joins the measurement
+    /// in progress.
+    pub fn try_clone(&self) -> Result<DiskGraph> {
+        let (node_reader, edge_reader) =
+            Self::open_readers(&self.paths, &self.counter, &self.cache)?;
+        Ok(DiskGraph {
+            paths: self.paths.clone(),
+            meta: self.meta,
+            counter: self.counter.clone(),
+            node_reader,
+            edge_reader,
+            cache: self.cache.clone(),
+            adj_scratch: Vec::new(),
         })
     }
 
@@ -241,44 +285,29 @@ impl DiskGraph {
     /// When the run sits inside a single resident cache frame (and the
     /// platform is little-endian, matching the on-disk encoding) the slice
     /// is decoded **in place from the frame** — no bytes are copied at all.
-    /// Otherwise the run is decoded into an internal scratch buffer that is
-    /// reused across calls. Charged identically to [`DiskGraph::adjacency`].
+    /// The frame handle is taken with the pool lock released before `f`
+    /// runs, so parallel shard scans (see [`DiskGraph::try_clone`]) never
+    /// serialize on each other's visit closures. Otherwise the run is
+    /// decoded into an internal scratch buffer that is reused across calls.
+    /// Charged identically to [`DiskGraph::adjacency`].
     pub fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
         let (offset, degree) = self.node_entry(v)?;
         if degree == 0 {
             return Ok(f(&[]));
         }
-        let n = self.meta.num_nodes;
         let len_bytes = degree as usize * 4;
-        // Scratch is moved out for the duration so the visit closure and the
-        // reader can borrow disjointly; restored on every path. `f` travels
-        // in an Option because the fast path consumes it only when it runs.
-        let mut scratch = std::mem::take(&mut self.adj_scratch);
-        let mut f = Some(f);
-        let fast = {
-            let scratch = &mut scratch;
-            let f = &mut f;
-            self.edge_reader
-                .with_cached_run(offset, len_bytes, |bytes| {
-                    let run = borrow_or_decode(bytes, scratch);
-                    validate_run(v, n, run)?;
-                    Ok((f.take().expect("fast path visits once"))(run))
-                })
-        };
-        let out = match fast {
-            Ok(Some(r)) => Ok(r),
-            Err(e) => Err(e),
-            Ok(None) => {
-                // Uncached reader or multi-block run: decode a copy.
-                scratch.clear();
-                scratch.resize(degree as usize, 0);
-                read_u32_run(&mut self.edge_reader, offset, &mut scratch)
-                    .and_then(|()| validate_run(v, n, &scratch))
-                    .map(|()| (f.take().expect("fallback visits once"))(&scratch))
-            }
-        };
-        self.adj_scratch = scratch;
-        out
+        if let Some((frame, from)) = self.edge_reader.cached_run(offset, len_bytes)? {
+            let run = borrow_or_decode(&frame[from..from + len_bytes], &mut self.adj_scratch);
+            validate_run(v, self.meta.num_nodes, run)?;
+            return Ok(f(run));
+        }
+        // Uncached reader or multi-block run: decode a copy.
+        let n = self.meta.num_nodes;
+        self.adj_scratch.clear();
+        self.adj_scratch.resize(degree as usize, 0);
+        read_u32_run(&mut self.edge_reader, offset, &mut self.adj_scratch)?;
+        validate_run(v, n, &self.adj_scratch)?;
+        Ok(f(&self.adj_scratch))
     }
 
     /// Read all degrees with one sequential node-table scan (charged).

@@ -162,6 +162,14 @@ pub struct BlockReader {
     prev_end: u64,
     /// Shared frame pool plus this reader's file id within it.
     cache: Option<(Arc<Mutex<BlockCache>>, u32)>,
+    /// The last frame fetched from the pool (cached mode): streak requests
+    /// into the same block are served from this handle without taking the
+    /// pool lock — the cached-mode analogue of the uncached reader's
+    /// current-block freebie, and what keeps concurrent shard scans off the
+    /// lock between block transitions. Charges nothing (the block was
+    /// already paid for when fetched); safe because graph files are
+    /// immutable while open ([`BlockReader::invalidate`] clears it).
+    memo: Option<(u64, Arc<Vec<u8>>)>,
 }
 
 impl BlockReader {
@@ -177,6 +185,7 @@ impl BlockReader {
             last_block: None,
             prev_end: 0,
             cache: None,
+            memo: None,
         })
     }
 
@@ -277,6 +286,38 @@ impl BlockReader {
         Ok(())
     }
 
+    /// Fetch one block through the shared cache, charging a read I/O on
+    /// miss. The pool lock is held only for the lookup (and, on miss, the
+    /// fill); the returned [`Arc`] lets the caller use the bytes after the
+    /// lock is gone. Streak requests into the reader's current block are
+    /// served from the memo without touching the pool at all.
+    fn fetch_block(&mut self, block: u64) -> Result<Arc<Vec<u8>>> {
+        if let Some((b, data)) = &self.memo {
+            if *b == block {
+                return Ok(Arc::clone(data));
+            }
+        }
+        let b = self.counter.block_size() as u64;
+        let block_start = block * b;
+        let block_len = b.min(self.file_len - block_start) as usize;
+        let (pool, file_id) = self.cache.as_ref().expect("cached mode");
+        let window = &mut self.window;
+        let window_start = &mut self.window_start;
+        let file = &mut self.file;
+        let file_len = self.file_len;
+        let (data, missed) = {
+            let mut cache = pool.lock().expect("block cache poisoned");
+            cache.get_or_load(*file_id, block, block_len, |buf| {
+                fill_from_window(window, window_start, file, file_len, b, block_start, buf)
+            })?
+        };
+        if missed {
+            self.counter.charge_read(1, 0);
+        }
+        self.memo = Some((block, Arc::clone(&data)));
+        Ok(data)
+    }
+
     /// Serve a validated `[offset, end)` read through the shared cache,
     /// charging one read I/O per block that was not already resident.
     ///
@@ -291,24 +332,12 @@ impl BlockReader {
         }
         self.prev_end = end;
         let b = self.counter.block_size() as u64;
-        let (pool, file_id) = self.cache.as_ref().expect("cached mode");
-        let mut cache = pool.lock().expect("block cache poisoned");
-        let window = &mut self.window;
-        let window_start = &mut self.window_start;
-        let file = &mut self.file;
-        let file_len = self.file_len;
         let mut copied = 0usize;
         for block in (offset / b)..=((end - 1) / b) {
             let block_start = block * b;
-            let block_len = b.min(file_len - block_start) as usize;
-            let (data, missed) = cache.get_or_load(*file_id, block, block_len, |buf| {
-                fill_from_window(window, window_start, file, file_len, b, block_start, buf)
-            })?;
-            if missed {
-                self.counter.charge_read(1, 0);
-            }
+            let data = self.fetch_block(block)?;
             let from = offset.max(block_start) - block_start;
-            let to = end.min(block_start + block_len as u64) - block_start;
+            let to = end.min(block_start + data.len() as u64) - block_start;
             let take = (to - from) as usize;
             out[copied..copied + take].copy_from_slice(&data[from as usize..to as usize]);
             copied += take;
@@ -320,20 +349,20 @@ impl BlockReader {
 
     /// When this reader is cached and `[offset, offset + len)` lies inside a
     /// single block, ensure the block is resident (charging a miss if not)
-    /// and invoke `f` on the raw frame bytes of the range — the zero-copy
-    /// fast path for adjacency runs. Returns `Ok(None)` without calling `f`
-    /// when the fast path does not apply (uncached reader or multi-block
-    /// range); the caller must then fall back to [`BlockReader::read_exact_at`].
-    pub(crate) fn with_cached_run<R>(
+    /// and return a shared handle to the frame plus the range's offset
+    /// within it — the zero-copy fast path for adjacency runs. The bytes are
+    /// decoded and visited by the caller *after* the pool lock is released,
+    /// so concurrent shard scans never serialize on each other's compute.
+    ///
+    /// Returns `Ok(None)` when the fast path does not apply (uncached
+    /// reader, empty range, or multi-block range); the caller must then
+    /// fall back to [`BlockReader::read_exact_at`].
+    pub(crate) fn cached_run(
         &mut self,
         offset: u64,
         len: usize,
-        f: impl FnOnce(&[u8]) -> Result<R>,
-    ) -> Result<Option<R>> {
-        let Some((pool, file_id)) = self.cache.as_ref() else {
-            return Ok(None);
-        };
-        if len == 0 {
+    ) -> Result<Option<(Arc<Vec<u8>>, usize)>> {
+        if self.cache.is_none() || len == 0 {
             return Ok(None);
         }
         let end = self.check_range(offset, len)?;
@@ -346,22 +375,10 @@ impl BlockReader {
             self.counter.charge_seek();
         }
         self.prev_end = end;
-        let block_start = block * b;
-        let block_len = b.min(self.file_len - block_start) as usize;
-        let mut cache = pool.lock().expect("block cache poisoned");
-        let window = &mut self.window;
-        let window_start = &mut self.window_start;
-        let file = &mut self.file;
-        let file_len = self.file_len;
-        let (data, missed) = cache.get_or_load(*file_id, block, block_len, |buf| {
-            fill_from_window(window, window_start, file, file_len, b, block_start, buf)
-        })?;
-        if missed {
-            self.counter.charge_read(1, 0);
-        }
+        let data = self.fetch_block(block)?;
         self.counter.charge_read(0, len as u64);
-        let from = (offset - block_start) as usize;
-        f(&data[from..from + len]).map(Some)
+        let from = (offset - block * b) as usize;
+        Ok(Some((data, from)))
     }
 
     /// Physically read a block-aligned window covering `pos`.
@@ -388,6 +405,7 @@ impl BlockReader {
         self.window.clear();
         self.last_block = None;
         self.prev_end = u64::MAX;
+        self.memo = None;
         if let Some((pool, file_id)) = self.cache.as_ref() {
             pool.lock()
                 .expect("block cache poisoned")

@@ -30,7 +30,7 @@
 //! assert!(disk.io().read_ios >= 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod access;
 pub mod builder;
@@ -46,7 +46,7 @@ pub mod partition;
 pub mod tempdir;
 pub mod update_buffer;
 
-pub use access::{snapshot_mem, AdjacencyRead, DynamicGraph};
+pub use access::{snapshot_mem, AdjacencyRead, DynamicGraph, ShardableRead};
 pub use builder::{
     disk_to_mem, mem_to_disk, write_mem_graph, DiskGraphWriter, ExternalGraphBuilder,
 };

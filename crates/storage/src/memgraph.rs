@@ -33,12 +33,17 @@ fn normalize_edges(edges: &mut Vec<(u32, u32)>, min_nodes: u32) -> u32 {
 }
 
 /// Immutable compressed-sparse-row undirected graph.
+///
+/// The CSR arrays are `Arc`-shared: `Clone` is O(1) and clones alias the
+/// same adjacency data, which is what makes
+/// [`ShardableRead`](crate::access::ShardableRead) handles for in-memory
+/// graphs free no matter the worker count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemGraph {
     /// `offsets[v]..offsets[v+1]` indexes `nbrs` for node `v`. Length `n + 1`.
-    offsets: Vec<u64>,
+    offsets: std::sync::Arc<Vec<u64>>,
     /// Concatenated sorted neighbour lists.
-    nbrs: Vec<u32>,
+    nbrs: std::sync::Arc<Vec<u32>>,
 }
 
 impl MemGraph {
@@ -57,7 +62,10 @@ impl MemGraph {
             offsets[i + 1] += offsets[i];
         }
         let nbrs = list.into_iter().map(|(_, v)| v).collect();
-        MemGraph { offsets, nbrs }
+        MemGraph {
+            offsets: std::sync::Arc::new(offsets),
+            nbrs: std::sync::Arc::new(nbrs),
+        }
     }
 
     /// Build directly from per-node sorted adjacency lists.
@@ -76,7 +84,10 @@ impl MemGraph {
         for list in adj {
             nbrs.extend(list);
         }
-        MemGraph { offsets, nbrs }
+        MemGraph {
+            offsets: std::sync::Arc::new(offsets),
+            nbrs: std::sync::Arc::new(nbrs),
+        }
     }
 
     /// Number of nodes `n`.

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Run the Criterion micro-benchmark suites and the cache-budget ablation,
+# Run the Criterion micro-benchmark suites and the ablation sweeps,
 # accumulating machine-readable results in BENCH_*.json (JSON lines) so the
 # perf trajectory of the repo builds up run over run.
+#
+# Every target is run through `run_target`, which propagates a failing exit
+# code and names the target that failed — a broken bench must fail the run,
+# not silently skip.
 #
 # Usage: scripts/bench.sh [output-prefix]
 set -euo pipefail
@@ -12,19 +16,37 @@ prefix="${1:-BENCH}"
 # as their working directory.
 criterion_out="$(pwd)/${prefix}_criterion.json"
 cache_out="$(pwd)/${prefix}_cache.json"
+threads_out="$(pwd)/${prefix}_threads.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
+run_target() {
+    local label="$1"
+    shift
+    echo "== ${label}"
+    local code=0
+    "$@" || code=$?
+    if [ "${code}" -ne 0 ]; then
+        echo "error: bench target '${label}' failed with exit code ${code}" >&2
+        exit "${code}"
+    fi
+}
+
 echo "# bench run ${stamp} @ ${rev}" >> "${criterion_out}"
 for suite in kernels scan decomposition maintenance; do
-    echo "== ${suite}"
-    CRITERION_JSON="${criterion_out}" cargo bench -q -p kcore-bench --bench "${suite}"
+    run_target "${suite}" \
+        env CRITERION_JSON="${criterion_out}" \
+        cargo bench -q -p kcore-bench --bench "${suite}"
 done
 
-echo "== ablation_cache"
 echo "# bench run ${stamp} @ ${rev}" >> "${cache_out}"
-cargo run --release -q -p kcore-bench --bin ablation_cache -- --json "${cache_out}"
+run_target ablation_cache \
+    cargo run --release -q -p kcore-bench --bin ablation_cache -- --json "${cache_out}"
+
+echo "# bench run ${stamp} @ ${rev}" >> "${threads_out}"
+run_target ablation_threads \
+    cargo run --release -q -p kcore-bench --bin ablation_threads -- --json "${threads_out}"
 
 echo
-echo "results appended to ${criterion_out} and ${cache_out}"
+echo "results appended to ${criterion_out}, ${cache_out} and ${threads_out}"

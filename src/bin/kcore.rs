@@ -2,21 +2,26 @@
 //!
 //! ```text
 //! kcore build  <edges.txt> <graph-base>      ingest a text edge list to disk
-//! kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--out cores.txt]
+//! kcore decompose <graph-base> [--algo star|plus|basic|emcore]
+//!                 [--workers N] [--cache-mb M] [--out cores.txt]
 //! kcore query  <graph-base> --k 8            print the k-core's nodes/components
 //! kcore stats  <graph-base>                  core profile (onion levels, nucleus)
 //! ```
 //!
 //! All runs print the I/O and memory accounting the paper reports.
+//! `--workers N` (or the `SEMICORE_WORKERS` environment variable) shards the
+//! decomposition's convergence scans across `N` threads; `--cache-mb M`
+//! serves disk blocks through an `M`-MiB shared buffer pool (required for
+//! the parallel scans to pay sequential-equivalent I/O).
 
 use std::path::{Path, PathBuf};
 
 use graphstore::{edgelist, DiskGraph, IoCounter, DEFAULT_BLOCK_SIZE};
-use kcore_suite::semicore::{self, analysis, DecomposeOptions, EmCoreOptions};
+use kcore_suite::semicore::{self, analysis, DecomposeOptions, EmCoreOptions, ScanExecutor};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>"
+        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>"
     );
     std::process::exit(2)
 }
@@ -31,14 +36,31 @@ fn open(base: &Path) -> graphstore::Result<DiskGraph> {
     DiskGraph::open(base, IoCounter::new(DEFAULT_BLOCK_SIZE))
 }
 
+// Internal decompositions (query/stats) run uncached, where the sequential
+// schedule is the right configuration regardless of SEMICORE_WORKERS — the
+// parallel path wants a cache budget so shard handles share fetched blocks.
 fn decompose(base: &Path, algo: &str) -> graphstore::Result<semicore::Decomposition> {
-    let mut g = open(base)?;
+    decompose_with(base, algo, ScanExecutor::Sequential, 0)
+}
+
+fn decompose_with(
+    base: &Path,
+    algo: &str,
+    exec: ScanExecutor,
+    cache_bytes: u64,
+) -> graphstore::Result<semicore::Decomposition> {
+    let mut g = DiskGraph::open_with_cache(base, IoCounter::new(DEFAULT_BLOCK_SIZE), cache_bytes)?;
     let opts = DecomposeOptions::default();
     match algo {
-        "star" => semicore::semicore_star(&mut g, &opts),
-        "plus" => semicore::semicore_plus(&mut g, &opts),
-        "basic" => semicore::semicore(&mut g, &opts),
-        "emcore" => semicore::emcore(&mut g, &EmCoreOptions::default()),
+        "star" => semicore::semicore_star_with(&mut g, &opts, exec),
+        "plus" => semicore::semicore_plus_with(&mut g, &opts, exec),
+        "basic" => semicore::semicore_with(&mut g, &opts, exec),
+        "emcore" => {
+            if exec != ScanExecutor::Sequential {
+                eprintln!("note: --workers applies to the semi-external algorithms only; EMCore runs sequentially");
+            }
+            semicore::emcore(&mut g, &EmCoreOptions::default())
+        }
         other => {
             eprintln!("unknown algorithm {other:?} (expected star|plus|basic|emcore)");
             std::process::exit(2)
@@ -67,7 +89,18 @@ fn main() -> graphstore::Result<()> {
         "decompose" => {
             let Some(base) = args.get(1) else { usage() };
             let algo = arg_value(&args, "--algo").unwrap_or_else(|| "star".into());
-            let d = decompose(Path::new(base), &algo)?;
+            let exec = match arg_value(&args, "--workers").map(|w| w.parse::<usize>()) {
+                Some(Ok(w)) if w >= 2 => ScanExecutor::parallel(w),
+                Some(Ok(_)) => ScanExecutor::Sequential,
+                Some(Err(_)) => usage(),
+                None => ScanExecutor::from_env(),
+            };
+            let cache_bytes = match arg_value(&args, "--cache-mb").map(|m| m.parse::<u64>()) {
+                Some(Ok(mb)) => mb << 20,
+                Some(Err(_)) => usage(),
+                None => 0,
+            };
+            let d = decompose_with(Path::new(base), &algo, exec, cache_bytes)?;
             let s = &d.stats;
             println!(
                 "{}: kmax = {}, {} iterations, {} node computations",

@@ -1,0 +1,198 @@
+//! Sequential-vs-parallel executor equivalence over disk-resident graphs.
+//!
+//! The contract under test (see `semicore::executor`):
+//!
+//! * **Core numbers are bit-identical** between the sequential schedule and
+//!   the parallel executor at any worker count, on any backend.
+//! * **Charged `read_ios` is identical** when the shared block cache
+//!   absorbs the algorithm's re-read working set: misses then count
+//!   *distinct blocks touched*, a schedule-independent quantity, so the
+//!   sharded run charges exactly what the sequential run does.
+//! * The shared pool itself is safe under concurrent hammering from many
+//!   reader handles (the stress test at the bottom).
+
+use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
+use semicore::{
+    semicore_plus_with, semicore_star_state_with, semicore_star_with, semicore_with,
+    DecomposeOptions, ScanExecutor,
+};
+
+/// Worker counts under test: 1/2/4 always, plus whatever `SEMICORE_WORKERS`
+/// asks for (the CI knob that re-runs the suite at another width).
+fn worker_counts() -> Vec<usize> {
+    let mut counts = vec![1usize, 2, 4];
+    if let Some(w) = std::env::var("SEMICORE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if w >= 1 && !counts.contains(&w) {
+            counts.push(w);
+        }
+    }
+    counts
+}
+
+/// The three generator-family fixtures the bench suite uses, at test size.
+fn fixtures() -> Vec<(&'static str, MemGraph)> {
+    let er = MemGraph::from_edges(graphgen::gnm(600, 2400, 11), 600);
+    let ba = MemGraph::from_edges(graphgen::preferential_attachment(500, 4, 22), 500);
+    let rmat_params = graphgen::Rmat::web(9);
+    let rmat = MemGraph::from_edges(
+        graphgen::rmat_edges(rmat_params, 3000, 33),
+        rmat_params.num_nodes(),
+    );
+    vec![("ER", er), ("BA", ba), ("RMAT", rmat)]
+}
+
+/// Write `g` to disk and open it with a budget covering the whole graph —
+/// the regime in which charged I/O is schedule-independent.
+fn on_disk_full_budget(g: &MemGraph, dir: &TempDir, tag: &str) -> DiskGraph {
+    let base = dir.path().join(tag);
+    let disk = mem_to_disk(&base, g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    // Headroom of a few frames over the byte total: each table rounds up to
+    // whole blocks, and a pool one frame short of the working set would
+    // evict — making charged misses schedule-dependent again.
+    let budget = disk.meta().node_file_len() + disk.meta().edge_file_len();
+    drop(disk);
+    DiskGraph::open_with_cache(
+        &base,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        budget + 4 * DEFAULT_BLOCK_SIZE as u64,
+    )
+    .unwrap()
+}
+
+#[test]
+fn all_algorithms_all_families_all_worker_counts() {
+    let dir = TempDir::new("pareq").unwrap();
+    let opts = DecomposeOptions::default();
+    type Algo = (
+        &'static str,
+        fn(&mut DiskGraph, &DecomposeOptions, ScanExecutor) -> graphstore::Result<Vec<u32>>,
+    );
+    let algos: Vec<Algo> = vec![
+        ("semicore", |g, o, e| Ok(semicore_with(g, o, e)?.core)),
+        ("semicore+", |g, o, e| Ok(semicore_plus_with(g, o, e)?.core)),
+        ("semicore*", |g, o, e| Ok(semicore_star_with(g, o, e)?.core)),
+    ];
+
+    for (family, g) in fixtures() {
+        for (name, run) in &algos {
+            let mut seq_disk = on_disk_full_budget(&g, &dir, &format!("{family}-{name}-seq"));
+            let seq_core = run(&mut seq_disk, &opts, ScanExecutor::Sequential).unwrap();
+            let seq_reads = seq_disk.io().read_ios;
+            assert!(seq_reads > 0, "{family}/{name}: disk run must charge I/O");
+
+            for workers in worker_counts() {
+                let tag = format!("{family}-{name}-w{workers}");
+                let mut par_disk = on_disk_full_budget(&g, &dir, &tag);
+                let par_core = run(&mut par_disk, &opts, ScanExecutor::parallel(workers)).unwrap();
+                let par_reads = par_disk.io().read_ios;
+                assert_eq!(seq_core, par_core, "{family}/{name}/w{workers}: cores");
+                assert_eq!(
+                    seq_reads, par_reads,
+                    "{family}/{name}/w{workers}: charged read_ios"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_star_state_satisfies_cnt_invariant_on_disk() {
+    let dir = TempDir::new("parcnt").unwrap();
+    for (family, g) in fixtures() {
+        let mut disk = on_disk_full_budget(&g, &dir, family);
+        let (state, stats) = semicore_star_state_with(
+            &mut disk,
+            &DecomposeOptions::default(),
+            ScanExecutor::parallel(4),
+        )
+        .unwrap();
+        assert_eq!(
+            state.check_cnt_invariant(&mut disk).unwrap(),
+            None,
+            "{family}: Eq. 2 invariant"
+        );
+        assert_eq!(
+            stats.io.write_ios, 0,
+            "{family}: decomposition is read-only"
+        );
+    }
+}
+
+#[test]
+fn parallel_runs_are_read_only_and_deterministic_across_repeats() {
+    // Re-running the same parallel decomposition must reproduce the same
+    // iteration structure and charged I/O (thread timing must not leak in).
+    let dir = TempDir::new("parrep").unwrap();
+    let g = MemGraph::from_edges(graphgen::gnm(400, 1600, 77), 400);
+    let mut reference: Option<(Vec<u32>, u64, u64)> = None;
+    for rep in 0..3 {
+        let mut disk = on_disk_full_budget(&g, &dir, &format!("rep{rep}"));
+        let d = semicore_star_with(
+            &mut disk,
+            &DecomposeOptions::default(),
+            ScanExecutor::parallel(4),
+        )
+        .unwrap();
+        assert_eq!(d.stats.io.write_ios, 0);
+        let obs = (d.core, d.stats.iterations, d.stats.io.read_ios);
+        match &reference {
+            None => reference = Some(obs),
+            Some(r) => assert_eq!(r, &obs, "repeat {rep} diverged"),
+        }
+    }
+}
+
+/// Stress the shared block cache from many threads at once: every handle
+/// hammers random adjacency lists of the same cached graph under a budget
+/// far smaller than the graph, forcing constant eviction and refill races.
+/// Every read must still deliver exactly the right bytes.
+#[test]
+fn concurrent_cache_access_stress() {
+    let n = 3000u32;
+    let g = MemGraph::from_edges(graphgen::preferential_attachment(n, 6, 99), n);
+    let dir = TempDir::new("stress").unwrap();
+    let base = dir.path().join("g");
+    // Small blocks so the graph spans many frames; budget of 8 blocks so
+    // the pool thrashes.
+    let block = 512usize;
+    mem_to_disk(&base, &g, IoCounter::new(block)).unwrap();
+    let root = DiskGraph::open_with_cache(&base, IoCounter::new(block), 8 * block as u64).unwrap();
+
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let mut h = root.try_clone().unwrap();
+            let expect = &g;
+            s.spawn(move || {
+                let mut state = 0x5EED ^ t;
+                let mut next = move || {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 33) as u32
+                };
+                for _ in 0..4000 {
+                    let v = next() % n;
+                    h.with_adjacency(v, |nbrs| {
+                        assert_eq!(nbrs, expect.neighbors(v), "node {v} bytes corrupted");
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = root.cache_stats().unwrap();
+    assert!(
+        stats.misses > 0 && stats.evictions > 0,
+        "stress must thrash"
+    );
+    // The pool itself stayed within its 8-frame budget (in-flight readers
+    // may briefly keep evicted bytes alive, but never as pool residents).
+    assert!(
+        root.cache_resident_keys().len() <= 8,
+        "pool exceeded its frame budget"
+    );
+}
