@@ -105,18 +105,9 @@ mod tests {
 
     #[test]
     fn deletion_matches_scratch_recomputation_on_random_graphs() {
-        let mut seed = 13u64;
-        let mut next = || {
-            seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (seed >> 33) as u32
-        };
+        let mut rng = testutil::Lcg::new(13);
         for _ in 0..20 {
-            let n = 3 + next() % 50;
-            let m = n + next() % (3 * n);
-            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
-            let g = MemGraph::from_edges(edges, n);
+            let g = testutil::random_mem_graph(&mut rng, 3, 50, 3);
             if g.num_edges() == 0 {
                 continue;
             }
@@ -127,7 +118,7 @@ mod tests {
                 if all.is_empty() {
                     break;
                 }
-                let (a, b) = all[(next() as usize) % all.len()];
+                let (a, b) = all[rng.next_u32() as usize % all.len()];
                 semi_delete_star(&mut dynamic, &mut state, a, b).unwrap();
                 let oracle = imcore(&dynamic.to_mem());
                 assert_eq!(state.core, oracle.core);

@@ -100,20 +100,13 @@ mod tests {
 
     #[test]
     fn random_stream_matches_oracle() {
-        let mut seed = 5u64;
-        let mut next = || {
-            seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (seed >> 33) as u32
-        };
+        let mut rng = testutil::Lcg::new(5);
         let n = 30u32;
-        let edges: Vec<(u32, u32)> = (0..60).map(|_| (next() % n, next() % n)).collect();
-        let g = MemGraph::from_edges(edges, n);
+        let g = MemGraph::from_edges(testutil::random_edges(&mut rng, n, 60), n);
         let mut im = InMemoryCores::new(&g).unwrap();
         for _ in 0..60 {
-            let a = next() % n;
-            let b = next() % n;
+            let a = rng.below(n);
+            let b = rng.below(n);
             if a == b {
                 continue;
             }

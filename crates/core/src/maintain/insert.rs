@@ -162,23 +162,15 @@ mod tests {
 
     #[test]
     fn insertion_matches_scratch_recomputation_on_random_graphs() {
-        let mut seed = 71u64;
-        let mut next = || {
-            seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (seed >> 33) as u32
-        };
+        let mut rng = testutil::Lcg::new(71);
         for _ in 0..20 {
-            let n = 4 + next() % 50;
-            let m = n + next() % (2 * n);
-            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
-            let g = MemGraph::from_edges(edges, n);
+            let g = testutil::random_mem_graph(&mut rng, 4, 50, 2);
+            let n = g.num_nodes();
             let (mut dynamic, mut state) = decomposed(&g);
             let mut marks = SparseMarks::new(n);
             for _ in 0..6 {
-                let a = next() % n;
-                let b = next() % n;
+                let a = rng.below(n);
+                let b = rng.below(n);
                 if a == b || dynamic.has_edge(a, b) {
                     continue;
                 }

@@ -250,25 +250,17 @@ mod tests {
 
     #[test]
     fn matches_two_phase_insert_and_oracle_on_random_streams() {
-        let mut seed = 2718u64;
-        let mut next = || {
-            seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (seed >> 33) as u32
-        };
+        let mut rng = testutil::Lcg::new(2718);
         for _ in 0..20 {
-            let n = 4 + next() % 60;
-            let m = n + next() % (3 * n);
-            let edges: Vec<(u32, u32)> = (0..m).map(|_| (next() % n, next() % n)).collect();
-            let g = MemGraph::from_edges(edges, n);
+            let g = testutil::random_mem_graph(&mut rng, 4, 60, 3);
+            let n = g.num_nodes();
             let (mut dyn_a, mut state_a) = decomposed(&g);
             let (mut dyn_b, mut state_b) = decomposed(&g);
             let mut marks_a = SparseMarks::new(n);
             let mut marks_b = SparseMarks::new(n);
             for _ in 0..8 {
-                let a = next() % n;
-                let b = next() % n;
+                let a = rng.below(n);
+                let b = rng.below(n);
                 if a == b || dyn_a.has_edge(a, b) {
                     continue;
                 }
@@ -290,21 +282,14 @@ mod tests {
 
     #[test]
     fn mixed_insert_delete_stream_stays_consistent() {
-        let mut seed = 31u64;
-        let mut next = || {
-            seed = seed
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (seed >> 33) as u32
-        };
+        let mut rng = testutil::Lcg::new(31);
         let n = 40u32;
-        let edges: Vec<(u32, u32)> = (0..80).map(|_| (next() % n, next() % n)).collect();
-        let g = MemGraph::from_edges(edges, n);
+        let g = MemGraph::from_edges(testutil::random_edges(&mut rng, n, 80), n);
         let (mut dynamic, mut state) = decomposed(&g);
         let mut marks = SparseMarks::new(n);
         for step in 0..120 {
-            let a = next() % n;
-            let b = next() % n;
+            let a = rng.below(n);
+            let b = rng.below(n);
             if a == b {
                 continue;
             }

@@ -368,9 +368,12 @@ impl BlockCache {
             }
         }
         if self.frames.len() < self.max_frames {
+            // Buffers are allocated lazily by the first load's `resize`: a
+            // pool whose loads are zero-length (a charge cache — see
+            // [`crate::pool`]) then never allocates frame bytes at all.
             self.frames.push(Frame {
                 key: None,
-                data: Arc::new(Vec::with_capacity(self.block_size)),
+                data: Arc::new(Vec::new()),
                 referenced: false,
                 prev: NONE,
                 next: NONE,

@@ -7,11 +7,38 @@ use crate::cache::{BlockCache, CacheStats, EvictionPolicy};
 use crate::error::{Error, Result};
 use crate::format::{self, GraphMeta, GraphPaths};
 use crate::io::{BlockReader, IoCounter, IoSnapshot};
+use crate::pool::{PoolLease, SharedPool};
 
-/// File id of the node table within a graph's shared block cache.
+/// File id of the node table within a graph-private cache (also the node
+/// table's id inside a pooled graph's charge cache).
 const NODE_FILE: u32 = 0;
-/// File id of the edge table within a graph's shared block cache.
+/// File id of the edge table within a graph-private cache (also the edge
+/// table's id inside a pooled graph's charge cache).
 const EDGE_FILE: u32 = 1;
+
+/// How a [`DiskGraph`]'s readers attach to a frame pool.
+///
+/// Private opens ([`DiskGraph::open_with_cache`]) use a cache of their own
+/// under the fixed ids 0/1 and charge model I/O per pool miss. Pooled opens
+/// ([`DiskGraph::open_pooled`]) read through a process-wide
+/// [`SharedPool`] under leased ids, with a private deterministic *charge
+/// cache* deciding the model I/O (see [`crate::pool`] for the contract).
+#[derive(Debug, Clone)]
+struct CacheBinding {
+    /// The frame store actually serving bytes (private or process-wide).
+    pool: Arc<Mutex<BlockCache>>,
+    /// The node table's file id within `pool`.
+    node_file: u32,
+    /// The edge table's file id within `pool`.
+    edge_file: u32,
+    /// Deterministic per-graph charge cache (pooled opens only); its file
+    /// ids are always `NODE_FILE`/`EDGE_FILE`.
+    charge: Option<Arc<Mutex<BlockCache>>>,
+    /// Keeps the pool's file ids reserved; shared by every
+    /// [`DiskGraph::try_clone`] handle so the last drop invalidates the
+    /// graph's frames (pooled opens only).
+    lease: Option<Arc<PoolLease>>,
+}
 
 /// A read-only graph stored on disk as a node table + edge table pair.
 ///
@@ -27,6 +54,12 @@ const EDGE_FILE: u32 = 1;
 /// blocks are re-read for free and `read_ios` counts blocks physically
 /// fetched. With the budget at zero the behaviour (and every charged count)
 /// is identical to [`DiskGraph::open`].
+///
+/// [`DiskGraph::open_pooled`] instead serves blocks from a process-wide
+/// [`SharedPool`] arbitrating one byte budget across many graphs; charged
+/// `read_ios` then follows the graph's private deterministic charge cache
+/// while [`IoSnapshot::physical_reads`] tracks actual pool fetches (see
+/// [`crate::pool`]).
 #[derive(Debug)]
 pub struct DiskGraph {
     paths: GraphPaths,
@@ -34,8 +67,9 @@ pub struct DiskGraph {
     counter: Arc<IoCounter>,
     node_reader: BlockReader,
     edge_reader: BlockReader,
-    /// Shared frame pool when opened with a cache budget.
-    cache: Option<Arc<Mutex<BlockCache>>>,
+    /// Frame pool attachment when opened with a cache budget or against a
+    /// shared pool.
+    binding: Option<CacheBinding>,
     /// Reusable decode buffer for the borrowed-adjacency path.
     adj_scratch: Vec<u32>,
 }
@@ -89,8 +123,56 @@ impl DiskGraph {
     ) -> Result<DiskGraph> {
         // One pinned frame per table, so any attached cache dominates the
         // uncached per-reader buffers request by request.
-        let pool = BlockCache::shared(counter.block_size(), cache_bytes, 2, policy);
-        Self::open_paths_impl(GraphPaths::from_base(base), counter, pool)
+        let binding =
+            BlockCache::shared(counter.block_size(), cache_bytes, 2, policy).map(|pool| {
+                CacheBinding {
+                    pool,
+                    node_file: NODE_FILE,
+                    edge_file: EDGE_FILE,
+                    charge: None,
+                    lease: None,
+                }
+            });
+        Self::open_paths_impl(GraphPaths::from_base(base), counter, binding)
+    }
+
+    /// Open against a process-wide [`SharedPool`]: bytes are served from
+    /// the pool's globally budgeted frames (under freshly leased file ids,
+    /// freed again when the last handle of this graph drops), while charged
+    /// `read_ios` follows a private deterministic *charge cache* of
+    /// `charge_bytes` — the graph's own model budget `M`. Physical fetches
+    /// land in [`IoSnapshot::physical_reads`] and move with pool
+    /// contention; the charge does not. See [`crate::pool`] for the full
+    /// contract.
+    ///
+    /// A `charge_bytes` below two frames disables the charge cache: the
+    /// graph then charges one read I/O per shared-pool miss, which is
+    /// honest but dependent on the other graphs' traffic.
+    ///
+    /// Errors when `counter` and `pool` disagree on the block size.
+    pub fn open_pooled(
+        base: &Path,
+        counter: Arc<IoCounter>,
+        pool: &SharedPool,
+        charge_bytes: u64,
+    ) -> Result<DiskGraph> {
+        if pool.block_size() != counter.block_size() {
+            return Err(Error::InvalidArgument(format!(
+                "pool block size {} does not match counter block size {}",
+                pool.block_size(),
+                counter.block_size()
+            )));
+        }
+        let lease = pool.register(2)?;
+        let charge = BlockCache::shared(counter.block_size(), charge_bytes, 2, pool.policy());
+        let binding = CacheBinding {
+            pool: pool.cache(),
+            node_file: lease.file_id(0),
+            edge_file: lease.file_id(1),
+            charge,
+            lease: Some(Arc::new(lease)),
+        };
+        Self::open_paths_impl(GraphPaths::from_base(base), counter, Some(binding))
     }
 
     /// Open from an explicit file pair.
@@ -101,9 +183,9 @@ impl DiskGraph {
     fn open_paths_impl(
         paths: GraphPaths,
         counter: Arc<IoCounter>,
-        cache: Option<Arc<Mutex<BlockCache>>>,
+        binding: Option<CacheBinding>,
     ) -> Result<DiskGraph> {
-        let (mut node_reader, edge_reader) = Self::open_readers(&paths, &counter, &cache)?;
+        let (mut node_reader, edge_reader) = Self::open_readers(&paths, &counter, &binding)?;
 
         let mut header = [0u8; format::NODE_HEADER_LEN as usize];
         node_reader.read_exact_at(0, &mut header)?;
@@ -124,8 +206,16 @@ impl DiskGraph {
         }
         // Opening a graph is metadata work, not part of any measured run.
         counter.reset();
-        if let Some(pool) = cache.as_ref() {
-            pool.lock().expect("block cache poisoned").reset_stats();
+        if let Some(b) = binding.as_ref() {
+            // A graph-private cache starts its measurement fresh; a shared
+            // pool's counters belong to every registered graph and must
+            // survive another graph opening mid-measurement.
+            if b.lease.is_none() {
+                b.pool.lock().expect("block cache poisoned").reset_stats();
+            }
+            if let Some(ghost) = b.charge.as_ref() {
+                ghost.lock().expect("charge cache poisoned").reset_stats();
+            }
         }
         Ok(DiskGraph {
             paths,
@@ -133,23 +223,35 @@ impl DiskGraph {
             counter,
             node_reader,
             edge_reader,
-            cache,
+            binding,
             adj_scratch: Vec::new(),
         })
     }
 
-    /// Construct the reader pair, cached when a pool is supplied.
+    /// Construct the reader pair, cached when a binding is supplied.
     fn open_readers(
         paths: &GraphPaths,
         counter: &Arc<IoCounter>,
-        cache: &Option<Arc<Mutex<BlockCache>>>,
+        binding: &Option<CacheBinding>,
     ) -> Result<(BlockReader, BlockReader)> {
         let node_file = std::fs::File::open(&paths.nodes)?;
         let edge_file = std::fs::File::open(&paths.edges)?;
-        Ok(match cache {
-            Some(pool) => (
-                BlockReader::new_cached(node_file, counter.clone(), pool.clone(), NODE_FILE)?,
-                BlockReader::new_cached(edge_file, counter.clone(), pool.clone(), EDGE_FILE)?,
+        Ok(match binding {
+            Some(b) => (
+                BlockReader::new_cached_with_charge(
+                    node_file,
+                    counter.clone(),
+                    b.pool.clone(),
+                    b.node_file,
+                    b.charge.as_ref().map(|g| (g.clone(), NODE_FILE)),
+                )?,
+                BlockReader::new_cached_with_charge(
+                    edge_file,
+                    counter.clone(),
+                    b.pool.clone(),
+                    b.edge_file,
+                    b.charge.as_ref().map(|g| (g.clone(), EDGE_FILE)),
+                )?,
             ),
             None => (
                 BlockReader::new(node_file, counter.clone())?,
@@ -171,37 +273,59 @@ impl DiskGraph {
     /// in progress.
     pub fn try_clone(&self) -> Result<DiskGraph> {
         let (node_reader, edge_reader) =
-            Self::open_readers(&self.paths, &self.counter, &self.cache)?;
+            Self::open_readers(&self.paths, &self.counter, &self.binding)?;
         Ok(DiskGraph {
             paths: self.paths.clone(),
             meta: self.meta,
             counter: self.counter.clone(),
             node_reader,
             edge_reader,
-            cache: self.cache.clone(),
+            binding: self.binding.clone(),
             adj_scratch: Vec::new(),
         })
     }
 
     /// Hit/miss counters of the attached block cache (`None` when opened
-    /// without one).
+    /// without one). For pooled opens these are the **shared pool's**
+    /// counters — all registered graphs combined.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache
+        self.binding
             .as_ref()
-            .map(|pool| pool.lock().expect("block cache poisoned").stats())
+            .map(|b| b.pool.lock().expect("block cache poisoned").stats())
     }
 
-    /// Resident cache blocks as `(file, block)` keys (diagnostics).
+    /// Hit/miss counters of this graph's deterministic charge cache
+    /// (`None` unless opened via [`DiskGraph::open_pooled`] with a charge
+    /// budget of at least two frames). Misses here are exactly the charged
+    /// `read_ios` of the cached paths.
+    pub fn charge_stats(&self) -> Option<CacheStats> {
+        self.binding
+            .as_ref()
+            .and_then(|b| b.charge.as_ref())
+            .map(|g| g.lock().expect("charge cache poisoned").stats())
+    }
+
+    /// Resident cache blocks as `(file, block)` keys (diagnostics). For
+    /// pooled opens this lists the whole pool, every graph's frames; this
+    /// graph's own ids are [`DiskGraph::cache_file_ids`].
     pub fn cache_resident_keys(&self) -> Vec<(u32, u64)> {
-        self.cache.as_ref().map_or_else(Vec::new, |pool| {
-            pool.lock().expect("block cache poisoned").resident_keys()
+        self.binding.as_ref().map_or_else(Vec::new, |b| {
+            b.pool.lock().expect("block cache poisoned").resident_keys()
         })
     }
 
+    /// The `(node table, edge table)` file ids this graph's blocks are
+    /// keyed under in its frame pool (`None` uncached).
+    pub fn cache_file_ids(&self) -> Option<(u32, u32)> {
+        self.binding.as_ref().map(|b| (b.node_file, b.edge_file))
+    }
+
     /// Memory budget realised by the attached cache, in bytes (0 uncached).
+    /// For pooled opens this is the **shared pool's** global budget, not a
+    /// per-graph reservation.
     pub fn cache_budget_bytes(&self) -> u64 {
-        self.cache.as_ref().map_or(0, |pool| {
-            let pool = pool.lock().expect("block cache poisoned");
+        self.binding.as_ref().map_or(0, |b| {
+            let pool = b.pool.lock().expect("block cache poisoned");
             (pool.capacity_frames() * pool.block_size()) as u64
         })
     }
@@ -348,13 +472,23 @@ impl DiskGraph {
 
     /// Re-open the file pair in place (after a rewrite replaced the files).
     pub(crate) fn reopen(&mut self) -> Result<()> {
-        if let Some(pool) = self.cache.as_ref() {
-            let mut pool = pool.lock().expect("block cache poisoned");
-            pool.invalidate_file(NODE_FILE);
-            pool.invalidate_file(EDGE_FILE);
+        if let Some(b) = self.binding.as_ref() {
+            {
+                let mut pool = b.pool.lock().expect("block cache poisoned");
+                pool.invalidate_file(b.node_file);
+                pool.invalidate_file(b.edge_file);
+            }
+            // The charge cache models the graph's own budget: a rewrite
+            // makes its tracked blocks stale the same way, so the next
+            // reads charge in full — identical to a private cache's reopen.
+            if let Some(ghost) = b.charge.as_ref() {
+                let mut ghost = ghost.lock().expect("charge cache poisoned");
+                ghost.invalidate_file(NODE_FILE);
+                ghost.invalidate_file(EDGE_FILE);
+            }
         }
         let (mut node_reader, edge_reader) =
-            Self::open_readers(&self.paths, &self.counter, &self.cache)?;
+            Self::open_readers(&self.paths, &self.counter, &self.binding)?;
         let mut header = [0u8; format::NODE_HEADER_LEN as usize];
         node_reader.read_exact_at(0, &mut header)?;
         self.meta = format::decode_node_header(&header)?;
@@ -509,6 +643,125 @@ mod tests {
         let mut dg = DiskGraph::open(&base, counter).unwrap();
         let mut buf = Vec::new();
         assert!(dg.adjacency(1, &mut buf).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn pooled_charge_is_contention_independent() {
+        use crate::pool::SharedPool;
+
+        // Two graphs spanning many 512 B blocks.
+        let n = 2000u32;
+        let g = MemGraph::from_edges((0..n).map(|i| (i, (i + 1) % n)), n);
+        let h = MemGraph::from_edges((0..n).map(|i| (i, (i + 7) % n)), n);
+        let dir = TempDir::new("pooledtest").unwrap();
+        let block = 512usize;
+        write_mem_graph(&dir.path().join("g"), &g, IoCounter::new(block)).unwrap();
+        write_mem_graph(&dir.path().join("h"), &h, IoCounter::new(block)).unwrap();
+
+        // The workload: two full ascending adjacency sweeps (the second is
+        // re-read traffic a private budget would absorb).
+        let sweep = |dg: &mut DiskGraph| {
+            let mut buf = Vec::new();
+            for _ in 0..2 {
+                for v in 0..n {
+                    dg.adjacency(v, &mut buf).unwrap();
+                }
+            }
+        };
+        let charge_budget = 1 << 20; // absorbs either graph's working set
+
+        // Solo: g alone on a tight 8-frame pool.
+        let pool = SharedPool::new(block, 8 * block as u64).unwrap();
+        let counter = IoCounter::new(block);
+        let mut dg =
+            DiskGraph::open_pooled(&dir.path().join("g"), counter.clone(), &pool, charge_budget)
+                .unwrap();
+        sweep(&mut dg);
+        let solo = counter.snapshot();
+
+        // Contended: same tight pool, but h's sweep interleaves per node.
+        let pool = SharedPool::new(block, 8 * block as u64).unwrap();
+        let counter = IoCounter::new(block);
+        let mut dg =
+            DiskGraph::open_pooled(&dir.path().join("g"), counter.clone(), &pool, charge_budget)
+                .unwrap();
+        let mut dh = DiskGraph::open_pooled(
+            &dir.path().join("h"),
+            IoCounter::new(block),
+            &pool,
+            charge_budget,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        for _ in 0..2 {
+            for v in 0..n {
+                dg.adjacency(v, &mut buf).unwrap();
+                dh.adjacency(v, &mut buf).unwrap();
+            }
+        }
+        let shared = counter.snapshot();
+
+        assert_eq!(
+            solo.read_ios, shared.read_ios,
+            "charged reads must not see the neighbour's traffic"
+        );
+        assert!(
+            shared.physical_reads > solo.physical_reads,
+            "interleaved traffic on a thrashing pool must cost extra physical \
+             fetches (solo {}, shared {})",
+            solo.physical_reads,
+            shared.physical_reads
+        );
+        // With a working-set charge budget, the second sweep charges
+        // nothing: charged = distinct blocks touched.
+        let distinct = (dg.meta().node_file_len().div_ceil(block as u64) + 1)
+            + (dg.meta().edge_file_len().div_ceil(block as u64) + 1);
+        assert!(
+            solo.read_ios <= distinct,
+            "charged {} exceeds distinct-block bound {}",
+            solo.read_ios,
+            distinct
+        );
+        // The pool itself never exceeded its 8-frame budget.
+        assert!(pool.resident_bytes() <= pool.budget_bytes());
+        assert!(pool.resident_frames() <= 8);
+    }
+
+    #[test]
+    fn pooled_open_rejects_block_size_mismatch() {
+        use crate::pool::SharedPool;
+        let g = sample();
+        let dir = TempDir::new("pooledtest").unwrap();
+        let base = dir.path().join("g");
+        write_mem_graph(&base, &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let pool = SharedPool::new(1024, 64 * 1024).unwrap();
+        let err = DiskGraph::open_pooled(&base, IoCounter::new(4096), &pool, 0).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn dropping_all_pooled_handles_frees_the_graphs_frames() {
+        use crate::pool::SharedPool;
+        let g = sample();
+        let dir = TempDir::new("pooledtest").unwrap();
+        let base = dir.path().join("g");
+        write_mem_graph(&base, &g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        let pool = SharedPool::new(DEFAULT_BLOCK_SIZE, 1 << 20).unwrap();
+        let dg = DiskGraph::open_pooled(&base, IoCounter::new(DEFAULT_BLOCK_SIZE), &pool, 1 << 20)
+            .unwrap();
+        let mut clone = dg.try_clone().unwrap();
+        let mut buf = Vec::new();
+        clone.adjacency(0, &mut buf).unwrap();
+        assert!(pool.resident_frames() > 0);
+        assert_eq!(pool.registered_graphs(), 1);
+        drop(dg);
+        assert!(
+            pool.resident_frames() > 0,
+            "a surviving clone keeps the lease alive"
+        );
+        drop(clone);
+        assert_eq!(pool.resident_frames(), 0);
+        assert_eq!(pool.registered_graphs(), 0);
     }
 
     #[test]

@@ -16,6 +16,19 @@
 //!
 //! Physical reads use a read-ahead window larger than `B` for speed; the
 //! charged I/O count is independent of the window size.
+//!
+//! ## Charged vs physical reads
+//!
+//! `read_ios` is the *model's* currency — what the paper's figures plot.
+//! `physical_reads` counts blocks actually fetched from disk into a cache
+//! frame (or charged by the uncached model, where the two coincide). The
+//! counters are equal in every single-graph configuration; they diverge
+//! only for graphs opened against a process-wide
+//! [`SharedPool`](crate::pool::SharedPool), where the model charge comes
+//! from a deterministic per-graph *charge cache* (the graph's own budget
+//! `M`) while the bytes are served by the shared pool, whose residency —
+//! and therefore physical fetch count — depends on what *other* graphs are
+//! doing with the common budget. See [`BlockReader::new_cached_with_charge`].
 
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -41,6 +54,7 @@ const READAHEAD_BLOCKS: usize = 64;
 pub struct IoCounter {
     block_size: usize,
     read_ios: AtomicU64,
+    physical_reads: AtomicU64,
     write_ios: AtomicU64,
     read_bytes: AtomicU64,
     write_bytes: AtomicU64,
@@ -54,6 +68,7 @@ impl IoCounter {
         Arc::new(IoCounter {
             block_size,
             read_ios: AtomicU64::new(0),
+            physical_reads: AtomicU64::new(0),
             write_ios: AtomicU64::new(0),
             read_bytes: AtomicU64::new(0),
             write_bytes: AtomicU64::new(0),
@@ -68,7 +83,20 @@ impl IoCounter {
 
     pub(crate) fn charge_read(&self, blocks: u64, bytes: u64) {
         self.read_ios.fetch_add(blocks, Ordering::Relaxed);
+        self.physical_reads.fetch_add(blocks, Ordering::Relaxed);
         self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Charge model read I/Os only (a pooled reader's charge-cache miss):
+    /// the bytes themselves came — or will come — from the shared pool.
+    pub(crate) fn charge_model_read(&self, blocks: u64) {
+        self.read_ios.fetch_add(blocks, Ordering::Relaxed);
+    }
+
+    /// Record physical fetches only (a pooled reader's shared-pool miss):
+    /// the model charge is decided by the charge cache, not pool residency.
+    pub(crate) fn charge_physical_read(&self, blocks: u64) {
+        self.physical_reads.fetch_add(blocks, Ordering::Relaxed);
     }
 
     fn charge_write(&self, blocks: u64, bytes: u64) {
@@ -84,6 +112,7 @@ impl IoCounter {
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             read_ios: self.read_ios.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
             write_ios: self.write_ios.load(Ordering::Relaxed),
             read_bytes: self.read_bytes.load(Ordering::Relaxed),
             write_bytes: self.write_bytes.load(Ordering::Relaxed),
@@ -94,6 +123,7 @@ impl IoCounter {
     /// Reset all counters to zero.
     pub fn reset(&self) {
         self.read_ios.store(0, Ordering::Relaxed);
+        self.physical_reads.store(0, Ordering::Relaxed);
         self.write_ios.store(0, Ordering::Relaxed);
         self.read_bytes.store(0, Ordering::Relaxed);
         self.write_bytes.store(0, Ordering::Relaxed);
@@ -104,8 +134,14 @@ impl IoCounter {
 /// A point-in-time copy of the I/O counters, with subtraction for intervals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoSnapshot {
-    /// Blocks read (each of size `B`).
+    /// Blocks read, as charged by the external-memory model (each of size
+    /// `B`). This is the quantity the paper's figures report.
     pub read_ios: u64,
+    /// Blocks physically fetched from disk. Equal to `read_ios` except for
+    /// graphs served by a [`SharedPool`](crate::pool::SharedPool), where
+    /// pool contention moves this count without touching the model charge
+    /// (see the module docs).
+    pub physical_reads: u64,
     /// Blocks written.
     pub write_ios: u64,
     /// Logical bytes delivered to readers.
@@ -126,6 +162,7 @@ impl IoSnapshot {
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
             read_ios: self.read_ios.saturating_sub(earlier.read_ios),
+            physical_reads: self.physical_reads.saturating_sub(earlier.physical_reads),
             write_ios: self.write_ios.saturating_sub(earlier.write_ios),
             read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
             write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
@@ -162,6 +199,14 @@ pub struct BlockReader {
     prev_end: u64,
     /// Shared frame pool plus this reader's file id within it.
     cache: Option<(Arc<Mutex<BlockCache>>, u32)>,
+    /// Deterministic per-graph *charge cache* plus this reader's file id in
+    /// it (pooled mode only). When present, model read I/Os are charged by
+    /// this cache's hit/miss decisions — a pure function of the graph's own
+    /// access stream and its private budget — while misses in the shared
+    /// `cache` count as `physical_reads` only. Frames in a charge cache are
+    /// zero-length (keys and eviction state, no bytes), so it costs O(1)
+    /// memory per tracked block.
+    charge: Option<(Arc<Mutex<BlockCache>>, u32)>,
     /// The last frame fetched from the pool (cached mode): streak requests
     /// into the same block are served from this handle without taking the
     /// pool lock — the cached-mode analogue of the uncached reader's
@@ -185,6 +230,7 @@ impl BlockReader {
             last_block: None,
             prev_end: 0,
             cache: None,
+            charge: None,
             memo: None,
         })
     }
@@ -197,6 +243,23 @@ impl BlockReader {
         pool: Arc<Mutex<BlockCache>>,
         file_id: u32,
     ) -> Result<Self> {
+        Self::new_cached_with_charge(file, counter, pool, file_id, None)
+    }
+
+    /// [`BlockReader::new_cached`] with an optional private *charge cache*:
+    /// when `charge` is `Some((ghost, ghost_file_id))`, model read I/Os
+    /// follow the ghost's deterministic hit/miss decisions and pool misses
+    /// are recorded as physical reads only. This is how a
+    /// [`SharedPool`](crate::pool::SharedPool)-served graph keeps its
+    /// charged `read_ios` bit-identical whether it runs alone or alongside
+    /// other graphs contending for the pool.
+    pub fn new_cached_with_charge(
+        file: File,
+        counter: Arc<IoCounter>,
+        pool: Arc<Mutex<BlockCache>>,
+        file_id: u32,
+        charge: Option<(Arc<Mutex<BlockCache>>, u32)>,
+    ) -> Result<Self> {
         let mut reader = Self::new(file, counter)?;
         {
             let cache = pool.lock().expect("block cache poisoned");
@@ -206,7 +269,16 @@ impl BlockReader {
                 "cache and counter must agree on the block size"
             );
         }
+        if let Some((ghost, _)) = charge.as_ref() {
+            let ghost = ghost.lock().expect("charge cache poisoned");
+            assert_eq!(
+                ghost.block_size(),
+                reader.counter.block_size(),
+                "charge cache and counter must agree on the block size"
+            );
+        }
         reader.cache = Some((pool, file_id));
+        reader.charge = charge;
         Ok(reader)
     }
 
@@ -311,8 +383,30 @@ impl BlockReader {
                 fill_from_window(window, window_start, file, file_len, b, block_start, buf)
             })?
         };
-        if missed {
-            self.counter.charge_read(1, 0);
+        match self.charge.as_ref() {
+            // Plain cached mode: the pool's miss IS the model charge.
+            None => {
+                if missed {
+                    self.counter.charge_read(1, 0);
+                }
+            }
+            // Pooled mode: the charge cache decides the model charge from
+            // the graph's own access stream alone; the shared pool's miss
+            // only moves the physical count. The ghost is consulted on
+            // every block transition (memo streaks never reach here), so
+            // it sees exactly the stream the uncached accounting would.
+            Some((ghost, ghost_file)) => {
+                if missed {
+                    self.counter.charge_physical_read(1);
+                }
+                let ghost_missed = {
+                    let mut ghost = ghost.lock().expect("charge cache poisoned");
+                    ghost.get_or_load(*ghost_file, block, 0, |_| Ok(()))?.1
+                };
+                if ghost_missed {
+                    self.counter.charge_model_read(1);
+                }
+            }
         }
         self.memo = Some((block, Arc::clone(&data)));
         Ok(data)
@@ -409,6 +503,12 @@ impl BlockReader {
         if let Some((pool, file_id)) = self.cache.as_ref() {
             pool.lock()
                 .expect("block cache poisoned")
+                .invalidate_file(*file_id);
+        }
+        if let Some((ghost, file_id)) = self.charge.as_ref() {
+            ghost
+                .lock()
+                .expect("charge cache poisoned")
                 .invalidate_file(*file_id);
         }
     }
@@ -548,6 +648,8 @@ mod tests {
         // ceil(10000 / 1024) = 10 blocks.
         assert_eq!(counter.snapshot().read_ios, 10);
         assert_eq!(counter.snapshot().read_bytes, 10_000);
+        // Without a shared pool, physical and charged reads coincide.
+        assert_eq!(counter.snapshot().physical_reads, 10);
     }
 
     #[test]
@@ -619,6 +721,7 @@ mod tests {
     fn snapshot_since_subtracts() {
         let a = IoSnapshot {
             read_ios: 10,
+            physical_reads: 10,
             write_ios: 2,
             read_bytes: 100,
             write_bytes: 20,
@@ -626,6 +729,7 @@ mod tests {
         };
         let b = IoSnapshot {
             read_ios: 15,
+            physical_reads: 12,
             write_ios: 2,
             read_bytes: 160,
             write_bytes: 20,
@@ -633,6 +737,7 @@ mod tests {
         };
         let d = b.since(&a);
         assert_eq!(d.read_ios, 5);
+        assert_eq!(d.physical_reads, 2);
         assert_eq!(d.write_ios, 0);
         assert_eq!(d.read_bytes, 60);
         assert_eq!(d.seeks, 2);

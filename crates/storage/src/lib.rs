@@ -43,6 +43,7 @@ pub mod graph;
 pub mod io;
 pub mod memgraph;
 pub mod partition;
+pub mod pool;
 pub mod tempdir;
 pub mod update_buffer;
 
@@ -57,6 +58,7 @@ pub use graph::DiskGraph;
 pub use io::{IoCounter, IoSnapshot, DEFAULT_BLOCK_SIZE};
 pub use memgraph::{DynGraph, MemGraph};
 pub use partition::{LoadedPartition, PartitionStore};
+pub use pool::{working_set_charge_budget, PoolLease, SharedPool};
 pub use tempdir::TempDir;
 pub use update_buffer::{BufferedGraph, UpdateBuffer, DEFAULT_BUFFER_CAPACITY};
 

@@ -1,0 +1,365 @@
+//! Process-wide shared buffer pool: one byte budget, many graphs.
+//!
+//! [`BlockCache`] already keys every frame by `(file id, block)`, but until
+//! now each [`DiskGraph`](crate::DiskGraph) built a private pool with the
+//! fixed file ids 0/1. [`SharedPool`] turns the same machinery into a
+//! process-wide resource: it owns **one** cache under **one** byte budget
+//! and a monotone **file-id allocator**, so any number of graphs can be
+//! opened against it ([`DiskGraph::open_pooled`](crate::DiskGraph::open_pooled))
+//! without their frames colliding. The global budget is then *arbitrated*
+//! by the eviction policy across every registered graph: a graph under
+//! heavy traffic naturally claims more frames, an idle one decays to its
+//! pinned current blocks — capacity follows demand instead of being
+//! statically split `M / K` ways.
+//!
+//! ## Registration and teardown
+//!
+//! [`SharedPool::register`] leases a contiguous run of file ids and returns
+//! a [`PoolLease`]; dropping the lease (when the last handle of the graph
+//! goes away) invalidates every frame belonging to those ids, returning the
+//! capacity to the pool. Ids are never reused, so a stale read handle can
+//! never alias a newer graph's frames.
+//!
+//! ## Accounting: the charge cache
+//!
+//! A shared pool makes *physical* residency dependent on what every other
+//! graph is doing — exactly what the external-memory model's per-run charge
+//! must **not** depend on. Pooled opens therefore split the two roles:
+//!
+//! * the **shared pool** stores bytes and counts
+//!   [`physical_reads`](crate::IoSnapshot::physical_reads);
+//! * a private, deterministic **charge cache** (a second [`BlockCache`]
+//!   whose frames hold zero-length buffers — keys and eviction state only)
+//!   replays the graph's own access stream against the graph's own budget
+//!   `M` and decides the charged
+//!   [`read_ios`](crate::IoSnapshot::read_ios).
+//!
+//! Charged I/O is then a pure function of (graph, access stream, per-graph
+//! budget): bit-identical whether the graph is served alone or alongside
+//! `K` contending graphs, while physical reads move with contention. The
+//! same caveat as the parallel executor applies to multi-threaded scans: a
+//! charge budget that absorbs the scan's re-read working set makes charged
+//! misses equal *distinct blocks touched* (schedule-independent); tighter
+//! charge budgets remain honest but order-dependent.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::cache::{BlockCache, CacheStats, EvictionPolicy};
+use crate::error::{Error, Result};
+use crate::format::GraphPaths;
+
+/// Headroom blocks added by [`working_set_charge_budget`]: each of the two
+/// table files rounds up to whole frames, and a charge cache one frame
+/// short of the working set would evict — making charged misses
+/// schedule-dependent again.
+const CHARGE_HEADROOM_BLOCKS: u64 = 4;
+
+/// The conventional per-graph charge budget for the graph stored at
+/// `<base>.nodes/.edges`: its whole on-disk working set — both table files
+/// plus a few blocks of rounding headroom. With this budget, charged
+/// `read_ios` equals *distinct blocks touched*, a schedule-independent
+/// quantity, so the solo-vs-shared and sequential-vs-parallel equivalence
+/// guarantees hold at any worker count. The single source of truth for the
+/// formula — the serving layer, the benches and the test suites all price
+/// against this.
+pub fn working_set_charge_budget(base: &Path, block_size: usize) -> Result<u64> {
+    let paths = GraphPaths::from_base(base);
+    let len = |p: &Path| -> Result<u64> { Ok(std::fs::metadata(p)?.len()) };
+    Ok(len(&paths.nodes)? + len(&paths.edges)? + CHARGE_HEADROOM_BLOCKS * block_size as u64)
+}
+
+/// A process-wide buffer pool shared by several disk graphs: one byte
+/// budget, one frame store, one file-id allocator. Cheap to clone (all
+/// clones are the same pool). See the [module docs](self) for the
+/// arbitration and accounting contracts.
+///
+/// ```
+/// use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, SharedPool, TempDir};
+///
+/// let dir = TempDir::new("doc-pool").unwrap();
+/// let pool = SharedPool::new(4096, 64 * 4096).unwrap();
+/// let mut graphs = Vec::new();
+/// for i in 0..3 {
+///     let base = dir.path().join(format!("g{i}"));
+///     let g = MemGraph::from_edges([(0, 1), (1, 2), (0, 2)], 3);
+///     mem_to_disk(&base, &g, IoCounter::new(4096)).unwrap();
+///     // Every graph shares the pool's 64-frame budget; each keeps its own
+///     // deterministic charge budget (here 8 blocks).
+///     graphs.push(
+///         DiskGraph::open_pooled(&base, IoCounter::new(4096), &pool, 8 * 4096).unwrap(),
+///     );
+/// }
+/// assert_eq!(pool.registered_graphs(), 3);
+/// drop(graphs);
+/// assert_eq!(pool.registered_graphs(), 0);
+/// assert_eq!(pool.resident_frames(), 0); // teardown freed every frame
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedPool {
+    inner: Arc<PoolInner>,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    cache: Arc<Mutex<BlockCache>>,
+    block_size: usize,
+    budget_bytes: u64,
+    policy: EvictionPolicy,
+    next_file: AtomicU32,
+    graphs: AtomicUsize,
+}
+
+impl SharedPool {
+    /// A pool of `B = block_size` frames under `budget_bytes`, using the
+    /// scan-resistant default policy ([`EvictionPolicy::ScanLifo`]).
+    ///
+    /// Errors when the budget cannot hold two frames — a pool that cannot
+    /// keep even one graph's current blocks resident arbitrates nothing;
+    /// callers wanting uncached behaviour should open graphs without a pool.
+    pub fn new(block_size: usize, budget_bytes: u64) -> Result<SharedPool> {
+        Self::with_policy(block_size, budget_bytes, EvictionPolicy::ScanLifo)
+    }
+
+    /// [`SharedPool::new`] with an explicit eviction policy.
+    pub fn with_policy(
+        block_size: usize,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+    ) -> Result<SharedPool> {
+        let cache = BlockCache::shared(block_size, budget_bytes, 2, policy).ok_or_else(|| {
+            Error::InvalidArgument(format!(
+                "shared pool budget of {budget_bytes} B holds fewer than two {block_size} B frames"
+            ))
+        })?;
+        Ok(SharedPool {
+            inner: Arc::new(PoolInner {
+                cache,
+                block_size,
+                budget_bytes,
+                policy,
+                next_file: AtomicU32::new(0),
+                graphs: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// The frame size `B` every attached graph must be opened with.
+    pub fn block_size(&self) -> usize {
+        self.inner.block_size
+    }
+
+    /// The global byte budget arbitrated across all registered graphs.
+    pub fn budget_bytes(&self) -> u64 {
+        self.inner.budget_bytes
+    }
+
+    /// The pool's eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.inner.policy
+    }
+
+    /// Number of currently registered (leased, not yet dropped) graphs.
+    pub fn registered_graphs(&self) -> usize {
+        self.inner.graphs.load(Ordering::Relaxed)
+    }
+
+    /// Pool-wide hit/miss/eviction counters (all graphs combined).
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Bytes currently resident in frames — never exceeds
+    /// [`SharedPool::budget_bytes`].
+    pub fn resident_bytes(&self) -> u64 {
+        self.lock().resident_bytes()
+    }
+
+    /// Frames currently holding a block.
+    pub fn resident_frames(&self) -> usize {
+        self.lock().resident_frames()
+    }
+
+    /// Maximum number of resident frames (`M / B`).
+    pub fn capacity_frames(&self) -> usize {
+        self.lock().capacity_frames()
+    }
+
+    /// Lease `files` fresh file ids (one per backing file the graph will
+    /// read through the pool). The lease's [`Drop`] hands the capacity
+    /// back; see [`PoolLease`].
+    pub fn register(&self, files: u32) -> Result<PoolLease> {
+        assert!(files > 0, "a lease must cover at least one file");
+        // Validate before committing the allocation: a blind fetch_add
+        // would wrap the counter on exhaustion and hand the *next* caller
+        // ids that alias live leases. Ids are never reused, so 2^32
+        // registrations exhaust the space for the life of the pool.
+        let mut first = self.inner.next_file.load(Ordering::Relaxed);
+        loop {
+            let Some(end) = first.checked_add(files) else {
+                return Err(Error::TooLarge(
+                    "shared pool file-id space exhausted".into(),
+                ));
+            };
+            match self.inner.next_file.compare_exchange_weak(
+                first,
+                end,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => first = actual,
+            }
+        }
+        self.inner.graphs.fetch_add(1, Ordering::Relaxed);
+        Ok(PoolLease {
+            inner: Arc::clone(&self.inner),
+            first,
+            files,
+        })
+    }
+
+    /// Keys of all resident blocks as `(file id, block)` pairs
+    /// (diagnostics; order unspecified).
+    pub fn resident_keys(&self) -> Vec<(u32, u64)> {
+        self.lock().resident_keys()
+    }
+
+    /// Run `f` against the raw frame store, under the pool lock.
+    ///
+    /// Normal reads go through [`crate::io::BlockReader`]; this is the
+    /// escape hatch for diagnostics and invariant tests that need to drive
+    /// the cache against leased file ids directly.
+    pub fn with_cache_mut<R>(&self, f: impl FnOnce(&mut BlockCache) -> R) -> R {
+        f(&mut self.lock())
+    }
+
+    /// The underlying frame store, for readers opened against this pool.
+    pub(crate) fn cache(&self) -> Arc<Mutex<BlockCache>> {
+        Arc::clone(&self.inner.cache)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BlockCache> {
+        self.inner.cache.lock().expect("shared pool poisoned")
+    }
+}
+
+/// A registered graph's claim on a [`SharedPool`]: a contiguous run of file
+/// ids reserved for its backing files.
+///
+/// Dropping the lease is the teardown path: every frame belonging to the
+/// leased ids is invalidated (the pool's capacity returns to the other
+/// graphs) and the registration count decrements. [`DiskGraph`](crate::DiskGraph)
+/// holds its lease behind an [`Arc`] shared with every
+/// [`try_clone`](crate::DiskGraph::try_clone) handle, so invalidation
+/// happens exactly once — when the last handle goes away.
+#[derive(Debug)]
+pub struct PoolLease {
+    inner: Arc<PoolInner>,
+    first: u32,
+    files: u32,
+}
+
+impl PoolLease {
+    /// The pool file id of the lease's `i`-th file.
+    pub fn file_id(&self, i: u32) -> u32 {
+        assert!(i < self.files, "lease covers {} file(s)", self.files);
+        self.first + i
+    }
+
+    /// Number of file ids this lease covers.
+    pub fn file_count(&self) -> u32 {
+        self.files
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        // A poisoned pool means some reader panicked mid-fetch; skipping
+        // invalidation is safe because the ids are never reallocated.
+        if let Ok(mut cache) = self.inner.cache.lock() {
+            for i in 0..self.files {
+                cache.invalidate_file(self.first + i);
+            }
+        }
+        self.inner.graphs.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(pool: &SharedPool, file: u32, block: u64) {
+        pool.cache()
+            .lock()
+            .unwrap()
+            .get_or_load(file, block, 4, |buf| {
+                buf.fill(7);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn budget_floor_is_enforced() {
+        assert!(SharedPool::new(4096, 0).is_err());
+        assert!(SharedPool::new(4096, 4096).is_err());
+        assert!(SharedPool::new(4096, 8192).is_ok());
+    }
+
+    #[test]
+    fn leases_get_disjoint_ids_and_count_graphs() {
+        let pool = SharedPool::new(4096, 1 << 20).unwrap();
+        let a = pool.register(2).unwrap();
+        let b = pool.register(3).unwrap();
+        assert_eq!(pool.registered_graphs(), 2);
+        let a_ids: Vec<u32> = (0..a.file_count()).map(|i| a.file_id(i)).collect();
+        let b_ids: Vec<u32> = (0..b.file_count()).map(|i| b.file_id(i)).collect();
+        assert!(a_ids.iter().all(|id| !b_ids.contains(id)));
+        drop(a);
+        assert_eq!(pool.registered_graphs(), 1);
+        drop(b);
+        assert_eq!(pool.registered_graphs(), 0);
+    }
+
+    #[test]
+    fn dropping_a_lease_invalidates_only_its_frames() {
+        let pool = SharedPool::new(16, 16 * 16).unwrap();
+        let a = pool.register(1).unwrap();
+        let b = pool.register(1).unwrap();
+        fill(&pool, a.file_id(0), 0);
+        fill(&pool, a.file_id(0), 1);
+        fill(&pool, b.file_id(0), 0);
+        assert_eq!(pool.resident_frames(), 3);
+        let b_id = b.file_id(0);
+        drop(a);
+        let keys = pool.cache().lock().unwrap().resident_keys();
+        assert_eq!(keys.len(), 1);
+        assert_eq!(keys[0].0, b_id, "only the live lease's frame survives");
+        drop(b);
+        assert_eq!(pool.resident_frames(), 0);
+    }
+
+    #[test]
+    fn file_id_exhaustion_errors_without_aliasing() {
+        let pool = SharedPool::new(4096, 1 << 20).unwrap();
+        let big = pool.register(u32::MAX - 1).unwrap();
+        assert!(pool.register(2).is_err(), "exhaustion must surface");
+        // The failed attempt must not have moved the allocator: the last
+        // single-file lease still fits, at the expected id.
+        let last = pool.register(1).unwrap();
+        assert_eq!(last.file_id(0), u32::MAX - 1);
+        drop((big, last));
+    }
+
+    #[test]
+    fn clones_are_the_same_pool() {
+        let pool = SharedPool::new(4096, 1 << 20).unwrap();
+        let clone = pool.clone();
+        let lease = clone.register(2).unwrap();
+        assert_eq!(pool.registered_graphs(), 1);
+        assert_eq!(lease.file_count(), 2);
+    }
+}

@@ -17,6 +17,7 @@ prefix="${1:-BENCH}"
 criterion_out="$(pwd)/${prefix}_criterion.json"
 cache_out="$(pwd)/${prefix}_cache.json"
 threads_out="$(pwd)/${prefix}_threads.json"
+multigraph_out="$(pwd)/${prefix}_multigraph.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -48,5 +49,9 @@ echo "# bench run ${stamp} @ ${rev}" >> "${threads_out}"
 run_target ablation_threads \
     cargo run --release -q -p kcore-bench --bin ablation_threads -- --json "${threads_out}"
 
+echo "# bench run ${stamp} @ ${rev}" >> "${multigraph_out}"
+run_target multi_graph \
+    cargo run --release -q -p kcore-bench --bin multi_graph -- --json "${multigraph_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out} and ${threads_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out} and ${multigraph_out}"

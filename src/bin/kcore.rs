@@ -6,6 +6,8 @@
 //!                 [--workers N] [--cache-mb M] [--out cores.txt]
 //! kcore query  <graph-base> --k 8            print the k-core's nodes/components
 //! kcore stats  <graph-base>                  core profile (onion levels, nucleus)
+//! kcore serve  [--budget-mb M] [--workers N] [--policy lru|scanlifo]
+//!              [name=graph-base ...]         serve many graphs on one budget
 //! ```
 //!
 //! All runs print the I/O and memory accounting the paper reports.
@@ -13,15 +15,22 @@
 //! decomposition's convergence scans across `N` threads; `--cache-mb M`
 //! serves disk blocks through an `M`-MiB shared buffer pool (required for
 //! the parallel scans to pay sequential-equivalent I/O).
+//!
+//! `kcore serve` starts a [`CoreService`]: every named graph is opened
+//! against one process-wide pool of `--budget-mb` MiB, then commands are
+//! read line by line from stdin (`open`, `core`, `kmax`, `insert`,
+//! `delete`, `stats`, `pool`, `evict`, `quit` — see `help`).
 
+use std::io::BufRead;
 use std::path::{Path, PathBuf};
 
-use graphstore::{edgelist, DiskGraph, IoCounter, DEFAULT_BLOCK_SIZE};
+use graphstore::{edgelist, DiskGraph, EvictionPolicy, IoCounter, DEFAULT_BLOCK_SIZE};
 use kcore_suite::semicore::{self, analysis, DecomposeOptions, EmCoreOptions, ScanExecutor};
+use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>"
+        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [name=graph-base ...]"
     );
     std::process::exit(2)
 }
@@ -155,7 +164,152 @@ fn main() -> graphstore::Result<()> {
                 density
             );
         }
+        "serve" => serve(&args)?,
         _ => usage(),
     }
     Ok(())
+}
+
+/// The value-taking flags of `kcore serve` — the single list both the
+/// flag parsers and the positional-argument scan below work from.
+const SERVE_FLAGS: [&str; 3] = ["--budget-mb", "--workers", "--policy"];
+
+/// `kcore serve`: a [`CoreService`] REPL over stdin. Non-interactive use
+/// pipes a command script in; every response is a single line, errors are
+/// reported and do not end the session.
+fn serve(args: &[String]) -> graphstore::Result<()> {
+    // A trailing flag with its value forgotten would otherwise be
+    // indistinguishable from an absent flag and silently get the default.
+    if args
+        .last()
+        .is_some_and(|a| SERVE_FLAGS.contains(&a.as_str()))
+    {
+        usage()
+    }
+    let budget_mb: u64 = match arg_value(args, SERVE_FLAGS[0]).map(|v| v.parse()) {
+        Some(Ok(mb)) => mb,
+        Some(Err(_)) => usage(),
+        None => 64,
+    };
+    let exec = match arg_value(args, SERVE_FLAGS[1]).map(|w| w.parse::<usize>()) {
+        Some(Ok(w)) if w >= 2 => ScanExecutor::parallel(w),
+        Some(Ok(_)) => ScanExecutor::Sequential,
+        Some(Err(_)) => usage(),
+        None => ScanExecutor::from_env(),
+    };
+    let policy = match arg_value(args, SERVE_FLAGS[2]).as_deref() {
+        Some("lru") => EvictionPolicy::Lru,
+        Some("scanlifo") | None => EvictionPolicy::ScanLifo,
+        Some(_) => usage(),
+    };
+    let svc = CoreService::with_config(DEFAULT_BLOCK_SIZE, budget_mb << 20, policy, exec)?;
+    println!(
+        "serving on a {budget_mb} MiB shared pool ({policy:?}, {exec:?}); 'help' lists commands"
+    );
+
+    // Positional `name=base` specs pre-open graphs before the REPL starts.
+    let mut i = 1usize;
+    while i < args.len() {
+        if SERVE_FLAGS.contains(&args[i].as_str()) {
+            i += 2; // skip the flag and its value
+        } else {
+            let Some((name, base)) = args[i].split_once('=') else {
+                usage()
+            };
+            open_and_report(&svc, name, Path::new(base));
+            i += 1;
+        }
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let parse_node = |w: &str| w.parse::<u32>().ok();
+        match words.as_slice() {
+            [] => {}
+            ["quit"] | ["exit"] => break,
+            ["help"] => println!(
+                "commands: open <name> <base> | core <name> <v> | kmax <name> | \
+                 insert <name> <u> <v> | delete <name> <u> <v> | stats <name> | \
+                 pool | list | evict <name> | quit"
+            ),
+            ["open", name, base] => open_and_report(&svc, name, Path::new(base)),
+            ["core", name, v] => match parse_node(v) {
+                Some(v) => report(svc.core(name, v).map(|c| format!("core({v}) = {c}"))),
+                None => println!("error: node id {v:?} is not a number"),
+            },
+            ["kmax", name] => report(svc.kmax(name).map(|k| format!("kmax = {k}"))),
+            ["insert", name, u, v] | ["delete", name, u, v] => {
+                match (parse_node(u), parse_node(v)) {
+                    (Some(u), Some(v)) => {
+                        let res = if words[0] == "insert" {
+                            svc.insert_edge(name, u, v)
+                        } else {
+                            svc.delete_edge(name, u, v)
+                        };
+                        report(res.map(|s| {
+                            format!(
+                                "{}: {} node computations, {} read I/Os",
+                                s.algorithm, s.node_computations, s.io.read_ios
+                            )
+                        }));
+                    }
+                    _ => println!("error: edge endpoints must be numbers"),
+                }
+            }
+            ["stats", name] => report(svc.with_graph(name, |idx| {
+                let io = idx.io();
+                Ok(format!(
+                    "{} nodes, {} edges, kmax {}; charged reads {}, physical reads {}, writes {}",
+                    idx.num_nodes(),
+                    idx.num_edges(),
+                    idx.kmax(),
+                    io.read_ios,
+                    io.physical_reads,
+                    io.write_ios
+                ))
+            })),
+            ["pool"] => {
+                let p = svc.pool();
+                let s = p.stats();
+                println!(
+                    "pool: {} graphs, {}/{} B resident, {} hits / {} misses / {} evictions",
+                    p.registered_graphs(),
+                    p.resident_bytes(),
+                    p.budget_bytes(),
+                    s.hits,
+                    s.misses,
+                    s.evictions
+                );
+            }
+            ["list"] => println!("serving: {}", svc.graph_names().join(", ")),
+            ["evict", name] => report(svc.evict(name).map(|()| format!("evicted {name}"))),
+            _ => println!("error: unrecognised command (try 'help')"),
+        }
+    }
+    Ok(())
+}
+
+/// Open `base` as `name` on the service, printing the outcome either way.
+fn open_and_report(svc: &CoreService, name: &str, base: &Path) {
+    report(svc.open(name, base).and_then(|()| {
+        svc.with_graph(name, |idx| {
+            Ok(format!(
+                "opened {name}: {} nodes, {} edges, kmax {} ({} read I/Os to decompose)",
+                idx.num_nodes(),
+                idx.num_edges(),
+                idx.kmax(),
+                idx.decompose_stats().io.read_ios
+            ))
+        })
+    }));
+}
+
+/// Print a command's outcome on one line, errors included.
+fn report(res: graphstore::Result<String>) {
+    match res {
+        Ok(line) => println!("{line}"),
+        Err(e) => println!("error: {e}"),
+    }
 }

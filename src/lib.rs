@@ -11,8 +11,13 @@
 //! * [`graphgen`]: seeded workload generators standing in for the paper's
 //!   12 datasets,
 //!
-//! — and adds [`CoreIndex`], a batteries-included handle that owns a
-//! disk-resident dynamic graph together with its maintained core numbers.
+//! — and adds two batteries-included handles:
+//!
+//! * [`CoreIndex`] — one disk-resident dynamic graph with its maintained
+//!   core numbers;
+//! * [`CoreService`] — many such graphs served concurrently against **one**
+//!   process-wide memory budget (a [`graphstore::SharedPool`]), with
+//!   per-graph registration, eviction, and deterministic charged I/O.
 //!
 //! ```
 //! use kcore_suite::CoreIndex;
@@ -38,15 +43,19 @@ pub use graphgen;
 pub use graphstore;
 pub use semicore;
 
+mod service;
+
+pub use service::CoreService;
+
 use std::path::Path;
 
 use graphstore::{
-    AdjacencyRead, BufferedGraph, IoCounter, IoSnapshot, MemGraph, Result, DEFAULT_BLOCK_SIZE,
-    DEFAULT_BUFFER_CAPACITY,
+    AdjacencyRead, BufferedGraph, DiskGraph, IoCounter, IoSnapshot, MemGraph, Result, SharedPool,
+    DEFAULT_BLOCK_SIZE, DEFAULT_BUFFER_CAPACITY,
 };
 use semicore::{
-    semi_delete_star, semi_insert_star, semicore_star_state, CoreState, DecomposeOptions,
-    MaintainStats, RunStats, SparseMarks,
+    semi_delete_star, semi_insert_star, semicore_star_state, semicore_star_state_with, CoreState,
+    DecomposeOptions, MaintainStats, RunStats, ScanExecutor, SparseMarks,
 };
 
 /// A disk-resident dynamic graph with continuously maintained core numbers.
@@ -106,6 +115,43 @@ impl CoreIndex {
     /// without a budget).
     pub fn cache_stats(&self) -> Option<graphstore::CacheStats> {
         self.graph.disk().cache_stats()
+    }
+
+    /// Open a graph against a process-wide [`SharedPool`] and decompose it
+    /// with the given executor: bytes come from the pool's shared budget,
+    /// while charged `read_ios` follows a private charge cache of
+    /// `charge_bytes` (the graph's own model budget `M`) so the charge is
+    /// bit-identical however many other graphs contend for the pool. This
+    /// is the constructor [`CoreService`] serves graphs through.
+    pub fn open_pooled(
+        base: &Path,
+        pool: &SharedPool,
+        charge_bytes: u64,
+        exec: ScanExecutor,
+    ) -> Result<CoreIndex> {
+        let counter = IoCounter::new(pool.block_size());
+        let disk = DiskGraph::open_pooled(base, counter, pool, charge_bytes)?;
+        Self::from_disk_graph(disk, DEFAULT_BUFFER_CAPACITY, exec)
+    }
+
+    /// Decompose `disk` with the given executor (the disk graph is still
+    /// shardable at this point, so parallel executors fan out), then wrap
+    /// it with an update buffer of `capacity` edit entries for maintenance.
+    pub fn from_disk_graph(
+        mut disk: DiskGraph,
+        capacity: usize,
+        exec: ScanExecutor,
+    ) -> Result<CoreIndex> {
+        let (state, decompose_stats) =
+            semicore_star_state_with(&mut disk, &DecomposeOptions::default(), exec)?;
+        let graph = BufferedGraph::new(disk, capacity);
+        let n = graph.num_nodes();
+        Ok(CoreIndex {
+            graph,
+            state,
+            marks: SparseMarks::new(n),
+            decompose_stats,
+        })
     }
 
     /// Wrap an already-buffered graph and decompose it.

@@ -1,0 +1,355 @@
+//! Multi-graph serving: many [`CoreIndex`]es against one memory budget.
+//!
+//! The paper prices everything against a single memory budget `M`;
+//! [`CoreService`] makes that budget a *process-wide* resource. It owns one
+//! [`SharedPool`] and a registry of named graphs, each opened through
+//! [`CoreIndex::open_pooled`]: the pool arbitrates the global byte budget
+//! across whichever graphs are busy, while every graph keeps a private
+//! deterministic charge cache so its charged `read_ios` is bit-identical
+//! whether it is served alone or alongside `K` contending graphs — only
+//! [`physical_reads`](graphstore::IoSnapshot::physical_reads) move with
+//! contention (see [`graphstore::pool`] for the accounting contract).
+//!
+//! Concurrency: the registry lock is held only to look names up; each graph
+//! sits behind its own mutex, so operations on *different* graphs proceed
+//! in parallel while operations on the same graph serialize. Evicting a
+//! graph drops it from the registry; its pool frames are invalidated when
+//! the last in-flight operation on it finishes (invalidate-on-drop via the
+//! graph's [`PoolLease`](graphstore::PoolLease)).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use graphstore::{
+    working_set_charge_budget, EvictionPolicy, IoSnapshot, Result, SharedPool, DEFAULT_BLOCK_SIZE,
+};
+use semicore::{MaintainStats, ScanExecutor};
+
+use crate::CoreIndex;
+
+/// A process-wide k-core serving layer: open, decompose, maintain, query
+/// and evict many disk-resident graphs concurrently against **one** global
+/// byte budget.
+///
+/// ```
+/// use graphstore::TempDir;
+/// use kcore_suite::CoreService;
+///
+/// let dir = TempDir::new("doc-service").unwrap();
+/// let service = CoreService::new(1 << 20).unwrap(); // 1 MiB for everyone
+/// service
+///     .create("tri", &dir.path().join("tri"), [(0, 1), (1, 2), (0, 2)], 3)
+///     .unwrap();
+/// service
+///     .create("path", &dir.path().join("path"), [(0, 1), (1, 2)], 3)
+///     .unwrap();
+/// assert_eq!(service.kmax("tri").unwrap(), 2);
+/// assert_eq!(service.kmax("path").unwrap(), 1);
+/// service.insert_edge("path", 0, 2).unwrap(); // now a triangle too
+/// assert_eq!(service.kmax("path").unwrap(), 2);
+/// service.evict("tri").unwrap(); // frames return to the pool
+/// assert_eq!(service.graph_names(), vec!["path".to_string()]);
+/// ```
+#[derive(Debug)]
+pub struct CoreService {
+    pool: SharedPool,
+    exec: ScanExecutor,
+    graphs: Mutex<HashMap<String, Arc<Mutex<CoreIndex>>>>,
+}
+
+impl CoreService {
+    /// A service arbitrating `budget_bytes` across all served graphs, with
+    /// the default block size, the scan-resistant eviction policy and the
+    /// sequential executor. Errors when the budget holds fewer than two
+    /// blocks.
+    pub fn new(budget_bytes: u64) -> Result<CoreService> {
+        Self::with_config(
+            DEFAULT_BLOCK_SIZE,
+            budget_bytes,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+        )
+    }
+
+    /// [`CoreService::new`] with every knob explicit: block size `B`,
+    /// global budget, pool eviction policy (also used by each graph's
+    /// charge cache), and the scan executor used for initial
+    /// decompositions.
+    pub fn with_config(
+        block_size: usize,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+        exec: ScanExecutor,
+    ) -> Result<CoreService> {
+        Ok(CoreService {
+            pool: SharedPool::with_policy(block_size, budget_bytes, policy)?,
+            exec,
+            graphs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The shared pool, for budget/occupancy/hit-rate introspection.
+    pub fn pool(&self) -> &SharedPool {
+        &self.pool
+    }
+
+    /// Names of the graphs currently being served, sorted.
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.registry().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// True when `name` is currently being served.
+    pub fn contains(&self, name: &str) -> bool {
+        self.registry().contains_key(name)
+    }
+
+    /// Open the graph stored at `<base>.nodes/.edges` and serve it as
+    /// `name`, decomposing it on the way in. The charge budget defaults to
+    /// the graph's whole working set (both tables plus headroom), which
+    /// makes its charged `read_ios` equal *distinct blocks touched* —
+    /// schedule-independent, so the guarantee holds at any worker count.
+    pub fn open(&self, name: &str, base: &Path) -> Result<()> {
+        let charge = working_set_charge_budget(base, self.pool.block_size())?;
+        self.open_with_charge(name, base, charge)
+    }
+
+    /// [`CoreService::open`] with an explicit per-graph charge budget (the
+    /// model `M` this graph's `read_ios` is priced against). Budgets below
+    /// two blocks charge per shared-pool miss instead — honest, but
+    /// dependent on the other graphs' traffic.
+    pub fn open_with_charge(&self, name: &str, base: &Path, charge_bytes: u64) -> Result<()> {
+        if self.contains(name) {
+            return Err(already_serving(name));
+        }
+        // Decompose outside the registry lock: other graphs keep serving.
+        let index = CoreIndex::open_pooled(base, &self.pool, charge_bytes, self.exec)?;
+        let mut graphs = self.registry();
+        if graphs.contains_key(name) {
+            // A racing open beat us; the loser's lease frees its frames.
+            return Err(already_serving(name));
+        }
+        graphs.insert(name.to_string(), Arc::new(Mutex::new(index)));
+        Ok(())
+    }
+
+    /// Build a graph from `edges` at `<base>.nodes/.edges`, then serve it
+    /// as `name` (see [`CoreIndex::create`] for the edge-list semantics).
+    pub fn create(
+        &self,
+        name: &str,
+        base: &Path,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+        min_nodes: u32,
+    ) -> Result<()> {
+        if self.contains(name) {
+            return Err(already_serving(name));
+        }
+        let mem = graphstore::MemGraph::from_edges(edges, min_nodes);
+        let counter = graphstore::IoCounter::new(self.pool.block_size());
+        graphstore::write_mem_graph(base, &mem, counter)?;
+        self.open(name, base)
+    }
+
+    /// Stop serving `name`. In-flight operations on the graph finish
+    /// normally; its pool frames are invalidated when the last one drops
+    /// its handle.
+    pub fn evict(&self, name: &str) -> Result<()> {
+        self.registry()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| not_serving(name))
+    }
+
+    /// Run `f` against the named graph's [`CoreIndex`], holding that
+    /// graph's lock (and no other) for the duration. This is the generic
+    /// access path every convenience method goes through.
+    pub fn with_graph<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut CoreIndex) -> Result<R>,
+    ) -> Result<R> {
+        let handle = self
+            .registry()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| not_serving(name))?;
+        // The registry lock is released; only this graph serializes.
+        let mut index = handle.lock().expect("served graph poisoned");
+        f(&mut index)
+    }
+
+    /// All core numbers of the named graph.
+    pub fn cores(&self, name: &str) -> Result<Vec<u32>> {
+        self.with_graph(name, |idx| Ok(idx.cores().to_vec()))
+    }
+
+    /// Core number of node `v` in the named graph. Unlike
+    /// [`CoreIndex::core`], an out-of-range node is an error, not a panic —
+    /// a serving layer must survive bad queries.
+    pub fn core(&self, name: &str, v: u32) -> Result<u32> {
+        self.with_graph(name, |idx| {
+            if v >= idx.num_nodes() {
+                return Err(graphstore::Error::NodeOutOfRange {
+                    node: v,
+                    num_nodes: idx.num_nodes(),
+                });
+            }
+            Ok(idx.core(v))
+        })
+    }
+
+    /// Degeneracy `kmax` of the named graph.
+    pub fn kmax(&self, name: &str) -> Result<u32> {
+        self.with_graph(name, |idx| Ok(idx.kmax()))
+    }
+
+    /// Insert an edge into the named graph, maintaining its cores
+    /// (SemiInsert\*). Unlike [`CoreIndex::insert_edge`] — which trusts
+    /// its caller and silently corrupts state on a duplicate — the serving
+    /// layer validates first (one adjacency read): inserting a present
+    /// edge is an error, because this path is fed raw user input.
+    pub fn insert_edge(&self, name: &str, u: u32, v: u32) -> Result<MaintainStats> {
+        self.with_graph(name, |idx| {
+            if idx.has_edge(u, v)? {
+                return Err(graphstore::Error::InvalidArgument(format!(
+                    "edge ({u}, {v}) already present"
+                )));
+            }
+            idx.insert_edge(u, v)
+        })
+    }
+
+    /// Delete an edge from the named graph, maintaining its cores
+    /// (SemiDelete\*). As with [`CoreService::insert_edge`], deleting an
+    /// absent edge is an error rather than silent state corruption.
+    pub fn delete_edge(&self, name: &str, u: u32, v: u32) -> Result<MaintainStats> {
+        self.with_graph(name, |idx| {
+            if !idx.has_edge(u, v)? {
+                return Err(graphstore::Error::InvalidArgument(format!(
+                    "edge ({u}, {v}) not present"
+                )));
+            }
+            idx.delete_edge(u, v)
+        })
+    }
+
+    /// Cumulative I/O charged to the named graph (its own counter: charged
+    /// reads are contention-independent, physical reads are not).
+    pub fn io(&self, name: &str) -> Result<IoSnapshot> {
+        self.with_graph(name, |idx| Ok(idx.io()))
+    }
+
+    /// Check the Theorem 4.1 fixpoint certificate on the named graph.
+    pub fn verify(&self, name: &str) -> Result<bool> {
+        self.with_graph(name, |idx| idx.verify())
+    }
+
+    fn registry(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<CoreIndex>>>> {
+        self.graphs.lock().expect("service registry poisoned")
+    }
+}
+
+fn already_serving(name: &str) -> graphstore::Error {
+    graphstore::Error::InvalidArgument(format!("a graph named {name:?} is already being served"))
+}
+
+fn not_serving(name: &str) -> graphstore::Error {
+    graphstore::Error::InvalidArgument(format!("no graph named {name:?} is being served"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstore::TempDir;
+
+    fn triangle_plus_tail() -> Vec<(u32, u32)> {
+        vec![(0, 1), (1, 2), (0, 2), (2, 3)]
+    }
+
+    #[test]
+    fn serve_two_graphs_and_evict() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.create("b", &dir.path().join("b"), [(0u32, 1u32), (1, 2)], 3)
+            .unwrap();
+        assert_eq!(svc.graph_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(svc.pool().registered_graphs(), 2);
+        assert_eq!(svc.cores("a").unwrap(), vec![2, 2, 2, 1]);
+        assert_eq!(svc.kmax("b").unwrap(), 1);
+        assert!(svc.verify("a").unwrap());
+
+        svc.evict("a").unwrap();
+        assert!(!svc.contains("a"));
+        assert_eq!(svc.pool().registered_graphs(), 1);
+        assert!(svc.cores("a").is_err());
+        // b is untouched by a's teardown.
+        assert_eq!(svc.kmax("b").unwrap(), 1);
+    }
+
+    #[test]
+    fn maintenance_is_per_graph() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.create("b", &dir.path().join("b"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.insert_edge("a", 1, 3).unwrap();
+        svc.insert_edge("a", 0, 3).unwrap(); // a is now K4
+        assert_eq!(svc.kmax("a").unwrap(), 3);
+        assert_eq!(svc.kmax("b").unwrap(), 2, "b must not see a's updates");
+        svc.delete_edge("a", 0, 1).unwrap();
+        assert_eq!(svc.kmax("a").unwrap(), 2);
+        assert!(svc.verify("a").unwrap() && svc.verify("b").unwrap());
+    }
+
+    #[test]
+    fn duplicate_and_missing_names_are_errors() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        assert!(svc
+            .create("a", &dir.path().join("a2"), triangle_plus_tail(), 4)
+            .is_err());
+        assert!(svc.evict("ghost").is_err());
+        assert!(svc.insert_edge("ghost", 0, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_insert_and_absent_delete_are_errors_not_corruption() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        let edges_before = svc.with_graph("a", |idx| Ok(idx.num_edges())).unwrap();
+        assert!(svc.insert_edge("a", 0, 1).is_err(), "edge already present");
+        assert!(svc.delete_edge("a", 1, 3).is_err(), "edge absent");
+        assert!(svc.delete_edge("a", 1, 3).is_err(), "still absent");
+        assert_eq!(
+            svc.with_graph("a", |idx| Ok(idx.num_edges())).unwrap(),
+            edges_before,
+            "rejected updates must not drift the edge count"
+        );
+        assert!(svc.verify("a").unwrap(), "state untouched by bad updates");
+    }
+
+    #[test]
+    fn out_of_range_queries_error_instead_of_panicking() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        assert!(matches!(
+            svc.core("a", 99),
+            Err(graphstore::Error::NodeOutOfRange { node: 99, .. })
+        ));
+        assert!(svc.insert_edge("a", 0, 99).is_err());
+        assert_eq!(svc.core("a", 3).unwrap(), 1);
+    }
+}

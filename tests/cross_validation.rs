@@ -4,14 +4,7 @@
 use graphstore::{mem_to_disk, IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
 use proptest::prelude::*;
 use semicore::{verify_exact, DecomposeOptions, EmCoreOptions};
-
-/// Strategy: an arbitrary small multigraph edge list plus a node count.
-fn arb_graph() -> impl Strategy<Value = MemGraph> {
-    (2u32..120, 0usize..400).prop_flat_map(|(n, m)| {
-        proptest::collection::vec((0..n, 0..n), m)
-            .prop_map(move |edges| MemGraph::from_edges(edges, n))
-    })
-}
+use testutil::{arb_graph, oracle_cores};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -19,7 +12,7 @@ proptest! {
     #[test]
     fn all_decomposition_algorithms_agree(g in arb_graph()) {
         let mut g = g;
-        let oracle = semicore::imcore(&g).core;
+        let oracle = oracle_cores(&g);
         let opts = DecomposeOptions::default();
 
         let a = semicore::semicore(&mut g, &opts).unwrap();
@@ -56,7 +49,7 @@ proptest! {
 
     #[test]
     fn disk_backend_matches_memory_backend(g in arb_graph()) {
-        let oracle = semicore::imcore(&g).core;
+        let oracle = oracle_cores(&g);
         let dir = TempDir::new("xval").unwrap();
         let mut disk = mem_to_disk(
             &dir.path().join("g"),

@@ -4,14 +4,15 @@
 //! (in-memory dynamic graph vs disk graph + update buffer).
 
 use graphstore::{
-    mem_to_disk, snapshot_mem, BufferedGraph, DynGraph, IoCounter, MemGraph, TempDir,
-    DEFAULT_BLOCK_SIZE,
+    mem_to_disk, snapshot_mem, AdjacencyRead, BufferedGraph, DiskGraph, DynGraph, IoCounter,
+    MemGraph, SharedPool, TempDir, DEFAULT_BLOCK_SIZE,
 };
 use proptest::prelude::*;
 use semicore::{
     imcore, semi_delete_star, semi_insert, semi_insert_star, semicore_star_state, DecomposeOptions,
     SparseMarks,
 };
+use testutil::{arb_toggle_stream, oracle_cores};
 
 #[derive(Debug, Clone, Copy)]
 enum Op {
@@ -19,16 +20,8 @@ enum Op {
 }
 
 fn arb_stream() -> impl Strategy<Value = (MemGraph, Vec<Op>)> {
-    (3u32..60, 0usize..150).prop_flat_map(|(n, m)| {
-        let edges = proptest::collection::vec((0..n, 0..n), m);
-        let ops = proptest::collection::vec((0..n, 0..n), 0usize..40);
-        (edges, ops).prop_map(move |(e, o)| {
-            (
-                MemGraph::from_edges(e, n),
-                o.into_iter().map(|(a, b)| Op::Toggle(a, b)).collect(),
-            )
-        })
-    })
+    arb_toggle_stream()
+        .prop_map(|(g, ops)| (g, ops.into_iter().map(|(a, b)| Op::Toggle(a, b)).collect()))
 }
 
 proptest! {
@@ -118,6 +111,71 @@ proptest! {
         // The merged disk view equals the in-memory mirror.
         let snap = snapshot_mem(&mut buffered).unwrap();
         prop_assert_eq!(snap, dynamic.to_mem());
+    }
+
+    #[test]
+    fn two_graphs_sharing_one_pool_maintain_independently((ga, ops_a) in arb_stream(),
+                                                          (gb, ops_b) in arb_stream()) {
+        // Interleaved insert/delete streams applied to two graphs whose
+        // disk blocks live in ONE shared pool, with update-buffer flushes
+        // forced mid-stream (capacity 16): after every batch each graph
+        // must equal recomputation from scratch — the neighbour's traffic,
+        // evictions and flush invalidations included.
+        let dir = TempDir::new("maint2").unwrap();
+        let pool = SharedPool::new(DEFAULT_BLOCK_SIZE, 8 * DEFAULT_BLOCK_SIZE as u64).unwrap();
+        let mut served = Vec::new();
+        for (tag, g) in [("a", &ga), ("b", &gb)] {
+            let base = dir.path().join(tag);
+            mem_to_disk(&base, g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+            let disk = DiskGraph::open_pooled(
+                &base,
+                IoCounter::new(DEFAULT_BLOCK_SIZE),
+                &pool,
+                1 << 20,
+            )
+            .unwrap();
+            // Tiny buffer so flushes (rewrite + pooled invalidation) trigger.
+            let mut buffered = BufferedGraph::new(disk, 16);
+            let (state, _) =
+                semicore_star_state(&mut buffered, &DecomposeOptions::default()).unwrap();
+            let n = buffered.num_nodes();
+            let mirror = DynGraph::from_mem(g);
+            served.push((buffered, state, SparseMarks::new(n), mirror));
+        }
+
+        // Interleave the two streams batch by batch (batches of 4 ops).
+        let streams = [ops_a, ops_b];
+        let longest = streams[0].len().max(streams[1].len());
+        let mut cursor = 0usize;
+        while cursor < longest {
+            for (which, ops) in streams.iter().enumerate() {
+                let (buffered, state, marks, mirror) = &mut served[which];
+                for &Op::Toggle(a, b) in ops.iter().skip(cursor).take(4) {
+                    if a == b {
+                        continue;
+                    }
+                    if mirror.has_edge(a, b) {
+                        semi_delete_star(buffered, state, a, b).unwrap();
+                        mirror.delete_edge(a, b).unwrap();
+                    } else {
+                        semi_insert_star(buffered, state, marks, a, b).unwrap();
+                        mirror.insert_edge(a, b).unwrap();
+                    }
+                }
+                // Scratch recomputation after every batch.
+                let oracle = oracle_cores(&mirror.to_mem());
+                prop_assert_eq!(&state.core, &oracle, "graph {} diverged", which);
+            }
+            cursor += 4;
+        }
+
+        // The merged disk views both equal their mirrors, and the shared
+        // pool held its budget throughout the flush/invalidate churn.
+        for (buffered, _, _, mirror) in served.iter_mut() {
+            let snap = snapshot_mem(buffered).unwrap();
+            prop_assert_eq!(snap, mirror.to_mem());
+        }
+        prop_assert!(pool.resident_bytes() <= pool.budget_bytes());
     }
 
     #[test]

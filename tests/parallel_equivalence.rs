@@ -11,56 +11,12 @@
 //! * The shared pool itself is safe under concurrent hammering from many
 //!   reader handles (the stress test at the bottom).
 
-use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
+use graphstore::{mem_to_disk, DiskGraph, IoCounter, MemGraph, TempDir};
 use semicore::{
     semicore_plus_with, semicore_star_state_with, semicore_star_with, semicore_with,
     DecomposeOptions, ScanExecutor,
 };
-
-/// Worker counts under test: 1/2/4 always, plus whatever `SEMICORE_WORKERS`
-/// asks for (the CI knob that re-runs the suite at another width).
-fn worker_counts() -> Vec<usize> {
-    let mut counts = vec![1usize, 2, 4];
-    if let Some(w) = std::env::var("SEMICORE_WORKERS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        if w >= 1 && !counts.contains(&w) {
-            counts.push(w);
-        }
-    }
-    counts
-}
-
-/// The three generator-family fixtures the bench suite uses, at test size.
-fn fixtures() -> Vec<(&'static str, MemGraph)> {
-    let er = MemGraph::from_edges(graphgen::gnm(600, 2400, 11), 600);
-    let ba = MemGraph::from_edges(graphgen::preferential_attachment(500, 4, 22), 500);
-    let rmat_params = graphgen::Rmat::web(9);
-    let rmat = MemGraph::from_edges(
-        graphgen::rmat_edges(rmat_params, 3000, 33),
-        rmat_params.num_nodes(),
-    );
-    vec![("ER", er), ("BA", ba), ("RMAT", rmat)]
-}
-
-/// Write `g` to disk and open it with a budget covering the whole graph —
-/// the regime in which charged I/O is schedule-independent.
-fn on_disk_full_budget(g: &MemGraph, dir: &TempDir, tag: &str) -> DiskGraph {
-    let base = dir.path().join(tag);
-    let disk = mem_to_disk(&base, g, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
-    // Headroom of a few frames over the byte total: each table rounds up to
-    // whole blocks, and a pool one frame short of the working set would
-    // evict — making charged misses schedule-dependent again.
-    let budget = disk.meta().node_file_len() + disk.meta().edge_file_len();
-    drop(disk);
-    DiskGraph::open_with_cache(
-        &base,
-        IoCounter::new(DEFAULT_BLOCK_SIZE),
-        budget + 4 * DEFAULT_BLOCK_SIZE as u64,
-    )
-    .unwrap()
-}
+use testutil::{disk_full_budget as on_disk_full_budget, fixtures, worker_counts, Lcg};
 
 #[test]
 fn all_algorithms_all_families_all_worker_counts() {
@@ -166,15 +122,9 @@ fn concurrent_cache_access_stress() {
             let mut h = root.try_clone().unwrap();
             let expect = &g;
             s.spawn(move || {
-                let mut state = 0x5EED ^ t;
-                let mut next = move || {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    (state >> 33) as u32
-                };
+                let mut rng = Lcg::new(0x5EED ^ t);
                 for _ in 0..4000 {
-                    let v = next() % n;
+                    let v = rng.below(n);
                     h.with_adjacency(v, |nbrs| {
                         assert_eq!(nbrs, expect.neighbors(v), "node {v} bytes corrupted");
                     })
