@@ -36,7 +36,11 @@
 //! [`semi_delete_star`] (Alg. 6), [`semi_insert`] (Alg. 7) and
 //! [`semi_insert_star`] (Alg. 8) update a maintained [`CoreState`]
 //! incrementally; [`InMemoryCores`] packages the in-memory baseline
-//! (IMInsert / IMDelete).
+//! (IMInsert / IMDelete). Serving layers speak in the typed
+//! [`MaintainOp`] value instead of picking a function per call:
+//! [`MaintenanceEngine`] owns algorithm selection and dispatch, and the
+//! op's stable wire encoding is what maintenance journals persist and
+//! replay.
 //!
 //! ## Example
 //!
@@ -74,6 +78,7 @@ pub use emcore::{emcore, EmCoreOptions};
 pub use executor::ScanExecutor;
 pub use imcore::imcore;
 pub use maintain::delete::semi_delete_star;
+pub use maintain::engine::{InsertAlgorithm, MaintainOp, MaintenanceEngine, MAINTAIN_OP_LEN};
 pub use maintain::inmem::InMemoryCores;
 pub use maintain::insert::semi_insert;
 pub use maintain::insert_star::semi_insert_star;

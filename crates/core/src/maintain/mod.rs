@@ -14,8 +14,13 @@
 //!   phase driven by the `cnt*` recurrence (Eq. 4) and the
 //!   φ / ? / √ / × status machine, touching far fewer nodes.
 //! * [`inmem`] — the in-memory maintenance baseline (IMInsert / IMDelete).
+//! * [`engine`] — the typed [`MaintainOp`](engine::MaintainOp) value and
+//!   the [`MaintenanceEngine`](engine::MaintenanceEngine) that owns
+//!   algorithm selection and dispatch; the functions above are its
+//!   workers, and the journaling/replay/batching layers speak only in ops.
 
 pub mod delete;
+pub mod engine;
 pub mod inmem;
 pub mod insert;
 pub mod insert_star;

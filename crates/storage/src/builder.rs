@@ -103,10 +103,16 @@ impl DiskGraphWriter {
         Ok(())
     }
 
-    /// Flush everything and return the final file pair.
+    /// Flush everything, fsync both tables (and their directory entries)
+    /// and return the final file pair.
+    ///
+    /// The fsyncs matter: `flush` only drains userspace buffers into the
+    /// page cache, so a power loss after "successful" build could lose the
+    /// tables on a real filesystem — fatal now that checkpoints and the
+    /// maintenance WAL assume the base tables they reference are durable.
     pub fn finish(mut self) -> Result<GraphPaths> {
         self.pad_to(self.num_nodes);
-        self.edge_writer.finish()?;
+        self.edge_writer.finish()?.sync_all()?;
 
         let meta = format::GraphMeta {
             num_nodes: self.num_nodes,
@@ -116,7 +122,9 @@ impl DiskGraphWriter {
         let mut w = BlockWriter::new(node_file, self.counter.clone());
         w.write_all(&format::encode_node_header(&meta))?;
         w.write_all(&self.node_entries)?;
-        w.finish()?;
+        w.finish()?.sync_all()?;
+        // Both files are durable; now make their directory entries so.
+        crate::io::sync_parent_dir(&self.paths.nodes)?;
         Ok(self.paths)
     }
 }

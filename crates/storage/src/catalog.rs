@@ -1,0 +1,568 @@
+//! Persistent serving catalog: the manifest and state checkpoints behind a
+//! durable graph registry.
+//!
+//! A serving process that maintains core numbers incrementally has three
+//! things to lose on restart: *which* graphs it was serving, the maintained
+//! per-node state the incremental algorithms exist to preserve, and the
+//! not-yet-compacted edge edits sitting in each graph's update buffer. This
+//! module persists all three:
+//!
+//! * [`Catalog`] — a versioned, checksummed manifest (`catalog.kc` in the
+//!   data directory) recording the pool configuration and, per graph, the
+//!   name, base path, charge budget and last checkpoint sequence number.
+//!   Rewritten atomically (temp file + rename + directory fsync) on every
+//!   registry change.
+//! * [`StateCheckpoint`] — one file per graph (`<name>.ckpt`) holding the
+//!   maintained state at a journal sequence number: core numbers, the
+//!   Eq. 2 counters, and the pending update-buffer edits relative to the
+//!   immutable on-disk tables. Restoring it is one sequential scan — the
+//!   whole point, versus re-running a multi-pass decomposition.
+//!
+//! Both files carry a magic, a format version and a trailing CRC-32; a
+//! failed validation surfaces as [`Error::Corrupt`], never a panic or an
+//! unbounded allocation. The recovery invariants tying these artefacts to
+//! the per-graph write-ahead journal ([`crate::wal`]) are documented in
+//! ARCHITECTURE.md ("Durability").
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::cache::EvictionPolicy;
+use crate::codec;
+use crate::error::{Error, Result};
+use crate::io::{sync_parent_dir, IoCounter};
+
+/// Magic bytes opening the catalog manifest.
+pub const CATALOG_MAGIC: &[u8; 8] = b"KCORCAT1";
+/// Magic bytes opening a state checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"KCORCKP1";
+/// Format version written into both durability artefacts.
+pub const DURABILITY_VERSION: u32 = 1;
+
+/// Name of the manifest file within a data directory.
+pub const CATALOG_FILE: &str = "catalog.kc";
+
+/// One served graph as recorded in the [`Catalog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Registry name of the graph (also names its `.ckpt`/`.wal` files).
+    pub name: String,
+    /// Base path of the immutable `<base>.nodes`/`.edges` table pair.
+    pub base: PathBuf,
+    /// The per-graph charge budget `M` its `read_ios` is priced against.
+    pub charge_bytes: u64,
+    /// Journal sequence number of a completed checkpoint. Advisory and
+    /// possibly stale: the checkpoint file's own sequence number is
+    /// authoritative, and the manifest is only rewritten when the registry
+    /// shape changes — not on every checkpoint.
+    pub checkpoint_seq: u64,
+}
+
+/// The persistent manifest of a durable serving directory: pool
+/// configuration plus one [`CatalogEntry`] per served graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Catalog {
+    /// Block size `B` of the shared pool (and of all charged accounting).
+    pub block_size: usize,
+    /// Global pool budget in bytes, arbitrated across all entries.
+    pub budget_bytes: u64,
+    /// Eviction policy of the pool (and of each graph's charge cache).
+    pub policy: EvictionPolicy,
+    /// The served graphs, in registration order.
+    pub entries: Vec<CatalogEntry>,
+}
+
+impl Catalog {
+    /// Path of the manifest inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(CATALOG_FILE)
+    }
+
+    /// True when `dir` holds a manifest.
+    pub fn exists_in(dir: &Path) -> bool {
+        Self::path_in(dir).is_file()
+    }
+
+    /// Serialize and atomically replace the manifest in `dir`: write to a
+    /// temp file, fsync, rename over [`CATALOG_FILE`], fsync the directory.
+    /// A crash at any point leaves either the old or the new manifest,
+    /// never a mixture.
+    pub fn write(&self, dir: &Path) -> Result<()> {
+        let mut body = Vec::new();
+        codec_put_u32(&mut body, DURABILITY_VERSION);
+        codec_put_u32(&mut body, self.block_size as u32);
+        body.extend_from_slice(&self.budget_bytes.to_le_bytes());
+        body.push(encode_policy(self.policy));
+        codec_put_u32(&mut body, self.entries.len() as u32);
+        for e in &self.entries {
+            put_str(&mut body, &e.name)?;
+            let base = e.base.to_str().ok_or_else(|| {
+                Error::InvalidArgument(format!(
+                    "graph base path {:?} is not valid UTF-8 and cannot be catalogued",
+                    e.base
+                ))
+            })?;
+            put_str(&mut body, base)?;
+            body.extend_from_slice(&e.charge_bytes.to_le_bytes());
+            body.extend_from_slice(&e.checkpoint_seq.to_le_bytes());
+        }
+        let mut bytes = Vec::with_capacity(body.len() + 12);
+        bytes.extend_from_slice(CATALOG_MAGIC);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&codec::crc32(&body).to_le_bytes());
+
+        let path = Self::path_in(dir);
+        write_atomically(&path, &bytes)
+    }
+
+    /// Read and validate the manifest in `dir`.
+    pub fn read(dir: &Path) -> Result<Catalog> {
+        let path = Self::path_in(dir);
+        let bytes = std::fs::read(&path)?;
+        let body = checked_body(&bytes, CATALOG_MAGIC, "catalog")?;
+        let mut cur = Cursor::new(body);
+        let version = cur.u32("catalog version")?;
+        if version != DURABILITY_VERSION {
+            return Err(Error::corrupt(format!(
+                "unsupported catalog version {version} (expected {DURABILITY_VERSION})"
+            )));
+        }
+        let block_size = cur.u32("catalog block size")? as usize;
+        if block_size == 0 {
+            return Err(Error::corrupt("catalog block size is zero"));
+        }
+        let budget_bytes = cur.u64("catalog budget")?;
+        let policy = decode_policy(cur.u8("catalog policy")?)?;
+        let count = cur.u32("catalog entry count")? as usize;
+        let mut entries = Vec::new();
+        for _ in 0..count {
+            let name = cur.str("entry name")?;
+            let base = PathBuf::from(cur.str("entry base path")?);
+            let charge_bytes = cur.u64("entry charge budget")?;
+            let checkpoint_seq = cur.u64("entry checkpoint seq")?;
+            entries.push(CatalogEntry {
+                name,
+                base,
+                charge_bytes,
+                checkpoint_seq,
+            });
+        }
+        cur.finish("catalog")?;
+        Ok(Catalog {
+            block_size,
+            budget_bytes,
+            policy,
+            entries,
+        })
+    }
+}
+
+/// A graph's maintained per-node state frozen at journal sequence number
+/// [`seq`](StateCheckpoint::seq), plus the update-buffer edits pending
+/// against the immutable on-disk tables at that moment.
+///
+/// This is deliberately typed as raw vectors rather than any algorithm
+/// structure: the storage layer persists *state*, the layers above decide
+/// what it means. Restoring one is a single sequential read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateCheckpoint {
+    /// Sequence number of the last maintenance op reflected in this state.
+    pub seq: u64,
+    /// Per-node core numbers.
+    pub cores: Vec<u32>,
+    /// Per-node Eq. 2 counters.
+    pub cnt: Vec<i32>,
+    /// Pending undirected edge edits `(u, v, inserted)` with `u < v`,
+    /// relative to the on-disk tables (the update buffer's net content).
+    pub edits: Vec<(u32, u32, bool)>,
+}
+
+impl StateCheckpoint {
+    /// Serialize and atomically replace the checkpoint at `path` (temp
+    /// file + rename + directory fsync), charging the sequential write to
+    /// `counter`. The rename is the durability commit point the recovery
+    /// protocol builds on.
+    pub fn write(&self, path: &Path, counter: &Arc<IoCounter>) -> Result<()> {
+        Self::write_parts(path, counter, self.seq, &self.cores, &self.cnt, &self.edits)
+    }
+
+    /// [`StateCheckpoint::write`] from borrowed parts — the hot-path form:
+    /// the serving layer checkpoints every `checkpoint_every` ops while
+    /// holding the graph's lock, and cloning two `O(n)` vectors per
+    /// checkpoint just to feed an owned struct would betray the bounded
+    /// semi-external footprint everything else maintains.
+    pub fn write_parts(
+        path: &Path,
+        counter: &Arc<IoCounter>,
+        seq: u64,
+        cores: &[u32],
+        cnt: &[i32],
+        edits: &[(u32, u32, bool)],
+    ) -> Result<()> {
+        if cores.len() != cnt.len() {
+            return Err(Error::InvalidArgument(format!(
+                "checkpoint vectors disagree: {} cores vs {} counters",
+                cores.len(),
+                cnt.len()
+            )));
+        }
+        let mut body = Vec::with_capacity(24 + cores.len() * 8 + edits.len() * 9);
+        codec_put_u32(&mut body, DURABILITY_VERSION);
+        body.extend_from_slice(&seq.to_le_bytes());
+        codec_put_u32(&mut body, cores.len() as u32);
+        codec_put_u32(&mut body, edits.len() as u32);
+        for &c in cores {
+            body.extend_from_slice(&c.to_le_bytes());
+        }
+        for &c in cnt {
+            body.extend_from_slice(&c.to_le_bytes());
+        }
+        for &(u, v, inserted) in edits {
+            body.extend_from_slice(&u.to_le_bytes());
+            body.extend_from_slice(&v.to_le_bytes());
+            body.push(inserted as u8);
+        }
+        let mut bytes = Vec::with_capacity(body.len() + 12);
+        bytes.extend_from_slice(CHECKPOINT_MAGIC);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&codec::crc32(&body).to_le_bytes());
+
+        let b = counter.block_size() as u64;
+        counter.charge_write((bytes.len() as u64).div_ceil(b), bytes.len() as u64);
+        write_atomically(path, &bytes)
+    }
+
+    /// Read and validate the checkpoint at `path`, charging the sequential
+    /// read to `counter`.
+    pub fn read(path: &Path, counter: &Arc<IoCounter>) -> Result<StateCheckpoint> {
+        let bytes = std::fs::read(path)?;
+        let b = counter.block_size() as u64;
+        counter.charge_read((bytes.len() as u64).div_ceil(b).max(1), bytes.len() as u64);
+
+        let body = checked_body(&bytes, CHECKPOINT_MAGIC, "checkpoint")?;
+        let mut cur = Cursor::new(body);
+        let version = cur.u32("checkpoint version")?;
+        if version != DURABILITY_VERSION {
+            return Err(Error::corrupt(format!(
+                "unsupported checkpoint version {version} (expected {DURABILITY_VERSION})"
+            )));
+        }
+        let seq = cur.u64("checkpoint seq")?;
+        let n = cur.u32("checkpoint node count")? as usize;
+        let edits_len = cur.u32("checkpoint edit count")? as usize;
+        // Validate the declared sizes against the actual payload before
+        // allocating: corrupt counts must not drive unbounded allocations.
+        let want = n
+            .checked_mul(8)
+            .and_then(|x| x.checked_add(edits_len.checked_mul(9)?))
+            .ok_or_else(|| Error::corrupt("checkpoint sizes overflow"))?;
+        if cur.remaining() != want {
+            return Err(Error::corrupt(format!(
+                "checkpoint declares {n} nodes and {edits_len} edits but holds {} payload bytes",
+                cur.remaining()
+            )));
+        }
+        let mut cores = Vec::with_capacity(n);
+        for _ in 0..n {
+            cores.push(cur.u32("core number")?);
+        }
+        let mut cnt = Vec::with_capacity(n);
+        for _ in 0..n {
+            cnt.push(cur.u32("cnt counter")? as i32);
+        }
+        let mut edits = Vec::with_capacity(edits_len);
+        for _ in 0..edits_len {
+            let u = cur.u32("edit endpoint")?;
+            let v = cur.u32("edit endpoint")?;
+            let flag = cur.u8("edit flag")?;
+            if flag > 1 {
+                return Err(Error::corrupt(format!("invalid edit flag {flag}")));
+            }
+            edits.push((u, v, flag == 1));
+        }
+        cur.finish("checkpoint")?;
+        Ok(StateCheckpoint {
+            seq,
+            cores,
+            cnt,
+            edits,
+        })
+    }
+}
+
+/// Write `bytes` at `path` atomically: temp sibling, fsync, rename, fsync
+/// the directory entry.
+fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = {
+        let mut s = path.as_os_str().to_owned();
+        s.push(".tmp");
+        PathBuf::from(s)
+    };
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Strip and verify magic + trailing CRC, returning the body in between.
+fn checked_body<'a>(bytes: &'a [u8], magic: &[u8; 8], what: &str) -> Result<&'a [u8]> {
+    if bytes.len() < magic.len() + 4 {
+        return Err(Error::corrupt(format!("{what} file shorter than framing")));
+    }
+    if &bytes[..magic.len()] != magic {
+        return Err(Error::corrupt(format!("bad {what} magic")));
+    }
+    let body = &bytes[magic.len()..bytes.len() - 4];
+    let stored = codec::get_u32(bytes, bytes.len() - 4);
+    if codec::crc32(body) != stored {
+        return Err(Error::corrupt(format!("{what} checksum mismatch")));
+    }
+    Ok(body)
+}
+
+fn codec_put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    if s.len() > u16::MAX as usize {
+        return Err(Error::InvalidArgument(format!(
+            "catalog string of {} bytes exceeds the u16 length prefix",
+            s.len()
+        )));
+    }
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn encode_policy(p: EvictionPolicy) -> u8 {
+    match p {
+        EvictionPolicy::Lru => 0,
+        EvictionPolicy::ScanLifo => 1,
+    }
+}
+
+fn decode_policy(b: u8) -> Result<EvictionPolicy> {
+    match b {
+        0 => Ok(EvictionPolicy::Lru),
+        1 => Ok(EvictionPolicy::ScanLifo),
+        other => Err(Error::corrupt(format!("unknown eviction policy {other}"))),
+    }
+}
+
+/// Bounds-checked sequential reader over a validated body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8> {
+        if self.remaining() < 1 {
+            return Err(Error::corrupt(format!("truncated while reading {what}")));
+        }
+        let v = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        let v = codec::try_get_u32(self.bytes, self.pos, what)?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let v = codec::try_get_u64(self.bytes, self.pos, what)?;
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String> {
+        if self.remaining() < 2 {
+            return Err(Error::corrupt(format!("truncated while reading {what}")));
+        }
+        let len = u16::from_le_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]) as usize;
+        self.pos += 2;
+        if self.remaining() < len {
+            return Err(Error::corrupt(format!("truncated while reading {what}")));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+            .map_err(|_| Error::corrupt(format!("{what} is not valid UTF-8")))?;
+        self.pos += len;
+        Ok(s.to_string())
+    }
+
+    fn finish(&self, what: &str) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(Error::corrupt(format!(
+                "{} trailing bytes after {what} payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::DEFAULT_BLOCK_SIZE;
+    use crate::tempdir::TempDir;
+
+    fn sample_catalog() -> Catalog {
+        Catalog {
+            block_size: 4096,
+            budget_bytes: 1 << 20,
+            policy: EvictionPolicy::ScanLifo,
+            entries: vec![
+                CatalogEntry {
+                    name: "alpha".into(),
+                    base: PathBuf::from("/data/alpha"),
+                    charge_bytes: 123_456,
+                    checkpoint_seq: 7,
+                },
+                CatalogEntry {
+                    name: "beta".into(),
+                    base: PathBuf::from("rel/beta"),
+                    charge_bytes: 0,
+                    checkpoint_seq: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn catalog_round_trip() {
+        let dir = TempDir::new("cat").unwrap();
+        let cat = sample_catalog();
+        assert!(!Catalog::exists_in(dir.path()));
+        cat.write(dir.path()).unwrap();
+        assert!(Catalog::exists_in(dir.path()));
+        assert_eq!(Catalog::read(dir.path()).unwrap(), cat);
+    }
+
+    #[test]
+    fn catalog_rewrite_replaces() {
+        let dir = TempDir::new("cat").unwrap();
+        let mut cat = sample_catalog();
+        cat.write(dir.path()).unwrap();
+        cat.entries.pop();
+        cat.entries[0].checkpoint_seq = 99;
+        cat.write(dir.path()).unwrap();
+        assert_eq!(Catalog::read(dir.path()).unwrap(), cat);
+    }
+
+    #[test]
+    fn catalog_flipped_bit_is_corrupt() {
+        let dir = TempDir::new("cat").unwrap();
+        sample_catalog().write(dir.path()).unwrap();
+        let path = Catalog::path_in(dir.path());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Catalog::read(dir.path()).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn catalog_truncation_is_corrupt_not_panic() {
+        let dir = TempDir::new("cat").unwrap();
+        sample_catalog().write(dir.path()).unwrap();
+        let path = Catalog::path_in(dir.path());
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let err = Catalog::read(dir.path()).unwrap_err();
+            assert!(
+                err.is_corrupt() || matches!(err, Error::Io(_)),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    fn sample_checkpoint() -> StateCheckpoint {
+        StateCheckpoint {
+            seq: 42,
+            cores: vec![3, 2, 2, 0],
+            cnt: vec![2, -1, 3, 0],
+            edits: vec![(0, 3, true), (1, 2, false)],
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_charges_io() {
+        let dir = TempDir::new("ckp").unwrap();
+        let path = dir.path().join("g.ckpt");
+        let c = IoCounter::new(DEFAULT_BLOCK_SIZE);
+        let ck = sample_checkpoint();
+        ck.write(&path, &c).unwrap();
+        assert!(c.snapshot().write_ios >= 1);
+        let back = StateCheckpoint::read(&path, &c).unwrap();
+        assert_eq!(back, ck);
+        assert!(c.snapshot().read_ios >= 1);
+    }
+
+    #[test]
+    fn checkpoint_rejects_mismatched_vectors() {
+        let dir = TempDir::new("ckp").unwrap();
+        let c = IoCounter::new(DEFAULT_BLOCK_SIZE);
+        let bad = StateCheckpoint {
+            seq: 0,
+            cores: vec![1, 2],
+            cnt: vec![0],
+            edits: vec![],
+        };
+        assert!(bad.write(&dir.path().join("x.ckpt"), &c).is_err());
+    }
+
+    #[test]
+    fn checkpoint_corruption_detected_at_every_truncation() {
+        let dir = TempDir::new("ckp").unwrap();
+        let path = dir.path().join("g.ckpt");
+        let c = IoCounter::new(DEFAULT_BLOCK_SIZE);
+        sample_checkpoint().write(&path, &c).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(StateCheckpoint::read(&path, &c).unwrap_err().is_corrupt());
+        }
+        // Oversized declared counts must not allocate: craft a body with a
+        // huge node count and a valid CRC.
+        let mut body = Vec::new();
+        body.extend_from_slice(&DURABILITY_VERSION.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // nodes
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // edits
+        let mut forged = Vec::new();
+        forged.extend_from_slice(CHECKPOINT_MAGIC);
+        forged.extend_from_slice(&body);
+        forged.extend_from_slice(&codec::crc32(&body).to_le_bytes());
+        std::fs::write(&path, &forged).unwrap();
+        assert!(StateCheckpoint::read(&path, &c).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_file() {
+        let dir = TempDir::new("cat").unwrap();
+        sample_catalog().write(dir.path()).unwrap();
+        let names: Vec<String> = std::fs::read_dir(dir.path())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![CATALOG_FILE.to_string()]);
+    }
+}

@@ -99,7 +99,7 @@ impl IoCounter {
         self.physical_reads.fetch_add(blocks, Ordering::Relaxed);
     }
 
-    fn charge_write(&self, blocks: u64, bytes: u64) {
+    pub(crate) fn charge_write(&self, blocks: u64, bytes: u64) {
         self.write_ios.fetch_add(blocks, Ordering::Relaxed);
         self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -512,6 +512,18 @@ impl BlockReader {
                 .invalidate_file(*file_id);
         }
     }
+}
+
+/// Fsync the directory containing `path`, making a just-created or
+/// just-renamed entry durable. Creating or renaming a file persists its
+/// *contents* once the file itself is synced, but the directory entry lives
+/// in the parent — a crash before the parent is flushed can lose the name.
+/// Every durability-critical create/rename in this crate pairs with this.
+pub(crate) fn sync_parent_dir(path: &std::path::Path) -> Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// Refill `window` with a read-ahead span starting at the block containing

@@ -35,6 +35,7 @@
 pub mod access;
 pub mod builder;
 pub mod cache;
+pub mod catalog;
 pub mod codec;
 pub mod edgelist;
 pub mod error;
@@ -46,12 +47,14 @@ pub mod partition;
 pub mod pool;
 pub mod tempdir;
 pub mod update_buffer;
+pub mod wal;
 
 pub use access::{snapshot_mem, AdjacencyRead, DynamicGraph, ShardableRead};
 pub use builder::{
     disk_to_mem, mem_to_disk, write_mem_graph, DiskGraphWriter, ExternalGraphBuilder,
 };
 pub use cache::{BlockCache, CacheStats, EvictionPolicy};
+pub use catalog::{Catalog, CatalogEntry, StateCheckpoint};
 pub use error::{Error, Result};
 pub use format::{GraphMeta, GraphPaths};
 pub use graph::DiskGraph;
@@ -61,6 +64,7 @@ pub use partition::{LoadedPartition, PartitionStore};
 pub use pool::{working_set_charge_budget, PoolLease, SharedPool};
 pub use tempdir::TempDir;
 pub use update_buffer::{BufferedGraph, UpdateBuffer, DEFAULT_BUFFER_CAPACITY};
+pub use wal::Wal;
 
 /// Node identifier. The paper's largest graph (978.4M nodes) fits in `u32`.
 pub type NodeId = u32;

@@ -171,6 +171,28 @@ impl UpdateBuffer {
         }
     }
 
+    /// The buffer's net content as undirected edge edits `(u, v, inserted)`
+    /// with `u < v`, sorted — the canonical serialization checkpoints
+    /// persist. Each undirected edit is stored twice internally (once per
+    /// endpoint); this emits it once.
+    pub fn net_edits(&self) -> Vec<(u32, u32, bool)> {
+        let mut out = Vec::with_capacity(self.entries / 2);
+        for (&u, edits) in &self.per_node {
+            for &v in &edits.ins {
+                if u < v {
+                    out.push((u, v, true));
+                }
+            }
+            for &v in &edits.del {
+                if u < v {
+                    out.push((u, v, false));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Drop all pending edits.
     pub fn clear(&mut self) {
         self.per_node.clear();
@@ -238,6 +260,14 @@ impl BufferedGraph {
     /// Pending edit entries.
     pub fn pending_edits(&self) -> usize {
         self.buffer.len()
+    }
+
+    /// The buffer's net content as sorted undirected edits `(u, v,
+    /// inserted)` with `u < v` — what a durability checkpoint persists and
+    /// re-plays through [`BufferedGraph::insert_edge`] /
+    /// [`BufferedGraph::delete_edge`] on recovery.
+    pub fn pending_net_edits(&self) -> Vec<(u32, u32, bool)> {
+        self.buffer.net_edits()
     }
 
     fn check_pair(&self, u: u32, v: u32) -> Result<()> {
@@ -321,6 +351,8 @@ impl BufferedGraph {
         let new_paths: GraphPaths = writer.finish()?;
         std::fs::rename(&new_paths.nodes, &paths.nodes)?;
         std::fs::rename(&new_paths.edges, &paths.edges)?;
+        // The renamed entries must survive a crash just like the bytes.
+        crate::io::sync_parent_dir(&paths.nodes)?;
         self.disk.reopen()?;
         self.disk.invalidate_buffers();
         self.buffer.clear();

@@ -1,0 +1,433 @@
+//! Write-ahead journal for graph maintenance: append-only, checksummed,
+//! torn-tail tolerant.
+//!
+//! A [`Wal`] is the durability half of the maintenance path: every edge
+//! update is appended here — and fsynced — *before* it is applied to the
+//! in-memory state, so a crash at any instant loses at most work the caller
+//! was never told succeeded. The file layout is deliberately minimal:
+//!
+//! ```text
+//! "KCORWAL1"                                  8-byte magic
+//! [ len: u32 | crc32(payload): u32 | payload ]*   records, back to back
+//! ```
+//!
+//! Payloads are opaque to this module; the maintenance layer encodes its
+//! typed operation records (sequence number + op) into them. The reader
+//! ([`Wal::open`]) walks records front to back and stops at the first one
+//! that does not fully validate — a short length prefix, a payload running
+//! past end of file, or a checksum mismatch. Everything before that point
+//! is returned; everything after is the *torn tail* a mid-append crash
+//! leaves behind, and is physically truncated away so subsequent appends
+//! extend a clean log. A torn tail can therefore cost at most the one
+//! record whose append never completed — exactly the op whose success was
+//! never acknowledged.
+//!
+//! ## I/O pricing
+//!
+//! WAL traffic is charged to the owning graph's [`IoCounter`] with the same
+//! block rule as every other file in this crate: an append charges one
+//! write I/O per `B`-sized block boundary it touches (so a stream of small
+//! records costs `ceil(bytes / B)` writes, not one write per record), and
+//! the recovery scan charges `ceil(file_len / B)` read I/Os — one
+//! sequential pass. The fsync per append is a wall-clock cost only; the
+//! model counts blocks, not barriers.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::codec;
+use crate::error::{Error, Result};
+use crate::io::{sync_parent_dir, IoCounter};
+
+/// Magic bytes opening a WAL file.
+pub const WAL_MAGIC: &[u8; 8] = b"KCORWAL1";
+
+/// Size of the per-record framing (`len: u32, crc: u32`).
+const RECORD_HEADER_LEN: usize = 8;
+
+/// Upper bound on a single record payload — far above anything the
+/// maintenance layer writes, low enough that a corrupt length prefix can
+/// never drive a large allocation.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// An append-only maintenance journal. See the [module docs](self) for the
+/// format, the torn-tail contract and the I/O pricing.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    counter: Arc<IoCounter>,
+    /// Append position == current file length (torn tails are truncated at
+    /// open, so the two never diverge).
+    pos: u64,
+    /// Set when a failed append could not be rolled back: the on-disk
+    /// length no longer matches `pos`, so further appends could produce
+    /// duplicate or misframed records. A poisoned journal refuses writes;
+    /// reopening the file recovers (the torn bytes are truncated).
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Create (or overwrite) an empty journal at `path`, fsyncing the file
+    /// and its directory entry.
+    pub fn create(path: &Path, counter: Arc<IoCounter>) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        sync_parent_dir(path)?;
+        counter.charge_write(1, WAL_MAGIC.len() as u64);
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            counter,
+            pos: WAL_MAGIC.len() as u64,
+            poisoned: false,
+        })
+    }
+
+    /// Open the journal at `path`, returning the handle positioned for
+    /// appending plus every intact record payload in write order.
+    ///
+    /// The scan stops at the first record that fails to validate and
+    /// truncates the file there (see the module docs): a torn trailing
+    /// append disappears, never a completed one. One sequential read of the
+    /// whole file is charged to `counter`.
+    pub fn open(path: &Path, counter: Arc<IoCounter>) -> Result<(Wal, Vec<Vec<u8>>)> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let b = counter.block_size() as u64;
+        counter.charge_read((bytes.len() as u64).div_ceil(b).max(1), bytes.len() as u64);
+
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(Error::corrupt(format!(
+                "bad WAL magic in {}",
+                path.display()
+            )));
+        }
+        let mut records = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        // A failed decode is the torn (or absent) tail: keep the prefix.
+        while let Some((payload, end)) = decode_record(&bytes, pos) {
+            records.push(payload);
+            pos = end;
+        }
+        if (pos as u64) < bytes.len() as u64 {
+            // Drop the torn tail so appends extend a clean log.
+            file.set_len(pos as u64)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                counter,
+                pos: pos as u64,
+                poisoned: false,
+            },
+            records,
+        ))
+    }
+
+    /// Append one record and fsync it. When this returns `Ok`, the record
+    /// survives any crash; when the process dies mid-append, the torn bytes
+    /// are dropped by the next [`Wal::open`].
+    ///
+    /// When the write or fsync itself fails, the bytes that landed — which
+    /// may be a *complete but unacknowledged* record — are truncated away
+    /// so a retried append can never produce a duplicate or misframed
+    /// record. If even that cleanup fails, the journal poisons itself and
+    /// refuses further appends (reopening the file recovers).
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Io(std::io::Error::other(format!(
+                "journal {} is poisoned by an earlier failed append; reopen it",
+                self.path.display()
+            ))));
+        }
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(Error::InvalidArgument(format!(
+                "WAL record of {} bytes exceeds the {MAX_RECORD_LEN}-byte cap",
+                payload.len()
+            )));
+        }
+        let mut rec = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&codec::crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let written = self
+            .file
+            .write_all(&rec)
+            .and_then(|()| self.file.sync_all());
+        if let Err(e) = written {
+            // The truncation must itself be fsynced: set_len alone lives in
+            // the page cache, and a crash after writeback persisted the
+            // record bytes — but before anything persisted the shorter
+            // length — would resurrect a record whose failure was reported.
+            let restored = self
+                .file
+                .set_len(self.pos)
+                .and_then(|()| self.file.seek(SeekFrom::Start(self.pos)).map(|_| ()))
+                .and_then(|()| self.file.sync_all());
+            if restored.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
+        self.charge_append(rec.len() as u64);
+        Ok(())
+    }
+
+    /// Discard every record (after a checkpoint has made them redundant),
+    /// keeping the header so the file stays a valid empty journal.
+    pub fn truncate(&mut self) -> Result<()> {
+        self.rollback_to(WAL_MAGIC.len() as u64)
+    }
+
+    /// Roll the journal back to a previous [`Wal::len_bytes`] watermark,
+    /// durably discarding the records appended since. This is the undo for
+    /// an append whose higher-level application then failed: the journal
+    /// must not keep a record of an op whose failure was reported to the
+    /// caller (replaying it on recovery would diverge from the
+    /// acknowledged history, and reusing its sequence number would corrupt
+    /// the journal's gap check).
+    pub fn rollback_to(&mut self, len: u64) -> Result<()> {
+        if len < WAL_MAGIC.len() as u64 || len > self.pos {
+            return Err(Error::InvalidArgument(format!(
+                "cannot roll a {}-byte journal back to {len} bytes",
+                self.pos
+            )));
+        }
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.file.sync_all()?;
+        self.pos = len;
+        // Length and position are consistent again; un-poison if a failed
+        // append's cleanup had given up.
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Bytes currently in the journal (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.pos
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Charge an append of `bytes` with the block rule: one write I/O per
+    /// block boundary newly touched (same formula as
+    /// [`BlockWriter`](crate::io::BlockWriter)).
+    fn charge_append(&mut self, bytes: u64) {
+        let b = self.counter.block_size() as u64;
+        let start_block = self.pos / b;
+        let end = self.pos + bytes;
+        let end_block = (end - 1) / b;
+        let mut blocks = end_block - start_block + 1;
+        if !self.pos.is_multiple_of(b) {
+            blocks -= 1;
+        }
+        self.counter.charge_write(blocks, bytes);
+        self.pos = end;
+    }
+}
+
+/// Decode the record starting at `pos`, returning `(payload, end offset)`
+/// when it fully validates and `None` when the bytes from `pos` on are a
+/// torn tail (short header, truncated payload, oversized length, or
+/// checksum mismatch).
+fn decode_record(bytes: &[u8], pos: usize) -> Option<(Vec<u8>, usize)> {
+    let header_end = pos.checked_add(RECORD_HEADER_LEN)?;
+    if header_end > bytes.len() {
+        return None;
+    }
+    let len = codec::get_u32(bytes, pos) as usize;
+    let crc = codec::get_u32(bytes, pos + 4);
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let end = header_end.checked_add(len)?;
+    if end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[header_end..end];
+    if codec::crc32(payload) != crc {
+        return None;
+    }
+    Some((payload.to_vec(), end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::DEFAULT_BLOCK_SIZE;
+    use crate::tempdir::TempDir;
+
+    fn counter() -> Arc<IoCounter> {
+        IoCounter::new(DEFAULT_BLOCK_SIZE)
+    }
+
+    fn wal_path(dir: &TempDir) -> PathBuf {
+        dir.path().join("test.wal")
+    }
+
+    #[test]
+    fn create_append_reopen_round_trip() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        {
+            let mut w = Wal::create(&path, counter()).unwrap();
+            w.append(b"alpha").unwrap();
+            w.append(b"").unwrap();
+            w.append(&[7u8; 300]).unwrap();
+        }
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"alpha");
+        assert_eq!(records[1], b"");
+        assert_eq!(records[2], vec![7u8; 300]);
+    }
+
+    #[test]
+    fn appends_after_reopen_extend_the_log() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        {
+            let mut w = Wal::create(&path, counter()).unwrap();
+            w.append(b"one").unwrap();
+        }
+        {
+            let (mut w, records) = Wal::open(&path, counter()).unwrap();
+            assert_eq!(records.len(), 1);
+            w.append(b"two").unwrap();
+        }
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+    }
+
+    #[test]
+    fn rollback_undoes_only_the_newest_appends() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        let mut w = Wal::create(&path, counter()).unwrap();
+        w.append(b"kept").unwrap();
+        let mark = w.len_bytes();
+        w.append(b"doomed").unwrap();
+        w.append(b"also doomed").unwrap();
+        w.rollback_to(mark).unwrap();
+        assert!(w.rollback_to(mark + 1).is_err(), "cannot roll forward");
+        assert!(w.rollback_to(2).is_err(), "cannot roll into the header");
+        w.append(b"after").unwrap();
+        drop(w);
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records, vec![b"kept".to_vec(), b"after".to_vec()]);
+    }
+
+    #[test]
+    fn truncate_empties_but_preserves_validity() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        let mut w = Wal::create(&path, counter()).unwrap();
+        w.append(b"gone").unwrap();
+        w.truncate().unwrap();
+        w.append(b"kept").unwrap();
+        drop(w);
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records, vec![b"kept".to_vec()]);
+    }
+
+    #[test]
+    fn torn_tail_at_every_offset_drops_at_most_the_last_record() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        let mut w = Wal::create(&path, counter()).unwrap();
+        w.append(b"first record").unwrap();
+        let intact_len = w.len_bytes();
+        w.append(b"second record, the victim").unwrap();
+        let full_len = w.len_bytes();
+        drop(w);
+        let bytes = std::fs::read(&path).unwrap();
+
+        for cut in intact_len..full_len {
+            let torn = dir.path().join(format!("torn{cut}.wal"));
+            std::fs::write(&torn, &bytes[..cut as usize]).unwrap();
+            let (mut reopened, records) = Wal::open(&torn, counter()).unwrap();
+            if cut == full_len {
+                assert_eq!(records.len(), 2);
+            } else {
+                assert_eq!(
+                    records,
+                    vec![b"first record".to_vec()],
+                    "cut at byte {cut} must keep exactly the intact prefix"
+                );
+            }
+            // The log stays appendable after tail truncation.
+            reopened.append(b"post-recovery").unwrap();
+            drop(reopened);
+            let (_w, records) = Wal::open(&torn, counter()).unwrap();
+            assert_eq!(records.last().unwrap(), &b"post-recovery".to_vec());
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_byte_is_dropped_like_a_torn_tail() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        let mut w = Wal::create(&path, counter()).unwrap();
+        w.append(b"good").unwrap();
+        let keep = w.len_bytes() as usize;
+        w.append(b"bitrot target").unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records, vec![b"good".to_vec()]);
+        assert_eq!(w.len_bytes() as usize, keep, "invalid tail truncated");
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = wal_path(&dir);
+        std::fs::write(&path, b"NOTAWAL!").unwrap();
+        assert!(Wal::open(&path, counter()).unwrap_err().is_corrupt());
+        std::fs::write(&path, b"KC").unwrap();
+        assert!(Wal::open(&path, counter()).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_at_append() {
+        let dir = TempDir::new("wal").unwrap();
+        let mut w = Wal::create(&wal_path(&dir), counter()).unwrap();
+        let huge = vec![0u8; MAX_RECORD_LEN + 1];
+        assert!(w.append(&huge).is_err());
+    }
+
+    #[test]
+    fn appends_charge_write_ios_per_block() {
+        let dir = TempDir::new("wal").unwrap();
+        let c = IoCounter::new(64);
+        let mut w = Wal::create(&wal_path(&dir), c.clone()).unwrap();
+        let before = c.snapshot().write_ios;
+        // 10 records of 8+8=16 bytes each = 160 bytes from offset 8:
+        // touches blocks 0..=2 of 64 bytes; block 0 already charged by
+        // create, so ceil pricing adds 2 more.
+        for _ in 0..10 {
+            w.append(&[1u8; 8]).unwrap();
+        }
+        assert_eq!(c.snapshot().write_ios - before, 2);
+    }
+}

@@ -18,6 +18,7 @@ criterion_out="$(pwd)/${prefix}_criterion.json"
 cache_out="$(pwd)/${prefix}_cache.json"
 threads_out="$(pwd)/${prefix}_threads.json"
 multigraph_out="$(pwd)/${prefix}_multigraph.json"
+recovery_out="$(pwd)/${prefix}_recovery.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -53,5 +54,9 @@ echo "# bench run ${stamp} @ ${rev}" >> "${multigraph_out}"
 run_target multi_graph \
     cargo run --release -q -p kcore-bench --bin multi_graph -- --json "${multigraph_out}"
 
+echo "# bench run ${stamp} @ ${rev}" >> "${recovery_out}"
+run_target recovery \
+    cargo run --release -q -p kcore-bench --bin recovery -- --json "${recovery_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out} and ${multigraph_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out} and ${recovery_out}"

@@ -7,7 +7,8 @@
 //! kcore query  <graph-base> --k 8            print the k-core's nodes/components
 //! kcore stats  <graph-base>                  core profile (onion levels, nucleus)
 //! kcore serve  [--budget-mb M] [--workers N] [--policy lru|scanlifo]
-//!              [name=graph-base ...]         serve many graphs on one budget
+//!              [--data-dir DIR] [name=graph-base ...]
+//!                                            serve many graphs on one budget
 //! ```
 //!
 //! All runs print the I/O and memory accounting the paper reports.
@@ -19,7 +20,12 @@
 //! `kcore serve` starts a [`CoreService`]: every named graph is opened
 //! against one process-wide pool of `--budget-mb` MiB, then commands are
 //! read line by line from stdin (`open`, `core`, `kmax`, `insert`,
-//! `delete`, `stats`, `pool`, `evict`, `quit` — see `help`).
+//! `delete`, `stats`, `graphs`, `save`, `verify`, `pool`, `evict`, `quit`
+//! — see `help`). With `--data-dir DIR` the registry is durable: every
+//! maintenance op is journaled before it is applied, and restarting with
+//! the same directory restores every graph — maintained cores included —
+//! without re-decomposing (the directory's catalog then also supplies the
+//! pool budget and policy, so those flags are ignored on reopen).
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -30,7 +36,7 @@ use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [name=graph-base ...]"
+        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR] [name=graph-base ...]"
     );
     std::process::exit(2)
 }
@@ -172,7 +178,7 @@ fn main() -> graphstore::Result<()> {
 
 /// The value-taking flags of `kcore serve` — the single list both the
 /// flag parsers and the positional-argument scan below work from.
-const SERVE_FLAGS: [&str; 3] = ["--budget-mb", "--workers", "--policy"];
+const SERVE_FLAGS: [&str; 4] = ["--budget-mb", "--workers", "--policy", "--data-dir"];
 
 /// `kcore serve`: a [`CoreService`] REPL over stdin. Non-interactive use
 /// pipes a command script in; every response is a single line, errors are
@@ -202,10 +208,46 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
         Some("scanlifo") | None => EvictionPolicy::ScanLifo,
         Some(_) => usage(),
     };
-    let svc = CoreService::with_config(DEFAULT_BLOCK_SIZE, budget_mb << 20, policy, exec)?;
-    println!(
-        "serving on a {budget_mb} MiB shared pool ({policy:?}, {exec:?}); 'help' lists commands"
-    );
+    let svc = match arg_value(args, SERVE_FLAGS[3]) {
+        Some(dir) => {
+            let dir = Path::new(&dir);
+            if graphstore::Catalog::exists_in(dir) {
+                let svc = CoreService::open_catalog_with(
+                    dir,
+                    exec,
+                    kcore_suite::DurableOptions::default(),
+                )?;
+                println!(
+                    "reopened catalog {} ({} MiB pool from manifest): restored [{}]",
+                    dir.display(),
+                    svc.pool().budget_bytes() >> 20,
+                    svc.graph_names().join(", ")
+                );
+                svc
+            } else {
+                let svc = CoreService::create_durable_with(
+                    dir,
+                    DEFAULT_BLOCK_SIZE,
+                    budget_mb << 20,
+                    policy,
+                    exec,
+                    kcore_suite::DurableOptions::default(),
+                )?;
+                println!(
+                    "serving durably from {} on a {budget_mb} MiB shared pool ({policy:?}, {exec:?})",
+                    dir.display()
+                );
+                svc
+            }
+        }
+        None => {
+            let svc = CoreService::with_config(DEFAULT_BLOCK_SIZE, budget_mb << 20, policy, exec)?;
+            println!(
+                "serving on a {budget_mb} MiB shared pool ({policy:?}, {exec:?}); 'help' lists commands"
+            );
+            svc
+        }
+    };
 
     // Positional `name=base` specs pre-open graphs before the REPL starts.
     let mut i = 1usize;
@@ -232,7 +274,8 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
             ["help"] => println!(
                 "commands: open <name> <base> | core <name> <v> | kmax <name> | \
                  insert <name> <u> <v> | delete <name> <u> <v> | stats <name> | \
-                 pool | list | evict <name> | quit"
+                 verify <name> | graphs | save [<name>] | pool | list | \
+                 evict <name> | quit"
             ),
             ["open", name, base] => open_and_report(&svc, name, Path::new(base)),
             ["core", name, v] => match parse_node(v) {
@@ -283,7 +326,16 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
                     s.evictions
                 );
             }
-            ["list"] => println!("serving: {}", svc.graph_names().join(", ")),
+            ["list"] | ["graphs"] => println!("serving: {}", svc.graph_names().join(", ")),
+            ["save"] => report(svc.save_all().map(|()| "saved all graphs".to_string())),
+            ["save", name] => report(svc.save(name).map(|()| format!("saved {name}"))),
+            ["verify", name] => report(svc.verify(name).map(|ok| {
+                if ok {
+                    format!("{name}: certificate holds (Theorem 4.1 fixpoint)")
+                } else {
+                    format!("{name}: CERTIFICATE VIOLATED")
+                }
+            })),
             ["evict", name] => report(svc.evict(name).map(|()| format!("evicted {name}"))),
             _ => println!("error: unrecognised command (try 'help')"),
         }

@@ -17,7 +17,10 @@
 //!   core numbers;
 //! * [`CoreService`] — many such graphs served concurrently against **one**
 //!   process-wide memory budget (a [`graphstore::SharedPool`]), with
-//!   per-graph registration, eviction, and deterministic charged I/O.
+//!   per-graph registration, eviction, deterministic charged I/O and —
+//!   via [`CoreService::create_durable`] / [`CoreService::open_catalog`] —
+//!   a persistent catalog plus per-graph maintenance journal, so a
+//!   restart restores every maintained graph without re-decomposing.
 //!
 //! ```
 //! use kcore_suite::CoreIndex;
@@ -45,7 +48,7 @@ pub use semicore;
 
 mod service;
 
-pub use service::CoreService;
+pub use service::{CoreService, DurableOptions};
 
 use std::path::Path;
 
@@ -54,8 +57,8 @@ use graphstore::{
     DEFAULT_BLOCK_SIZE, DEFAULT_BUFFER_CAPACITY,
 };
 use semicore::{
-    semi_delete_star, semi_insert_star, semicore_star_state, semicore_star_state_with, CoreState,
-    DecomposeOptions, MaintainStats, RunStats, ScanExecutor, SparseMarks,
+    semicore_star_state, semicore_star_state_with, CoreState, DecomposeOptions, MaintainOp,
+    MaintainStats, MaintenanceEngine, RunStats, ScanExecutor,
 };
 
 /// A disk-resident dynamic graph with continuously maintained core numbers.
@@ -68,7 +71,7 @@ use semicore::{
 pub struct CoreIndex {
     graph: BufferedGraph,
     state: CoreState,
-    marks: SparseMarks,
+    engine: MaintenanceEngine,
     decompose_stats: RunStats,
 }
 
@@ -149,7 +152,7 @@ impl CoreIndex {
         Ok(CoreIndex {
             graph,
             state,
-            marks: SparseMarks::new(n),
+            engine: MaintenanceEngine::new(n),
             decompose_stats,
         })
     }
@@ -162,8 +165,38 @@ impl CoreIndex {
         Ok(CoreIndex {
             graph,
             state,
-            marks: SparseMarks::new(n),
+            engine: MaintenanceEngine::new(n),
             decompose_stats,
+        })
+    }
+
+    /// Adopt `disk` with an already-maintained `state` — **no**
+    /// decomposition runs. This is the recovery constructor: the state
+    /// comes from a checkpoint (one sequential read) and the caller then
+    /// replays the journal tail through [`CoreIndex::apply`], so reopening
+    /// a maintained graph costs a scan plus the tail instead of the
+    /// multi-pass decomposition the incremental algorithms exist to avoid.
+    ///
+    /// `state` must be the exact decomposition (with the Eq. 2 `cnt`
+    /// invariant) of the graph `disk` + the edits the caller is about to
+    /// replay from; a mismatched node count is rejected.
+    pub fn restore(disk: DiskGraph, capacity: usize, state: CoreState) -> Result<CoreIndex> {
+        if state.num_nodes() != disk.num_nodes() {
+            return Err(graphstore::Error::Corrupt {
+                reason: format!(
+                    "restored state covers {} nodes but the graph has {}",
+                    state.num_nodes(),
+                    disk.num_nodes()
+                ),
+            });
+        }
+        let graph = BufferedGraph::new(disk, capacity);
+        let n = graph.num_nodes();
+        Ok(CoreIndex {
+            graph,
+            state,
+            engine: MaintenanceEngine::new(n),
+            decompose_stats: RunStats::new("Restored"),
         })
     }
 
@@ -204,16 +237,32 @@ impl CoreIndex {
         &self.decompose_stats
     }
 
+    /// Apply one typed maintenance operation, updating the cores
+    /// incrementally through the index's [`MaintenanceEngine`] (SemiInsert\*
+    /// for insertions, SemiDelete\* for deletions). This is the single
+    /// mutation path: the convenience wrappers, the journal replay in
+    /// [`CoreService::open_catalog`] and any future batch ingestion all
+    /// dispatch the same value.
+    pub fn apply(&mut self, op: MaintainOp) -> Result<MaintainStats> {
+        self.engine.apply(&mut self.graph, &mut self.state, op)
+    }
+
     /// Insert edge `(u, v)` (must be absent) and maintain the cores
     /// incrementally (SemiInsert\*).
     pub fn insert_edge(&mut self, u: u32, v: u32) -> Result<MaintainStats> {
-        semi_insert_star(&mut self.graph, &mut self.state, &mut self.marks, u, v)
+        self.apply(MaintainOp::Insert(u, v))
     }
 
     /// Delete edge `(u, v)` (must be present) and maintain the cores
     /// incrementally (SemiDelete\*).
     pub fn delete_edge(&mut self, u: u32, v: u32) -> Result<MaintainStats> {
-        semi_delete_star(&mut self.graph, &mut self.state, u, v)
+        self.apply(MaintainOp::Delete(u, v))
+    }
+
+    /// The maintained per-node state (cores plus Eq. 2 counters) — what a
+    /// durability checkpoint persists.
+    pub fn maintained_state(&self) -> &CoreState {
+        &self.state
     }
 
     /// True when `(u, v)` exists (costs one adjacency read).
@@ -229,7 +278,7 @@ impl CoreIndex {
     /// Bytes of in-memory node state (`core` + `cnt` + flags + buffer) —
     /// the semi-external footprint.
     pub fn resident_bytes(&self) -> u64 {
-        self.state.resident_bytes() + self.marks.resident_bytes() + self.graph.buffer_bytes()
+        self.state.resident_bytes() + self.engine.resident_bytes() + self.graph.buffer_bytes()
     }
 
     /// Mutable access to the underlying graph (flush control, etc.).

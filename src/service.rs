@@ -1,4 +1,5 @@
-//! Multi-graph serving: many [`CoreIndex`]es against one memory budget.
+//! Multi-graph serving: many [`CoreIndex`]es against one memory budget,
+//! optionally durable across restarts.
 //!
 //! The paper prices everything against a single memory budget `M`;
 //! [`CoreService`] makes that budget a *process-wide* resource. It owns one
@@ -16,21 +17,122 @@
 //! graph drops it from the registry; its pool frames are invalidated when
 //! the last in-flight operation on it finishes (invalidate-on-drop via the
 //! graph's [`PoolLease`](graphstore::PoolLease)).
+//!
+//! ## Durability
+//!
+//! A service built with [`CoreService::create_durable`] (or reopened with
+//! [`CoreService::open_catalog`]) journals every maintenance operation and
+//! survives restarts — including `SIGKILL` — without re-decomposing:
+//!
+//! * the **catalog** ([`graphstore::catalog::Catalog`], `catalog.kc`)
+//!   records the pool configuration and every served graph's name, base
+//!   path and charge budget;
+//! * each graph has a **checkpoint** (`<name>.ckpt`): its maintained
+//!   cores + `cnt` and pending update-buffer edits at a journal sequence
+//!   number, replaced atomically;
+//! * and a **write-ahead journal** (`<name>.wal`): every applied
+//!   [`MaintainOp`], appended and fsynced *before* it is applied.
+//!
+//! [`CoreService::apply`] is the single journaling mutation path (append →
+//! apply → checkpoint once `checkpoint_every` ops accumulate → truncate the
+//! journal); recovery loads the checkpoint in one sequential scan and
+//! replays the journal tail through the very same [`CoreIndex::apply`]
+//! dispatch. Durable graphs never rewrite their base tables: the tables
+//! stay immutable while edits accumulate in the (checkpointed) update
+//! buffer, which is what makes recovery exact at any kill point. The full
+//! crash-window analysis lives in ARCHITECTURE.md ("Durability").
 
 use std::collections::HashMap;
-use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use graphstore::{
-    working_set_charge_budget, EvictionPolicy, IoSnapshot, Result, SharedPool, DEFAULT_BLOCK_SIZE,
+    working_set_charge_budget, Catalog, CatalogEntry, DiskGraph, EvictionPolicy, IoCounter,
+    IoSnapshot, Result, SharedPool, StateCheckpoint, Wal, DEFAULT_BLOCK_SIZE,
 };
-use semicore::{MaintainStats, ScanExecutor};
+use semicore::{CoreState, MaintainOp, MaintainStats, ScanExecutor};
 
 use crate::CoreIndex;
 
+/// Update-buffer capacity for durable graphs: effectively unbounded, so the
+/// base tables are never rewritten behind the checkpoint protocol's back
+/// (see the module docs — table immutability is what makes recovery exact).
+const DURABLE_BUFFER_CAPACITY: usize = usize::MAX;
+
+/// Durability knobs for [`CoreService::create_durable_with`] /
+/// [`CoreService::open_catalog_with`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Checkpoint (and truncate the journal) after this many maintenance
+    /// ops per graph. Smaller values bound the replay tail; larger values
+    /// amortise the `O(n)` checkpoint write. Clamped to at least 1.
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions {
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// One served graph: its index plus the journaling state of the durable
+/// apply path. The whole struct sits behind the graph's mutex, so sequence
+/// numbers never race with the ops they number.
+#[derive(Debug)]
+struct Served {
+    index: CoreIndex,
+    /// The graph's journal (durable services only).
+    wal: Option<Wal>,
+    /// Sequence number of the last applied op.
+    seq: u64,
+    /// Sequence number of the last completed checkpoint.
+    ck_seq: u64,
+}
+
+/// Catalog bookkeeping of a durable service.
+#[derive(Debug)]
+struct Durable {
+    dir: PathBuf,
+    checkpoint_every: u64,
+    entries: Mutex<HashMap<String, DurableEntry>>,
+}
+
+#[derive(Debug, Clone)]
+struct DurableEntry {
+    base: PathBuf,
+    charge_bytes: u64,
+    checkpoint_seq: u64,
+}
+
+fn ckpt_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.ckpt"))
+}
+
+fn wal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.wal"))
+}
+
+/// Durable graph names become file names; restrict them so they can never
+/// traverse out of the data directory.
+fn validate_durable_name(name: &str) -> Result<()> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(graphstore::Error::InvalidArgument(format!(
+            "durable graph name {name:?} must match [A-Za-z0-9_-]+ (it names on-disk files)"
+        )))
+    }
+}
+
 /// A process-wide k-core serving layer: open, decompose, maintain, query
 /// and evict many disk-resident graphs concurrently against **one** global
-/// byte budget.
+/// byte budget — with optional on-disk durability of the whole registry.
 ///
 /// ```
 /// use graphstore::TempDir;
@@ -51,18 +153,36 @@ use crate::CoreIndex;
 /// service.evict("tri").unwrap(); // frames return to the pool
 /// assert_eq!(service.graph_names(), vec!["path".to_string()]);
 /// ```
+///
+/// The durable variant survives a restart with its maintained state:
+///
+/// ```
+/// use graphstore::TempDir;
+/// use kcore_suite::CoreService;
+///
+/// let dir = TempDir::new("doc-durable").unwrap();
+/// let data = dir.path().join("data");
+/// {
+///     let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+///     svc.create("g", &dir.path().join("g"), [(0, 1), (1, 2)], 3).unwrap();
+///     svc.insert_edge("g", 0, 2).unwrap(); // journaled, then applied
+/// } // process "dies" here
+/// let svc = CoreService::open_catalog(&data).unwrap();
+/// assert_eq!(svc.kmax("g").unwrap(), 2); // restored without re-decomposing
+/// ```
 #[derive(Debug)]
 pub struct CoreService {
     pool: SharedPool,
     exec: ScanExecutor,
-    graphs: Mutex<HashMap<String, Arc<Mutex<CoreIndex>>>>,
+    graphs: Mutex<HashMap<String, Arc<Mutex<Served>>>>,
+    durable: Option<Durable>,
 }
 
 impl CoreService {
     /// A service arbitrating `budget_bytes` across all served graphs, with
     /// the default block size, the scan-resistant eviction policy and the
     /// sequential executor. Errors when the budget holds fewer than two
-    /// blocks.
+    /// blocks. Nothing is persisted — see [`CoreService::create_durable`].
     pub fn new(budget_bytes: u64) -> Result<CoreService> {
         Self::with_config(
             DEFAULT_BLOCK_SIZE,
@@ -86,7 +206,101 @@ impl CoreService {
             pool: SharedPool::with_policy(block_size, budget_bytes, policy)?,
             exec,
             graphs: Mutex::new(HashMap::new()),
+            durable: None,
         })
+    }
+
+    /// A durable service persisting its registry under `dir` (created if
+    /// absent), with the default block size, policy, sequential executor
+    /// and checkpoint cadence. Errors if `dir` already holds a catalog —
+    /// reopen an existing one with [`CoreService::open_catalog`].
+    pub fn create_durable(dir: &Path, budget_bytes: u64) -> Result<CoreService> {
+        Self::create_durable_with(
+            dir,
+            DEFAULT_BLOCK_SIZE,
+            budget_bytes,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+            DurableOptions::default(),
+        )
+    }
+
+    /// [`CoreService::create_durable`] with every knob explicit. The pool
+    /// configuration (block size, budget, policy) is written into the
+    /// catalog and restored by [`CoreService::open_catalog`]; the executor
+    /// and checkpoint cadence are runtime choices and are not.
+    pub fn create_durable_with(
+        dir: &Path,
+        block_size: usize,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+        exec: ScanExecutor,
+        opts: DurableOptions,
+    ) -> Result<CoreService> {
+        std::fs::create_dir_all(dir)?;
+        if Catalog::exists_in(dir) {
+            return Err(graphstore::Error::InvalidArgument(format!(
+                "{} already holds a catalog; reopen it with open_catalog",
+                dir.display()
+            )));
+        }
+        let svc = CoreService {
+            pool: SharedPool::with_policy(block_size, budget_bytes, policy)?,
+            exec,
+            graphs: Mutex::new(HashMap::new()),
+            durable: Some(Durable {
+                dir: dir.to_path_buf(),
+                checkpoint_every: opts.checkpoint_every.max(1),
+                entries: Mutex::new(HashMap::new()),
+            }),
+        };
+        svc.rewrite_catalog()?;
+        Ok(svc)
+    }
+
+    /// Reopen the durable service persisted under `dir`: load the manifest,
+    /// rebuild the pool it describes, and restore every catalogued graph —
+    /// checkpoint first (one sequential scan, **no** re-decomposition),
+    /// then the journal tail replayed through the same typed-op path live
+    /// traffic uses. Uses the sequential executor; see
+    /// [`CoreService::open_catalog_with`] for the knobs.
+    pub fn open_catalog(dir: &Path) -> Result<CoreService> {
+        Self::open_catalog_with(dir, ScanExecutor::Sequential, DurableOptions::default())
+    }
+
+    /// [`CoreService::open_catalog`] with an explicit executor (used for
+    /// decompositions of graphs opened *after* recovery) and durability
+    /// options.
+    pub fn open_catalog_with(
+        dir: &Path,
+        exec: ScanExecutor,
+        opts: DurableOptions,
+    ) -> Result<CoreService> {
+        let catalog = Catalog::read(dir)?;
+        let svc = CoreService {
+            pool: SharedPool::with_policy(
+                catalog.block_size,
+                catalog.budget_bytes,
+                catalog.policy,
+            )?,
+            exec,
+            graphs: Mutex::new(HashMap::new()),
+            durable: Some(Durable {
+                dir: dir.to_path_buf(),
+                checkpoint_every: opts.checkpoint_every.max(1),
+                entries: Mutex::new(HashMap::new()),
+            }),
+        };
+        for entry in &catalog.entries {
+            svc.recover_entry(entry)?;
+        }
+        Ok(svc)
+    }
+
+    /// The data directory of a durable service (`None` when nothing is
+    /// persisted).
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(|d| d.dir.as_path())
     }
 
     /// The shared pool, for budget/occupancy/hit-rate introspection.
@@ -120,18 +334,82 @@ impl CoreService {
     /// model `M` this graph's `read_ios` is priced against). Budgets below
     /// two blocks charge per shared-pool miss instead — honest, but
     /// dependent on the other graphs' traffic.
+    ///
+    /// On a durable service this also registers the graph in the catalog,
+    /// writes its initial checkpoint and creates its journal, so a restart
+    /// restores it.
     pub fn open_with_charge(&self, name: &str, base: &Path, charge_bytes: u64) -> Result<()> {
+        if self.durable.is_some() {
+            validate_durable_name(name)?;
+        }
         if self.contains(name) {
             return Err(already_serving(name));
         }
         // Decompose outside the registry lock: other graphs keep serving.
-        let index = CoreIndex::open_pooled(base, &self.pool, charge_bytes, self.exec)?;
-        let mut graphs = self.registry();
-        if graphs.contains_key(name) {
-            // A racing open beat us; the loser's lease frees its frames.
-            return Err(already_serving(name));
+        let counter = IoCounter::new(self.pool.block_size());
+        let disk = DiskGraph::open_pooled(base, counter, &self.pool, charge_bytes)?;
+        let capacity = if self.durable.is_some() {
+            DURABLE_BUFFER_CAPACITY
+        } else {
+            graphstore::DEFAULT_BUFFER_CAPACITY
+        };
+        let index = CoreIndex::from_disk_graph(disk, capacity, self.exec)?;
+
+        // Win the name *before* touching any on-disk sidecar: a losing
+        // racer must never overwrite the winner's checkpoint or truncate a
+        // journal the winner is already appending to. The graph's own lock
+        // is held across the sidecar writes so no apply can slip in while
+        // `wal` is still `None` (which would skip journaling on a durable
+        // service). Lock order (graph, then catalog entries) matches
+        // `checkpoint_locked`; nothing locks a graph while holding the
+        // registry lock, so holding the graph lock across the registry
+        // insert below cannot deadlock.
+        let handle = Arc::new(Mutex::new(Served {
+            index,
+            wal: None,
+            seq: 0,
+            ck_seq: 0,
+        }));
+        let mut served = handle.lock().expect("served graph poisoned");
+        {
+            let mut graphs = self.registry();
+            if graphs.contains_key(name) {
+                // A racing open beat us; the loser's lease frees its frames.
+                return Err(already_serving(name));
+            }
+            graphs.insert(name.to_string(), Arc::clone(&handle));
         }
-        graphs.insert(name.to_string(), Arc::new(Mutex::new(index)));
+        if let Some(d) = &self.durable {
+            let publish = (|| -> Result<()> {
+                // The seq-0 checkpoint: same writer as every later one
+                // (`served.wal` is still None, so no journal to truncate,
+                // and the entry map has nothing to refresh yet).
+                self.checkpoint_locked(name, &mut served)?;
+                let counter = served.index.graph_mut().disk().counter().clone();
+                served.wal = Some(Wal::create(&wal_path(&d.dir, name), counter)?);
+                d.entries.lock().expect("catalog entries poisoned").insert(
+                    name.to_string(),
+                    DurableEntry {
+                        base: base.to_path_buf(),
+                        charge_bytes,
+                        checkpoint_seq: 0,
+                    },
+                );
+                self.rewrite_catalog()
+            })();
+            if let Err(e) = publish {
+                // Roll the registration back rather than serve a graph the
+                // catalog will not restore.
+                self.registry().remove(name);
+                d.entries
+                    .lock()
+                    .expect("catalog entries poisoned")
+                    .remove(name);
+                let _ = std::fs::remove_file(ckpt_path(&d.dir, name));
+                let _ = std::fs::remove_file(wal_path(&d.dir, name));
+                return Err(e);
+            }
+        }
         Ok(())
     }
 
@@ -155,30 +433,43 @@ impl CoreService {
 
     /// Stop serving `name`. In-flight operations on the graph finish
     /// normally; its pool frames are invalidated when the last one drops
-    /// its handle.
+    /// its handle. On a durable service the graph also leaves the catalog
+    /// and its checkpoint/journal files are removed — the base tables are
+    /// untouched, so it can be re-opened (and re-decomposed) later.
     pub fn evict(&self, name: &str) -> Result<()> {
         self.registry()
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| not_serving(name))
+            .ok_or_else(|| not_serving(name))?;
+        if let Some(d) = &self.durable {
+            d.entries
+                .lock()
+                .expect("catalog entries poisoned")
+                .remove(name);
+            self.rewrite_catalog()?;
+            // Sidecars of an uncatalogued graph are dead weight; failures
+            // here are harmless (recovery never reads uncatalogued files).
+            let _ = std::fs::remove_file(ckpt_path(&d.dir, name));
+            let _ = std::fs::remove_file(wal_path(&d.dir, name));
+        }
+        Ok(())
     }
 
     /// Run `f` against the named graph's [`CoreIndex`], holding that
     /// graph's lock (and no other) for the duration. This is the generic
-    /// access path every convenience method goes through.
+    /// access path every convenience *query* goes through. On a durable
+    /// service, mutate only via [`CoreService::apply`] (or its wrappers):
+    /// edits made directly through `f` bypass the journal and will not
+    /// survive a restart.
     pub fn with_graph<R>(
         &self,
         name: &str,
         f: impl FnOnce(&mut CoreIndex) -> Result<R>,
     ) -> Result<R> {
-        let handle = self
-            .registry()
-            .get(name)
-            .map(Arc::clone)
-            .ok_or_else(|| not_serving(name))?;
+        let handle = self.served(name)?;
         // The registry lock is released; only this graph serializes.
-        let mut index = handle.lock().expect("served graph poisoned");
-        f(&mut index)
+        let mut served = handle.lock().expect("served graph poisoned");
+        f(&mut served.index)
     }
 
     /// All core numbers of the named graph.
@@ -206,38 +497,119 @@ impl CoreService {
         self.with_graph(name, |idx| Ok(idx.kmax()))
     }
 
-    /// Insert an edge into the named graph, maintaining its cores
-    /// (SemiInsert\*). Unlike [`CoreIndex::insert_edge`] — which trusts
-    /// its caller and silently corrupts state on a duplicate — the serving
-    /// layer validates first (one adjacency read): inserting a present
-    /// edge is an error, because this path is fed raw user input.
-    pub fn insert_edge(&self, name: &str, u: u32, v: u32) -> Result<MaintainStats> {
-        self.with_graph(name, |idx| {
-            if idx.has_edge(u, v)? {
+    /// Apply one typed maintenance operation to the named graph — **the**
+    /// mutation path: validation, journaling, dispatch and checkpointing
+    /// all live here, and [`CoreService::insert_edge`] /
+    /// [`CoreService::delete_edge`] are thin wrappers over it.
+    ///
+    /// Unlike [`CoreIndex::apply`] — which trusts its caller and silently
+    /// corrupts state on a duplicate insert or absent delete — this path is
+    /// fed raw user input and validates first (one adjacency read). On a
+    /// durable service the validated op is then appended (and fsynced) to
+    /// the graph's journal *before* it is applied, so a crash at any
+    /// instant loses at most an op whose success was never reported; every
+    /// `checkpoint_every` ops the maintained state is checkpointed and the
+    /// journal truncated.
+    pub fn apply(&self, name: &str, op: MaintainOp) -> Result<MaintainStats> {
+        let handle = self.served(name)?;
+        let mut served = handle.lock().expect("served graph poisoned");
+        let (u, v) = op.endpoints();
+        if op.is_insert() {
+            if served.index.has_edge(u, v)? {
                 return Err(graphstore::Error::InvalidArgument(format!(
                     "edge ({u}, {v}) already present"
                 )));
             }
-            idx.insert_edge(u, v)
-        })
+        } else if !served.index.has_edge(u, v)? {
+            return Err(graphstore::Error::InvalidArgument(format!(
+                "edge ({u}, {v}) not present"
+            )));
+        }
+        let seq = served.seq + 1;
+        let mut journal_mark = None;
+        if let Some(wal) = served.wal.as_mut() {
+            let mut payload = Vec::with_capacity(8 + semicore::MAINTAIN_OP_LEN);
+            payload.extend_from_slice(&seq.to_le_bytes());
+            payload.extend_from_slice(&op.encode());
+            journal_mark = Some(wal.len_bytes());
+            wal.append(&payload)?;
+        }
+        let stats = match served.index.apply(op) {
+            Ok(stats) => stats,
+            Err(e) => {
+                // The op failed after it was journaled: undo the append so
+                // the journal never records an op whose failure we report
+                // (replaying it would diverge from the acknowledged
+                // history). If even the rollback fails, the record stays —
+                // then the op *is* durably recorded, so consume its
+                // sequence number rather than let the next op reuse it and
+                // poison the journal's gap check.
+                if let (Some(wal), Some(mark)) = (served.wal.as_mut(), journal_mark) {
+                    if wal.rollback_to(mark).is_err() {
+                        served.seq = seq;
+                    }
+                }
+                return Err(e);
+            }
+        };
+        served.seq = seq;
+        if let Some(d) = &self.durable {
+            if served.seq - served.ck_seq >= d.checkpoint_every {
+                // The op itself is journaled and applied — durable either
+                // way — so a failed threshold checkpoint must not turn its
+                // acknowledgement into an error (the caller would retry an
+                // op that actually happened). `ck_seq` stays put, the next
+                // op retries the checkpoint, and the journal simply grows
+                // until one succeeds; a persistent failure (e.g. a full
+                // disk) surfaces on its own through failing appends or an
+                // explicit [`CoreService::save`].
+                let _ = self.checkpoint_locked(name, &mut served);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Insert an edge into the named graph, maintaining its cores
+    /// (SemiInsert\*). Equivalent to [`CoreService::apply`] with
+    /// [`MaintainOp::Insert`]; inserting a present edge is an error.
+    pub fn insert_edge(&self, name: &str, u: u32, v: u32) -> Result<MaintainStats> {
+        self.apply(name, MaintainOp::Insert(u, v))
     }
 
     /// Delete an edge from the named graph, maintaining its cores
-    /// (SemiDelete\*). As with [`CoreService::insert_edge`], deleting an
-    /// absent edge is an error rather than silent state corruption.
+    /// (SemiDelete\*). Equivalent to [`CoreService::apply`] with
+    /// [`MaintainOp::Delete`]; deleting an absent edge is an error.
     pub fn delete_edge(&self, name: &str, u: u32, v: u32) -> Result<MaintainStats> {
-        self.with_graph(name, |idx| {
-            if !idx.has_edge(u, v)? {
-                return Err(graphstore::Error::InvalidArgument(format!(
-                    "edge ({u}, {v}) not present"
-                )));
-            }
-            idx.delete_edge(u, v)
-        })
+        self.apply(name, MaintainOp::Delete(u, v))
+    }
+
+    /// Checkpoint the named graph now — maintained state to `<name>.ckpt`,
+    /// journal truncated — regardless of the `checkpoint_every` cadence.
+    /// Errors on a non-durable service.
+    pub fn save(&self, name: &str) -> Result<()> {
+        if self.durable.is_none() {
+            return Err(graphstore::Error::InvalidArgument(
+                "service has no data directory; nothing to save".into(),
+            ));
+        }
+        let handle = self.served(name)?;
+        let mut served = handle.lock().expect("served graph poisoned");
+        self.checkpoint_locked(name, &mut served)
+    }
+
+    /// [`CoreService::save`] for every served graph.
+    pub fn save_all(&self) -> Result<()> {
+        for name in self.graph_names() {
+            self.save(&name)?;
+        }
+        Ok(())
     }
 
     /// Cumulative I/O charged to the named graph (its own counter: charged
-    /// reads are contention-independent, physical reads are not).
+    /// reads are contention-independent, physical reads are not). On a
+    /// recovered graph this starts at the recovery cost — checkpoint scan
+    /// plus journal-tail replay — the number the restart differential
+    /// suite compares against a fresh decomposition.
     pub fn io(&self, name: &str) -> Result<IoSnapshot> {
         self.with_graph(name, |idx| Ok(idx.io()))
     }
@@ -247,7 +619,161 @@ impl CoreService {
         self.with_graph(name, |idx| idx.verify())
     }
 
-    fn registry(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<Mutex<CoreIndex>>>> {
+    /// Write the current catalog manifest (atomic replace). Caller must
+    /// have already updated the entry map. The entries lock is held across
+    /// the write: snapshot-then-write-unlocked would let two racing
+    /// registry changes rename their manifests in either order, and the
+    /// stale one could land last — durably resurrecting an evicted graph
+    /// whose sidecars are already gone.
+    fn rewrite_catalog(&self) -> Result<()> {
+        let d = self.durable.as_ref().expect("durable services only");
+        let guard = d.entries.lock().expect("catalog entries poisoned");
+        let mut entries: Vec<CatalogEntry> = guard
+            .iter()
+            .map(|(name, e)| CatalogEntry {
+                name: name.clone(),
+                base: e.base.clone(),
+                charge_bytes: e.charge_bytes,
+                checkpoint_seq: e.checkpoint_seq,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        Catalog {
+            block_size: self.pool.block_size(),
+            budget_bytes: self.pool.budget_bytes(),
+            policy: self.pool.policy(),
+            entries,
+        }
+        .write(&d.dir)
+        // `guard` drops here, after the manifest is durably in place.
+    }
+
+    /// Checkpoint `served` (whose lock the caller holds): atomically
+    /// replace `<name>.ckpt` with the maintained state at `served.seq`,
+    /// then truncate the journal. The checkpoint rename is the commit
+    /// point — a crash before it replays the old checkpoint plus the full
+    /// journal, a crash after it skips the already-covered records by
+    /// sequence number.
+    fn checkpoint_locked(&self, name: &str, served: &mut Served) -> Result<()> {
+        let Some(d) = &self.durable else {
+            return Ok(());
+        };
+        let edits = served.index.graph_mut().pending_net_edits();
+        let counter = served.index.graph_mut().disk().counter().clone();
+        let state = served.index.maintained_state();
+        StateCheckpoint::write_parts(
+            &ckpt_path(&d.dir, name),
+            &counter,
+            served.seq,
+            &state.core,
+            &state.cnt,
+            &edits,
+        )?;
+        if let Some(wal) = served.wal.as_mut() {
+            wal.truncate()?;
+        }
+        served.ck_seq = served.seq;
+        // Refresh the in-memory entry so the *next* registry-shape rewrite
+        // carries a current value, but do not rewrite the manifest here:
+        // `checkpoint_seq` is advisory (the checkpoint file's own sequence
+        // number is what recovery trusts), and three fsyncs per checkpoint
+        // on the hot apply path would buy nothing.
+        if let Some(e) = d
+            .entries
+            .lock()
+            .expect("catalog entries poisoned")
+            .get_mut(name)
+        {
+            e.checkpoint_seq = served.seq;
+        }
+        Ok(())
+    }
+
+    /// Restore one catalogued graph: open its tables against the pool,
+    /// load the checkpoint, re-inject the buffered edits, replay the
+    /// journal tail through [`CoreIndex::apply`], and serve it.
+    fn recover_entry(&self, entry: &CatalogEntry) -> Result<()> {
+        let d = self.durable.as_ref().expect("durable services only");
+        if self.contains(&entry.name) {
+            return Err(graphstore::Error::Corrupt {
+                reason: format!("catalog lists {:?} twice", entry.name),
+            });
+        }
+        let counter = IoCounter::new(self.pool.block_size());
+        let disk =
+            DiskGraph::open_pooled(&entry.base, counter.clone(), &self.pool, entry.charge_bytes)?;
+        let ck = StateCheckpoint::read(&ckpt_path(&d.dir, &entry.name), &counter)?;
+        let mut index = CoreIndex::restore(
+            disk,
+            DURABLE_BUFFER_CAPACITY,
+            CoreState {
+                core: ck.cores,
+                cnt: ck.cnt,
+            },
+        )?;
+        // The checkpointed update-buffer edits: graph mutations only — the
+        // restored cores/cnt already reflect them.
+        for (u, v, inserted) in ck.edits {
+            if inserted {
+                index.graph_mut().insert_edge(u, v)?;
+            } else {
+                index.graph_mut().delete_edge(u, v)?;
+            }
+        }
+        // Replay the journal tail through the same typed-op dispatch used
+        // live. Records at or below the checkpoint sequence are already in
+        // the checkpoint (the crash landed between its commit and the
+        // journal truncation); anything else must be gap-free.
+        let (wal, records) = Wal::open(&wal_path(&d.dir, &entry.name), counter)?;
+        let mut seq = ck.seq;
+        for record in records {
+            if record.len() < 8 {
+                return Err(graphstore::Error::Corrupt {
+                    reason: format!("undersized journal record for {:?}", entry.name),
+                });
+            }
+            let rseq = u64::from_le_bytes(record[..8].try_into().expect("length checked"));
+            let op = MaintainOp::decode(&record[8..])?;
+            if rseq <= ck.seq {
+                continue;
+            }
+            if rseq != seq + 1 {
+                return Err(graphstore::Error::Corrupt {
+                    reason: format!(
+                        "journal gap for {:?}: record {rseq} after {seq}",
+                        entry.name
+                    ),
+                });
+            }
+            index.apply(op)?;
+            seq = rseq;
+        }
+        let handle = Arc::new(Mutex::new(Served {
+            index,
+            wal: Some(wal),
+            seq,
+            ck_seq: ck.seq,
+        }));
+        self.registry().insert(entry.name.clone(), handle);
+        d.entries.lock().expect("catalog entries poisoned").insert(
+            entry.name.clone(),
+            DurableEntry {
+                base: entry.base.clone(),
+                charge_bytes: entry.charge_bytes,
+                checkpoint_seq: ck.seq,
+            },
+        );
+        Ok(())
+    }
+
+    fn served(&self, name: &str) -> Result<Arc<Mutex<Served>>> {
+        self.registry()
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| not_serving(name))
+    }
+
+    fn registry(&self) -> MutexGuard<'_, HashMap<String, Arc<Mutex<Served>>>> {
         self.graphs.lock().expect("service registry poisoned")
     }
 }
@@ -351,5 +877,127 @@ mod tests {
         ));
         assert!(svc.insert_edge("a", 0, 99).is_err());
         assert_eq!(svc.core("a", 3).unwrap(), 1);
+    }
+
+    #[test]
+    fn save_without_data_dir_is_an_error() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        assert!(svc.data_dir().is_none());
+        assert!(svc.save("a").is_err());
+    }
+
+    #[test]
+    fn durable_restart_restores_registry_and_state() {
+        let dir = TempDir::new("svc-durable").unwrap();
+        let data = dir.path().join("data");
+        {
+            let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+            assert_eq!(svc.data_dir(), Some(data.as_path()));
+            svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+                .unwrap();
+            svc.create("b", &dir.path().join("b"), [(0u32, 1u32), (1, 2)], 3)
+                .unwrap();
+            svc.insert_edge("a", 1, 3).unwrap();
+            svc.insert_edge("a", 0, 3).unwrap(); // K4
+            svc.delete_edge("b", 0, 1).unwrap();
+            // No save: the journal alone must carry the tail.
+        }
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.graph_names(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(svc.kmax("a").unwrap(), 3);
+        assert_eq!(svc.cores("b").unwrap(), vec![0, 1, 1]);
+        assert!(svc.verify("a").unwrap() && svc.verify("b").unwrap());
+        // The restored graph keeps serving updates durably.
+        svc.delete_edge("a", 0, 1).unwrap();
+        assert_eq!(svc.kmax("a").unwrap(), 2);
+    }
+
+    #[test]
+    fn durable_restart_after_explicit_save_replays_nothing() {
+        let dir = TempDir::new("svc-durable").unwrap();
+        let data = dir.path().join("data");
+        {
+            let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+            svc.create("g", &dir.path().join("g"), triangle_plus_tail(), 4)
+                .unwrap();
+            svc.insert_edge("g", 1, 3).unwrap();
+            svc.save("g").unwrap();
+        }
+        // After save, the journal is empty: recovery is checkpoint-only.
+        let wal_len = std::fs::metadata(data.join("g.wal")).unwrap().len();
+        assert_eq!(wal_len, 8, "journal truncated to its header by save");
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.kmax("g").unwrap(), 2);
+        assert!(svc.verify("g").unwrap());
+    }
+
+    #[test]
+    fn checkpoint_threshold_truncates_journal_mid_stream() {
+        let dir = TempDir::new("svc-durable").unwrap();
+        let data = dir.path().join("data");
+        let svc = CoreService::create_durable_with(
+            &data,
+            DEFAULT_BLOCK_SIZE,
+            1 << 20,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+            DurableOptions {
+                checkpoint_every: 2,
+            },
+        )
+        .unwrap();
+        svc.create("g", &dir.path().join("g"), [(0u32, 1u32)], 6)
+            .unwrap();
+        svc.insert_edge("g", 1, 2).unwrap();
+        svc.insert_edge("g", 2, 3).unwrap(); // threshold: checkpoint + truncate
+        let wal_len = std::fs::metadata(data.join("g.wal")).unwrap().len();
+        assert_eq!(wal_len, 8, "threshold checkpoint must truncate the journal");
+        svc.insert_edge("g", 3, 4).unwrap(); // journaled on the fresh log
+        drop(svc);
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.cores("g").unwrap(), vec![1, 1, 1, 1, 1, 0]);
+        assert!(svc.verify("g").unwrap());
+    }
+
+    #[test]
+    fn durable_evict_removes_catalog_entry_and_sidecars() {
+        let dir = TempDir::new("svc-durable").unwrap();
+        let data = dir.path().join("data");
+        let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+        svc.create("gone", &dir.path().join("gone"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.create("kept", &dir.path().join("kept"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.evict("gone").unwrap();
+        assert!(!data.join("gone.ckpt").exists());
+        assert!(!data.join("gone.wal").exists());
+        drop(svc);
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.graph_names(), vec!["kept".to_string()]);
+    }
+
+    #[test]
+    fn durable_names_are_restricted_to_safe_characters() {
+        let dir = TempDir::new("svc-durable").unwrap();
+        let svc = CoreService::create_durable(&dir.path().join("data"), 1 << 20).unwrap();
+        for bad in ["", "../escape", "a/b", "dot.dot", "sp ace"] {
+            assert!(
+                svc.create(bad, &dir.path().join("g"), triangle_plus_tail(), 4)
+                    .is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn create_durable_refuses_an_existing_catalog() {
+        let dir = TempDir::new("svc-durable").unwrap();
+        let data = dir.path().join("data");
+        drop(CoreService::create_durable(&data, 1 << 20).unwrap());
+        assert!(CoreService::create_durable(&data, 1 << 20).is_err());
+        assert!(CoreService::open_catalog(&data).is_ok());
     }
 }
