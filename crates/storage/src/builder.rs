@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
-use crate::format::{self, GraphPaths};
+use crate::format::{self, FormatVersion, GraphPaths};
 use crate::graph::DiskGraph;
 use crate::io::{BlockWriter, IoCounter};
 use crate::memgraph::MemGraph;
@@ -19,35 +19,62 @@ use crate::tempdir::TempDir;
 /// over get degree zero. Node entries (12 bytes each) are accumulated in
 /// memory — `O(n)`, which the semi-external model permits — and flushed as
 /// the node table at [`DiskGraphWriter::finish`].
+///
+/// The edge-table encoding is chosen at creation
+/// ([`DiskGraphWriter::create_with_format`]): raw `u32` runs (v1) or
+/// delta-gap varints (v2, typically 2–3× smaller — see
+/// [`FormatVersion`]). The appended lists and every reader-visible byte of
+/// the node entries are identical either way.
 pub struct DiskGraphWriter {
     paths: GraphPaths,
     counter: Arc<IoCounter>,
+    version: FormatVersion,
     num_nodes: u32,
     node_entries: Vec<u8>,
     edge_writer: BlockWriter,
     next_node: u32,
     degree_sum: u64,
+    /// Reusable encode buffer, so appends allocate nothing per list.
+    encode_buf: Vec<u8>,
 }
 
 impl DiskGraphWriter {
-    /// Begin writing a graph with `num_nodes` nodes at `<base>.nodes/.edges`.
+    /// Begin writing a v1 graph with `num_nodes` nodes at
+    /// `<base>.nodes/.edges`.
     pub fn create(base: &Path, num_nodes: u32, counter: Arc<IoCounter>) -> Result<Self> {
+        Self::create_with_format(base, num_nodes, counter, FormatVersion::V1)
+    }
+
+    /// [`DiskGraphWriter::create`] with an explicit edge-table encoding.
+    pub fn create_with_format(
+        base: &Path,
+        num_nodes: u32,
+        counter: Arc<IoCounter>,
+        version: FormatVersion,
+    ) -> Result<Self> {
         let paths = GraphPaths::from_base(base);
         if let Some(parent) = paths.nodes.parent() {
             std::fs::create_dir_all(parent)?;
         }
         let edge_file = std::fs::File::create(&paths.edges)?;
         let mut edge_writer = BlockWriter::new(edge_file, counter.clone());
-        edge_writer.write_all(format::EDGE_MAGIC)?;
+        edge_writer.write_all(version.edge_magic())?;
         Ok(DiskGraphWriter {
             paths,
             counter,
+            version,
             num_nodes,
             node_entries: Vec::with_capacity(num_nodes as usize * 12),
             edge_writer,
             next_node: 0,
             degree_sum: 0,
+            encode_buf: Vec::new(),
         })
+    }
+
+    /// The edge-table encoding this writer produces.
+    pub fn format_version(&self) -> FormatVersion {
+        self.version
     }
 
     fn pad_to(&mut self, v: u32) {
@@ -93,9 +120,12 @@ impl DiskGraphWriter {
         }
         self.pad_to(v);
         let offset = self.edge_writer.position();
-        let mut bytes = Vec::with_capacity(nbrs.len() * 4);
-        crate::codec::encode_u32_run(nbrs, &mut bytes);
-        self.edge_writer.write_all(&bytes)?;
+        self.encode_buf.clear();
+        match self.version {
+            FormatVersion::V1 => crate::codec::encode_u32_run(nbrs, &mut self.encode_buf),
+            FormatVersion::V2 => crate::codec::encode_gap_run(nbrs, &mut self.encode_buf),
+        }
+        self.edge_writer.write_all(&self.encode_buf)?;
         self.node_entries
             .extend_from_slice(&format::encode_node_entry(offset, nbrs.len() as u32));
         self.next_node = v + 1;
@@ -112,11 +142,12 @@ impl DiskGraphWriter {
     /// maintenance WAL assume the base tables they reference are durable.
     pub fn finish(mut self) -> Result<GraphPaths> {
         self.pad_to(self.num_nodes);
+        let edge_bytes = self.edge_writer.position() - format::EDGE_HEADER_LEN;
         self.edge_writer.finish()?.sync_all()?;
 
-        let meta = format::GraphMeta {
-            num_nodes: self.num_nodes,
-            degree_sum: self.degree_sum,
+        let meta = match self.version {
+            FormatVersion::V1 => format::GraphMeta::v1(self.num_nodes, self.degree_sum),
+            FormatVersion::V2 => format::GraphMeta::v2(self.num_nodes, self.degree_sum, edge_bytes),
         };
         let node_file = std::fs::File::create(&self.paths.nodes)?;
         let mut w = BlockWriter::new(node_file, self.counter.clone());
@@ -129,16 +160,27 @@ impl DiskGraphWriter {
     }
 }
 
-/// Write an in-memory graph to disk and return the file pair.
+/// Write an in-memory graph to disk (format v1) and return the file pair.
 pub fn write_mem_graph(base: &Path, g: &MemGraph, counter: Arc<IoCounter>) -> Result<GraphPaths> {
-    let mut w = DiskGraphWriter::create(base, g.num_nodes(), counter)?;
+    write_mem_graph_with(base, g, counter, FormatVersion::V1)
+}
+
+/// [`write_mem_graph`] with an explicit edge-table encoding.
+pub fn write_mem_graph_with(
+    base: &Path,
+    g: &MemGraph,
+    counter: Arc<IoCounter>,
+    version: FormatVersion,
+) -> Result<GraphPaths> {
+    let mut w = DiskGraphWriter::create_with_format(base, g.num_nodes(), counter, version)?;
     for v in 0..g.num_nodes() {
         w.append_adjacency(v, g.neighbors(v))?;
     }
     w.finish()
 }
 
-/// Convenience: write `g` at `base` and open it as a [`DiskGraph`].
+/// Convenience: write `g` at `base` (format v1) and open it as a
+/// [`DiskGraph`].
 pub fn mem_to_disk(base: &Path, g: &MemGraph, counter: Arc<IoCounter>) -> Result<DiskGraph> {
     write_mem_graph(base, g, counter.clone())?;
     DiskGraph::open(base, counter)
@@ -174,6 +216,7 @@ pub struct ExternalGraphBuilder {
     run_capacity: usize,
     max_node: u32,
     saw_edge: bool,
+    version: FormatVersion,
 }
 
 /// Pack a directed edge into a sortable u64.
@@ -189,8 +232,14 @@ fn unpack(x: u64) -> (u32, u32) {
 
 impl ExternalGraphBuilder {
     /// Create a builder spilling runs of at most `run_capacity` directed
-    /// edges (two per undirected input edge).
+    /// edges (two per undirected input edge), producing a v1 graph.
     pub fn new(run_capacity: usize) -> Result<Self> {
+        Self::new_with_format(run_capacity, FormatVersion::V1)
+    }
+
+    /// [`ExternalGraphBuilder::new`] with an explicit edge-table encoding
+    /// for the final graph.
+    pub fn new_with_format(run_capacity: usize, version: FormatVersion) -> Result<Self> {
         if run_capacity < 2 {
             return Err(Error::InvalidArgument(
                 "run capacity must hold at least one undirected edge".into(),
@@ -203,6 +252,7 @@ impl ExternalGraphBuilder {
             run_capacity,
             max_node: 0,
             saw_edge: false,
+            version,
         })
     }
 
@@ -255,7 +305,8 @@ impl ExternalGraphBuilder {
         } else {
             min_nodes
         };
-        let mut writer = DiskGraphWriter::create(base, n, counter.clone())?;
+        let mut writer =
+            DiskGraphWriter::create_with_format(base, n, counter.clone(), self.version)?;
 
         // K-way merge with global dedup.
         let mut sources: Vec<RunReader> = Vec::with_capacity(self.runs.len());

@@ -155,15 +155,35 @@ pub struct BlockCache {
 
 impl BlockCache {
     /// Pool of `B`-sized frames under `budget_bytes` of memory
-    /// (`M / B` frames, minimum one).
+    /// (`M / B` frames).
     ///
-    /// Callers expressing "no cache" should skip construction entirely
-    /// rather than build a degenerate pool; see [`BlockCache::shared`] for
-    /// the budget-aware constructor.
-    pub fn new(block_size: usize, budget_bytes: u64, policy: EvictionPolicy) -> BlockCache {
+    /// Errors when the budget cannot hold even one frame — a degenerate
+    /// pool would silently realise a different budget than the caller
+    /// asked for. Callers expressing "no cache" should skip construction
+    /// entirely; see [`BlockCache::shared`] for the budget-aware
+    /// constructor that maps an insufficient budget to `None`.
+    pub fn new(block_size: usize, budget_bytes: u64, policy: EvictionPolicy) -> Result<BlockCache> {
+        Self::new_with_min_frames(block_size, budget_bytes, 1, policy)
+    }
+
+    /// [`BlockCache::new`] requiring room for at least `min_frames` frames
+    /// (pass the number of files sharing the pool, so every reader keeps
+    /// its pinned current block). Errors when `budget_bytes` is too small.
+    pub fn new_with_min_frames(
+        block_size: usize,
+        budget_bytes: u64,
+        min_frames: u64,
+        policy: EvictionPolicy,
+    ) -> Result<BlockCache> {
         assert!(block_size > 0, "block size must be positive");
-        let max_frames = ((budget_bytes / block_size as u64) as usize).max(1);
-        BlockCache {
+        if budget_bytes < min_frames.max(1) * block_size as u64 {
+            return Err(crate::error::Error::InvalidArgument(format!(
+                "cache budget of {budget_bytes} B holds fewer than {} {block_size} B frame(s)",
+                min_frames.max(1)
+            )));
+        }
+        let max_frames = (budget_bytes / block_size as u64) as usize;
+        Ok(BlockCache {
             block_size,
             max_frames,
             policy,
@@ -176,7 +196,7 @@ impl BlockCache {
             lru_tail: NONE,
             pinned: HashMap::new(),
             stats: CacheStats::default(),
-        }
+        })
     }
 
     /// Budget-aware shared-pool constructor: `None` when the budget cannot
@@ -190,14 +210,9 @@ impl BlockCache {
         min_frames: u64,
         policy: EvictionPolicy,
     ) -> Option<Arc<Mutex<BlockCache>>> {
-        if budget_bytes < min_frames.max(1) * block_size as u64 {
-            return None;
-        }
-        Some(Arc::new(Mutex::new(BlockCache::new(
-            block_size,
-            budget_bytes,
-            policy,
-        ))))
+        Self::new_with_min_frames(block_size, budget_bytes, min_frames, policy)
+            .ok()
+            .map(|c| Arc::new(Mutex::new(c)))
     }
 
     /// The frame size `B`.
@@ -329,6 +344,23 @@ impl BlockCache {
         self.map.clear();
         for idx in 0..self.frames.len() {
             if self.frames[idx].key.is_some() {
+                self.drop_frame(idx);
+            }
+        }
+    }
+
+    /// Drop every frame belonging to a file id in `[first, first + count)`
+    /// in **one** bookkeeping pass. Semantically identical to calling
+    /// [`BlockCache::invalidate_file`] per id, but a pool lease can span
+    /// billions of ids (most never used), so teardown must cost O(frames),
+    /// not O(ids) — see [`crate::pool::PoolLease`].
+    pub fn invalidate_file_range(&mut self, first: u32, count: u32) {
+        let end = first.checked_add(count); // None: range reaches u32::MAX inclusive
+        let in_range = |f: u32| f >= first && end.is_none_or(|e| f < e);
+        self.pinned.retain(|&f, _| !in_range(f));
+        self.map.retain(|&(f, _), _| !in_range(f));
+        for idx in 0..self.frames.len() {
+            if self.frames[idx].key.is_some_and(|(f, _)| in_range(f)) {
                 self.drop_frame(idx);
             }
         }
@@ -508,11 +540,43 @@ mod tests {
     }
 
     fn lru(frames: u64) -> BlockCache {
-        BlockCache::new(4, frames * 4, EvictionPolicy::Lru)
+        BlockCache::new(4, frames * 4, EvictionPolicy::Lru).unwrap()
     }
 
     fn scan_lifo(frames: u64) -> BlockCache {
-        BlockCache::new(4, frames * 4, EvictionPolicy::ScanLifo)
+        BlockCache::new(4, frames * 4, EvictionPolicy::ScanLifo).unwrap()
+    }
+
+    #[test]
+    fn invalidate_file_range_matches_per_file_invalidation() {
+        for mut c in [lru(16), scan_lifo(16)] {
+            for f in 0..6u32 {
+                fill_with(&mut c, f, 0, f as u8);
+                fill_with(&mut c, f, 1, f as u8);
+            }
+            c.invalidate_file_range(2, 3); // files 2, 3, 4
+            let mut left: Vec<u32> = c.resident_keys().iter().map(|&(f, _)| f).collect();
+            left.sort_unstable();
+            left.dedup();
+            assert_eq!(left, vec![0, 1, 5]);
+            // The saturating end: a range reaching past u32::MAX clears
+            // everything from `first` up.
+            c.invalidate_file_range(1, u32::MAX);
+            let left: Vec<u32> = c.resident_keys().iter().map(|&(f, _)| f).collect();
+            assert_eq!(left, vec![0, 0]);
+        }
+    }
+
+    #[test]
+    fn sub_frame_budget_is_an_error_not_a_clamp() {
+        // The old behaviour silently clamped to one frame, realising a
+        // bigger budget than requested; now it errors like
+        // `new_with_min_frames`.
+        assert!(BlockCache::new(4096, 0, EvictionPolicy::Lru).is_err());
+        assert!(BlockCache::new(4096, 4095, EvictionPolicy::Lru).is_err());
+        assert!(BlockCache::new(4096, 4096, EvictionPolicy::Lru).is_ok());
+        assert!(BlockCache::new_with_min_frames(4096, 4096, 2, EvictionPolicy::Lru).is_err());
+        assert!(BlockCache::new_with_min_frames(4096, 8192, 2, EvictionPolicy::Lru).is_ok());
     }
 
     #[test]

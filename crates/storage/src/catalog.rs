@@ -32,14 +32,19 @@ use std::sync::Arc;
 use crate::cache::EvictionPolicy;
 use crate::codec;
 use crate::error::{Error, Result};
+use crate::format::FormatVersion;
 use crate::io::{sync_parent_dir, IoCounter};
 
 /// Magic bytes opening the catalog manifest.
 pub const CATALOG_MAGIC: &[u8; 8] = b"KCORCAT1";
 /// Magic bytes opening a state checkpoint file.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"KCORCKP1";
-/// Format version written into both durability artefacts.
+/// Format version written into state checkpoints.
 pub const DURABILITY_VERSION: u32 = 1;
+/// Format version written into new catalog manifests. Version 1 manifests
+/// (no per-entry edge-table format flag; all entries default to
+/// [`FormatVersion::V1`]) keep opening unchanged.
+pub const CATALOG_VERSION: u32 = 2;
 
 /// Name of the manifest file within a data directory.
 pub const CATALOG_FILE: &str = "catalog.kc";
@@ -58,6 +63,11 @@ pub struct CatalogEntry {
     /// authoritative, and the manifest is only rewritten when the registry
     /// shape changes — not on every checkpoint.
     pub checkpoint_seq: u64,
+    /// Edge-table encoding of the base tables at registration time.
+    /// Recovery cross-checks this against the node header actually on
+    /// disk, so a base table swapped behind the catalog's back surfaces as
+    /// corruption instead of silently serving a different file.
+    pub format: FormatVersion,
 }
 
 /// The persistent manifest of a durable serving directory: pool
@@ -90,8 +100,13 @@ impl Catalog {
     /// A crash at any point leaves either the old or the new manifest,
     /// never a mixture.
     pub fn write(&self, dir: &Path) -> Result<()> {
+        // Stamp the oldest version that can represent this registry: a
+        // manifest whose graphs are all format v1 needs no per-entry format
+        // byte, and writing it as version 1 keeps the data directory
+        // openable by pre-v2 binaries after a rollback.
+        let needs_v2 = self.entries.iter().any(|e| e.format != FormatVersion::V1);
         let mut body = Vec::new();
-        codec_put_u32(&mut body, DURABILITY_VERSION);
+        codec_put_u32(&mut body, if needs_v2 { CATALOG_VERSION } else { 1 });
         codec_put_u32(&mut body, self.block_size as u32);
         body.extend_from_slice(&self.budget_bytes.to_le_bytes());
         body.push(encode_policy(self.policy));
@@ -107,6 +122,9 @@ impl Catalog {
             put_str(&mut body, base)?;
             body.extend_from_slice(&e.charge_bytes.to_le_bytes());
             body.extend_from_slice(&e.checkpoint_seq.to_le_bytes());
+            if needs_v2 {
+                body.push(e.format.as_u32() as u8);
+            }
         }
         let mut bytes = Vec::with_capacity(body.len() + 12);
         bytes.extend_from_slice(CATALOG_MAGIC);
@@ -124,9 +142,9 @@ impl Catalog {
         let body = checked_body(&bytes, CATALOG_MAGIC, "catalog")?;
         let mut cur = Cursor::new(body);
         let version = cur.u32("catalog version")?;
-        if version != DURABILITY_VERSION {
+        if version == 0 || version > CATALOG_VERSION {
             return Err(Error::corrupt(format!(
-                "unsupported catalog version {version} (expected {DURABILITY_VERSION})"
+                "unsupported catalog version {version} (expected 1..={CATALOG_VERSION})"
             )));
         }
         let block_size = cur.u32("catalog block size")? as usize;
@@ -142,11 +160,19 @@ impl Catalog {
             let base = PathBuf::from(cur.str("entry base path")?);
             let charge_bytes = cur.u64("entry charge budget")?;
             let checkpoint_seq = cur.u64("entry checkpoint seq")?;
+            // Version-1 manifests predate the edge-table format flag; every
+            // graph they catalogue is a v1 graph.
+            let format = if version >= 2 {
+                FormatVersion::from_u32(cur.u8("entry format flag")? as u32)?
+            } else {
+                FormatVersion::V1
+            };
             entries.push(CatalogEntry {
                 name,
                 base,
                 charge_bytes,
                 checkpoint_seq,
+                format,
             });
         }
         cur.finish("catalog")?;
@@ -434,15 +460,61 @@ mod tests {
                     base: PathBuf::from("/data/alpha"),
                     charge_bytes: 123_456,
                     checkpoint_seq: 7,
+                    format: FormatVersion::V2,
                 },
                 CatalogEntry {
                     name: "beta".into(),
                     base: PathBuf::from("rel/beta"),
                     charge_bytes: 0,
                     checkpoint_seq: 0,
+                    format: FormatVersion::V1,
                 },
             ],
         }
+    }
+
+    #[test]
+    fn version_1_manifest_still_opens_with_v1_entries() {
+        // Hand-craft a pre-format-flag (version 1) manifest body.
+        let mut body = Vec::new();
+        body.extend_from_slice(&1u32.to_le_bytes()); // catalog version 1
+        body.extend_from_slice(&4096u32.to_le_bytes());
+        body.extend_from_slice(&(1u64 << 20).to_le_bytes());
+        body.push(1); // ScanLifo
+        body.extend_from_slice(&1u32.to_le_bytes()); // one entry
+        body.extend_from_slice(&2u16.to_le_bytes());
+        body.extend_from_slice(b"gg");
+        body.extend_from_slice(&7u16.to_le_bytes());
+        body.extend_from_slice(b"/old/gg");
+        body.extend_from_slice(&42u64.to_le_bytes());
+        body.extend_from_slice(&3u64.to_le_bytes());
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(CATALOG_MAGIC);
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&codec::crc32(&body).to_le_bytes());
+
+        let dir = TempDir::new("cat-v1").unwrap();
+        std::fs::write(Catalog::path_in(dir.path()), &bytes).unwrap();
+        let cat = Catalog::read(dir.path()).unwrap();
+        assert_eq!(cat.entries.len(), 1);
+        assert_eq!(cat.entries[0].name, "gg");
+        assert_eq!(cat.entries[0].format, FormatVersion::V1);
+    }
+
+    #[test]
+    fn all_v1_registry_writes_a_version_1_manifest() {
+        // Downgrade safety: no v2 graph in the registry → the manifest is
+        // written in the version-1 layout a pre-v2 binary can still open.
+        let dir = TempDir::new("cat-down").unwrap();
+        let mut cat = sample_catalog();
+        for e in &mut cat.entries {
+            e.format = FormatVersion::V1;
+        }
+        cat.write(dir.path()).unwrap();
+        let bytes = std::fs::read(Catalog::path_in(dir.path())).unwrap();
+        // The version field sits right after the 8-byte magic.
+        assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
+        assert_eq!(Catalog::read(dir.path()).unwrap(), cat);
     }
 
     #[test]

@@ -51,13 +51,25 @@ pub fn read_edge_list(path: &Path, mut sink: impl FnMut(u32, u32) -> Result<()>)
 }
 
 /// Convenience: ingest a text edge list into an on-disk graph at `base`
-/// with bounded memory, returning the opened [`DiskGraph`](crate::DiskGraph).
+/// with bounded memory (format v1), returning the opened
+/// [`DiskGraph`](crate::DiskGraph).
 pub fn edge_list_to_disk(
     input: &Path,
     base: &Path,
     counter: std::sync::Arc<crate::io::IoCounter>,
 ) -> Result<crate::DiskGraph> {
-    let mut builder = crate::ExternalGraphBuilder::new(4 << 20)?;
+    edge_list_to_disk_with(input, base, counter, crate::FormatVersion::V1)
+}
+
+/// [`edge_list_to_disk`] with an explicit edge-table encoding — what
+/// `kcore build --compress` runs to produce a v2 graph.
+pub fn edge_list_to_disk_with(
+    input: &Path,
+    base: &Path,
+    counter: std::sync::Arc<crate::io::IoCounter>,
+    version: crate::FormatVersion,
+) -> Result<crate::DiskGraph> {
+    let mut builder = crate::ExternalGraphBuilder::new_with_format(4 << 20, version)?;
     read_edge_list(input, |u, v| builder.add_edge(u, v))?;
     builder.finish(base, 0, counter)
 }

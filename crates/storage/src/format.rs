@@ -6,32 +6,100 @@
 //!   per node holding the byte offset of its adjacency list in the edge table
 //!   and its degree. Entries are 12 bytes: `offset: u64, degree: u32`.
 //! * **edge table** (`<base>.edges`): a short header followed by the adjacency
-//!   lists `nbr(v1), nbr(v2), …, nbr(vn)` stored consecutively as raw
-//!   little-endian `u32` node ids.
+//!   lists `nbr(v1), nbr(v2), …, nbr(vn)` stored consecutively.
 //!
 //! Loading `nbr(v)` therefore takes one node-table access (offset + degree)
 //! plus a contiguous edge-table read, exactly the access pattern the paper's
 //! algorithms assume. Each neighbour list is stored sorted ascending, which
 //! the update buffer relies on for merging.
+//!
+//! ## Format versions
+//!
+//! Two edge-table encodings exist, negotiated by the version field of the
+//! node-table header (v1 files keep opening unchanged):
+//!
+//! * **v1** ([`FormatVersion::V1`]): raw little-endian `u32` ids, 4 bytes per
+//!   neighbour. Node header is 32 bytes; the edge-table length is derived
+//!   (`8 + 4 · degree_sum`). Supports the zero-copy borrowed-slice visit.
+//! * **v2** ([`FormatVersion::V2`]): delta-gap varints — each list stores its
+//!   first id absolute and every later id as the gap to its predecessor,
+//!   LEB128-encoded ([`crate::codec::encode_gap_run`]). Sorted neighbour
+//!   lists typically shrink 2–3×, which under the block-charged cost model
+//!   is proportionally fewer `read_ios` on every edge-table path. The node
+//!   header grows to 40 bytes to record the (now data-dependent) edge-table
+//!   payload length; node *entries* are unchanged (byte offset + degree).
 
 use std::path::{Path, PathBuf};
 
 use crate::codec;
 use crate::error::{Error, Result};
 
-/// Magic bytes opening the node table file.
+/// Magic bytes opening the node table file (both format versions).
 pub const NODE_MAGIC: &[u8; 8] = b"KCORNOD1";
-/// Magic bytes opening the edge table file.
+/// Magic bytes opening a v1 (raw `u32`) edge table file.
 pub const EDGE_MAGIC: &[u8; 8] = b"KCOREDG1";
-/// Format version written into the node table header.
-pub const FORMAT_VERSION: u32 = 1;
+/// Magic bytes opening a v2 (delta-varint) edge table file.
+pub const EDGE_MAGIC_V2: &[u8; 8] = b"KCOREDG2";
 
-/// Size of the node-table header in bytes.
-pub const NODE_HEADER_LEN: u64 = 32;
+/// Size of the v1 node-table header in bytes.
+pub const NODE_HEADER_LEN_V1: u64 = 32;
+/// Size of the v2 node-table header in bytes (v1 plus the edge-table
+/// payload length, which varint encoding makes data-dependent).
+pub const NODE_HEADER_LEN_V2: u64 = 40;
+/// The largest node-table header across versions — what an opener reads
+/// before it knows the version.
+pub const MAX_NODE_HEADER_LEN: u64 = NODE_HEADER_LEN_V2;
 /// Size of one node-table entry in bytes (`offset: u64, degree: u32`).
 pub const NODE_ENTRY_LEN: u64 = 12;
-/// Size of the edge-table header in bytes.
+/// Size of the edge-table header in bytes (both versions).
 pub const EDGE_HEADER_LEN: u64 = 8;
+
+/// Edge-table encoding of a stored graph. See the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatVersion {
+    /// Raw little-endian `u32` ids (4 bytes per neighbour).
+    #[default]
+    V1,
+    /// Delta-gap LEB128 varints (first id absolute, then gaps).
+    V2,
+}
+
+impl FormatVersion {
+    /// The version number written into the node-table header.
+    pub fn as_u32(self) -> u32 {
+        match self {
+            FormatVersion::V1 => 1,
+            FormatVersion::V2 => 2,
+        }
+    }
+
+    /// Parse a header version number.
+    pub fn from_u32(v: u32) -> Result<FormatVersion> {
+        match v {
+            1 => Ok(FormatVersion::V1),
+            2 => Ok(FormatVersion::V2),
+            other => Err(Error::corrupt(format!(
+                "unsupported format version {other} (expected 1 or 2)"
+            ))),
+        }
+    }
+
+    /// The magic bytes this version's edge table must open with.
+    pub fn edge_magic(self) -> &'static [u8; 8] {
+        match self {
+            FormatVersion::V1 => EDGE_MAGIC,
+            FormatVersion::V2 => EDGE_MAGIC_V2,
+        }
+    }
+
+    /// Short human-readable tag (`"v1"` / `"v2"`), as the CLI reports it.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FormatVersion::V1 => "v1",
+            FormatVersion::V2 => "v2",
+        }
+    }
+}
 
 /// Graph-level metadata stored in the node-table header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,64 +108,118 @@ pub struct GraphMeta {
     pub num_nodes: u32,
     /// Sum of degrees (twice the number of undirected edges).
     pub degree_sum: u64,
+    /// Edge-table encoding.
+    pub version: FormatVersion,
+    /// Edge-table payload length in bytes (excluding its 8-byte header).
+    /// For v1 this is always `4 · degree_sum`; for v2 it is data-dependent
+    /// and recorded in the header.
+    pub edge_bytes: u64,
 }
 
 impl GraphMeta {
+    /// Metadata of a v1 (raw `u32`) graph.
+    pub fn v1(num_nodes: u32, degree_sum: u64) -> GraphMeta {
+        GraphMeta {
+            num_nodes,
+            degree_sum,
+            version: FormatVersion::V1,
+            edge_bytes: 4 * degree_sum,
+        }
+    }
+
+    /// Metadata of a v2 (delta-varint) graph whose encoded adjacency lists
+    /// total `edge_bytes` bytes.
+    pub fn v2(num_nodes: u32, degree_sum: u64, edge_bytes: u64) -> GraphMeta {
+        GraphMeta {
+            num_nodes,
+            degree_sum,
+            version: FormatVersion::V2,
+            edge_bytes,
+        }
+    }
+
     /// Number of undirected edges `m`.
     pub fn num_edges(&self) -> u64 {
         self.degree_sum / 2
     }
 
+    /// Size of this graph's node-table header.
+    pub fn node_header_len(&self) -> u64 {
+        match self.version {
+            FormatVersion::V1 => NODE_HEADER_LEN_V1,
+            FormatVersion::V2 => NODE_HEADER_LEN_V2,
+        }
+    }
+
     /// Byte offset of node `v`'s entry within the node table file.
     pub fn node_entry_offset(&self, v: u32) -> u64 {
-        NODE_HEADER_LEN + NODE_ENTRY_LEN * v as u64
+        self.node_header_len() + NODE_ENTRY_LEN * v as u64
     }
 
     /// Expected node table file length.
     pub fn node_file_len(&self) -> u64 {
-        NODE_HEADER_LEN + NODE_ENTRY_LEN * self.num_nodes as u64
+        self.node_header_len() + NODE_ENTRY_LEN * self.num_nodes as u64
     }
 
     /// Expected edge table file length.
     pub fn edge_file_len(&self) -> u64 {
-        EDGE_HEADER_LEN + 4 * self.degree_sum
+        EDGE_HEADER_LEN + self.edge_bytes
     }
 }
 
-/// Encode the node-table header.
-pub fn encode_node_header(meta: &GraphMeta) -> [u8; NODE_HEADER_LEN as usize] {
-    let mut h = [0u8; NODE_HEADER_LEN as usize];
+/// Encode the node-table header (32 bytes for v1, 40 for v2).
+pub fn encode_node_header(meta: &GraphMeta) -> Vec<u8> {
+    let mut h = vec![0u8; meta.node_header_len() as usize];
     h[0..8].copy_from_slice(NODE_MAGIC);
-    codec::put_u32(&mut h, 8, FORMAT_VERSION);
+    codec::put_u32(&mut h, 8, meta.version.as_u32());
     // h[12..16] reserved, zero.
     codec::put_u64(&mut h, 16, meta.num_nodes as u64);
     codec::put_u64(&mut h, 24, meta.degree_sum);
+    if meta.version == FormatVersion::V2 {
+        codec::put_u64(&mut h, 32, meta.edge_bytes);
+    }
     h
 }
 
-/// Decode and validate the node-table header.
+/// Decode and validate the node-table header. Pass at least
+/// [`MAX_NODE_HEADER_LEN`] bytes when the file is long enough — the version
+/// field decides how much is actually consumed.
 pub fn decode_node_header(h: &[u8]) -> Result<GraphMeta> {
-    if h.len() < NODE_HEADER_LEN as usize {
+    if h.len() < NODE_HEADER_LEN_V1 as usize {
         return Err(Error::corrupt("node table shorter than header"));
     }
     if &h[0..8] != NODE_MAGIC {
         return Err(Error::corrupt("bad node table magic"));
     }
-    let version = codec::try_get_u32(h, 8, "format version")?;
-    if version != FORMAT_VERSION {
-        return Err(Error::corrupt(format!(
-            "unsupported format version {version} (expected {FORMAT_VERSION})"
-        )));
-    }
+    let version = FormatVersion::from_u32(codec::try_get_u32(h, 8, "format version")?)?;
     let n = codec::try_get_u64(h, 16, "node count")?;
     if n > u32::MAX as u64 {
         return Err(Error::corrupt(format!("node count {n} exceeds u32 range")));
     }
     let degree_sum = codec::try_get_u64(h, 24, "degree sum")?;
-    Ok(GraphMeta {
-        num_nodes: n as u32,
-        degree_sum,
-    })
+    // Reject degree sums whose edge-table byte extent cannot fit in u64
+    // (up to MAX_VARINT_LEN bytes per id plus the table header): these are
+    // raw disk bytes, and letting them through would overflow the length
+    // arithmetic below and in the size accessors.
+    if degree_sum > (u64::MAX - EDGE_HEADER_LEN) / codec::MAX_VARINT_LEN as u64 {
+        return Err(Error::corrupt(format!(
+            "degree sum {degree_sum} exceeds the representable edge-table extent"
+        )));
+    }
+    match version {
+        FormatVersion::V1 => Ok(GraphMeta::v1(n as u32, degree_sum)),
+        FormatVersion::V2 => {
+            let edge_bytes = codec::try_get_u64(h, 32, "edge table payload length")?;
+            // Every id encodes to 1–5 varint bytes; a payload outside that
+            // envelope cannot be a well-formed v2 edge table.
+            if edge_bytes < degree_sum || edge_bytes > codec::MAX_VARINT_LEN as u64 * degree_sum {
+                return Err(Error::corrupt(format!(
+                    "v2 edge payload of {edge_bytes} B impossible for degree sum {degree_sum}"
+                )));
+            }
+            Ok(GraphMeta::v2(n as u32, degree_sum, edge_bytes))
+        }
+    }
 }
 
 /// Encode one node-table entry.
@@ -143,33 +265,31 @@ mod tests {
     use super::*;
 
     #[test]
-    fn header_round_trip() {
-        let meta = GraphMeta {
-            num_nodes: 12345,
-            degree_sum: 99_999,
-        };
+    fn header_round_trip_v1() {
+        let meta = GraphMeta::v1(12345, 99_999);
         let h = encode_node_header(&meta);
+        assert_eq!(h.len() as u64, NODE_HEADER_LEN_V1);
+        assert_eq!(decode_node_header(&h).unwrap(), meta);
+    }
+
+    #[test]
+    fn header_round_trip_v2() {
+        let meta = GraphMeta::v2(12345, 99_999, 150_000);
+        let h = encode_node_header(&meta);
+        assert_eq!(h.len() as u64, NODE_HEADER_LEN_V2);
         assert_eq!(decode_node_header(&h).unwrap(), meta);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let meta = GraphMeta {
-            num_nodes: 1,
-            degree_sum: 0,
-        };
-        let mut h = encode_node_header(&meta);
+        let mut h = encode_node_header(&GraphMeta::v1(1, 0));
         h[0] = b'X';
         assert!(decode_node_header(&h).unwrap_err().is_corrupt());
     }
 
     #[test]
     fn bad_version_rejected() {
-        let meta = GraphMeta {
-            num_nodes: 1,
-            degree_sum: 0,
-        };
-        let mut h = encode_node_header(&meta);
+        let mut h = encode_node_header(&GraphMeta::v1(1, 0));
         codec::put_u32(&mut h, 8, 77);
         let err = decode_node_header(&h).unwrap_err();
         assert!(err.to_string().contains("version 77"));
@@ -178,6 +298,34 @@ mod tests {
     #[test]
     fn short_header_rejected() {
         assert!(decode_node_header(&[0u8; 5]).unwrap_err().is_corrupt());
+        // A v2 header truncated to v1 length must not decode.
+        let h = encode_node_header(&GraphMeta::v2(3, 6, 9));
+        assert!(decode_node_header(&h[..NODE_HEADER_LEN_V1 as usize])
+            .unwrap_err()
+            .is_corrupt());
+    }
+
+    #[test]
+    fn absurd_degree_sum_is_corrupt_not_a_panic() {
+        // A crafted header whose degree sum implies an edge-table extent
+        // past u64 must decode to a corruption error; unchecked length
+        // arithmetic would overflow (a panic in debug builds).
+        for version in [1u32, 2] {
+            let mut h = encode_node_header(&GraphMeta::v2(3, 6, 9));
+            codec::put_u32(&mut h, 8, version);
+            codec::put_u64(&mut h, 24, u64::MAX / 2);
+            assert!(decode_node_header(&h).unwrap_err().is_corrupt());
+        }
+    }
+
+    #[test]
+    fn v2_payload_envelope_enforced() {
+        // Fewer than one byte per id is impossible.
+        let h = encode_node_header(&GraphMeta::v2(10, 30, 29));
+        assert!(decode_node_header(&h).unwrap_err().is_corrupt());
+        // More than five bytes per id is impossible.
+        let h = encode_node_header(&GraphMeta::v2(10, 30, 151));
+        assert!(decode_node_header(&h).unwrap_err().is_corrupt());
     }
 
     #[test]
@@ -188,15 +336,29 @@ mod tests {
 
     #[test]
     fn meta_derived_sizes() {
-        let meta = GraphMeta {
-            num_nodes: 10,
-            degree_sum: 30,
-        };
+        let meta = GraphMeta::v1(10, 30);
         assert_eq!(meta.num_edges(), 15);
         assert_eq!(meta.node_file_len(), 32 + 120);
         assert_eq!(meta.edge_file_len(), 8 + 120);
         assert_eq!(meta.node_entry_offset(0), 32);
         assert_eq!(meta.node_entry_offset(3), 32 + 36);
+
+        let meta = GraphMeta::v2(10, 30, 45);
+        assert_eq!(meta.node_file_len(), 40 + 120);
+        assert_eq!(meta.edge_file_len(), 8 + 45);
+        assert_eq!(meta.node_entry_offset(0), 40);
+    }
+
+    #[test]
+    fn version_tags_and_magic() {
+        assert_eq!(FormatVersion::V1.tag(), "v1");
+        assert_eq!(FormatVersion::V2.tag(), "v2");
+        assert_eq!(FormatVersion::from_u32(2).unwrap(), FormatVersion::V2);
+        assert!(FormatVersion::from_u32(0).is_err());
+        assert_ne!(
+            FormatVersion::V1.edge_magic(),
+            FormatVersion::V2.edge_magic()
+        );
     }
 
     #[test]

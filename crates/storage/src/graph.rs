@@ -5,7 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use crate::cache::{BlockCache, CacheStats, EvictionPolicy};
 use crate::error::{Error, Result};
-use crate::format::{self, GraphMeta, GraphPaths};
+use crate::format::{self, FormatVersion, GraphMeta, GraphPaths};
 use crate::io::{BlockReader, IoCounter, IoSnapshot};
 use crate::pool::{PoolLease, SharedPool};
 
@@ -185,11 +185,9 @@ impl DiskGraph {
         counter: Arc<IoCounter>,
         binding: Option<CacheBinding>,
     ) -> Result<DiskGraph> {
-        let (mut node_reader, edge_reader) = Self::open_readers(&paths, &counter, &binding)?;
+        let (mut node_reader, mut edge_reader) = Self::open_readers(&paths, &counter, &binding)?;
 
-        let mut header = [0u8; format::NODE_HEADER_LEN as usize];
-        node_reader.read_exact_at(0, &mut header)?;
-        let meta = format::decode_node_header(&header)?;
+        let meta = read_meta(&mut node_reader)?;
         if node_reader.file_len() != meta.node_file_len() {
             return Err(Error::corrupt(format!(
                 "node table length {} does not match header (expected {})",
@@ -204,7 +202,24 @@ impl DiskGraph {
                 meta.edge_file_len()
             )));
         }
-        // Opening a graph is metadata work, not part of any measured run.
+        // The edge table must carry the magic of the node header's version:
+        // a mismatched pair (e.g. a v1 edge table renamed under a v2 node
+        // table) would otherwise decode garbage.
+        let mut edge_magic = [0u8; format::EDGE_HEADER_LEN as usize];
+        edge_reader.read_exact_at(0, &mut edge_magic)?;
+        if &edge_magic != meta.version.edge_magic() {
+            return Err(Error::corrupt(format!(
+                "edge table magic does not match format {}",
+                meta.version.tag()
+            )));
+        }
+        // Opening a graph is metadata work, not part of any measured run:
+        // drop the buffered reader state (and cached frames) the header and
+        // magic reads seeded, then zero the counters — otherwise the
+        // current-block freebie would make the first measured request of
+        // block 0 free, skewing every cold-run figure.
+        node_reader.invalidate();
+        edge_reader.invalidate();
         counter.reset();
         if let Some(b) = binding.as_ref() {
             // A graph-private cache starts its measurement fresh; a shared
@@ -335,6 +350,11 @@ impl DiskGraph {
         self.meta
     }
 
+    /// Edge-table encoding of this graph (see [`FormatVersion`]).
+    pub fn format_version(&self) -> FormatVersion {
+        self.meta.version
+    }
+
     /// Number of nodes `n`.
     pub fn num_nodes(&self) -> u32 {
         self.meta.num_nodes
@@ -382,7 +402,13 @@ impl DiskGraph {
         self.node_reader
             .read_exact_at(self.meta.node_entry_offset(v), &mut e)?;
         let (offset, degree) = format::decode_node_entry(&e);
-        let end = offset as u128 + 4 * degree as u128;
+        // Lower bound of the run's extent: 4 bytes per id raw, at least one
+        // byte per varint. The v2 decoder enforces the exact end itself.
+        let min_bytes_per_id: u128 = match self.meta.version {
+            FormatVersion::V1 => 4,
+            FormatVersion::V2 => 1,
+        };
+        let end = offset as u128 + min_bytes_per_id * degree as u128;
         if offset < format::EDGE_HEADER_LEN || end > self.meta.edge_file_len() as u128 {
             return Err(Error::corrupt(format!(
                 "node {v} entry points outside the edge table (offset {offset}, degree {degree})"
@@ -399,25 +425,47 @@ impl DiskGraph {
         if degree == 0 {
             return Ok(());
         }
-        buf.resize(degree as usize, 0);
-        read_u32_run(&mut self.edge_reader, offset, buf)?;
-        validate_run(v, self.meta.num_nodes, buf)
+        match self.meta.version {
+            FormatVersion::V1 => {
+                buf.resize(degree as usize, 0);
+                read_u32_run(&mut self.edge_reader, offset, buf)?;
+                validate_run(v, self.meta.num_nodes, buf)
+            }
+            FormatVersion::V2 => {
+                self.edge_reader
+                    .read_gap_run(offset, degree as usize, buf)?;
+                validate_sorted_run(v, self.meta.num_nodes, buf)
+            }
+        }
     }
 
     /// Visit `nbr(v)` as a borrowed slice, avoiding the caller-side copy.
     ///
-    /// When the run sits inside a single resident cache frame (and the
-    /// platform is little-endian, matching the on-disk encoding) the slice
-    /// is decoded **in place from the frame** — no bytes are copied at all.
-    /// The frame handle is taken with the pool lock released before `f`
-    /// runs, so parallel shard scans (see [`DiskGraph::try_clone`]) never
-    /// serialize on each other's visit closures. Otherwise the run is
-    /// decoded into an internal scratch buffer that is reused across calls.
-    /// Charged identically to [`DiskGraph::adjacency`].
+    /// For v1 graphs, when the run sits inside a single resident cache frame
+    /// (and the platform is little-endian, matching the on-disk encoding)
+    /// the slice is decoded **in place from the frame** — no bytes are
+    /// copied at all. The frame handle is taken with the pool lock released
+    /// before `f` runs, so parallel shard scans (see
+    /// [`DiskGraph::try_clone`]) never serialize on each other's visit
+    /// closures. Otherwise — and always for v2 graphs, whose varint runs
+    /// have no in-place representation — the run is decoded into an
+    /// internal per-handle scratch buffer that is reused across calls, so
+    /// no hot loop allocates. Charged identically to
+    /// [`DiskGraph::adjacency`].
     pub fn with_adjacency<R>(&mut self, v: u32, f: impl FnOnce(&[u32]) -> R) -> Result<R> {
         let (offset, degree) = self.node_entry(v)?;
         if degree == 0 {
             return Ok(f(&[]));
+        }
+        let n = self.meta.num_nodes;
+        if self.meta.version == FormatVersion::V2 {
+            // Decode-into-scratch: the cached path decodes straight from
+            // pool frames (no byte copy), the uncached path streams through
+            // the reader's reusable chunk buffer.
+            self.edge_reader
+                .read_gap_run(offset, degree as usize, &mut self.adj_scratch)?;
+            validate_sorted_run(v, n, &self.adj_scratch)?;
+            return Ok(f(&self.adj_scratch));
         }
         let len_bytes = degree as usize * 4;
         if let Some((frame, from)) = self.edge_reader.cached_run(offset, len_bytes)? {
@@ -426,7 +474,6 @@ impl DiskGraph {
             return Ok(f(run));
         }
         // Uncached reader or multi-block run: decode a copy.
-        let n = self.meta.num_nodes;
         self.adj_scratch.clear();
         self.adj_scratch.resize(degree as usize, 0);
         read_u32_run(&mut self.edge_reader, offset, &mut self.adj_scratch)?;
@@ -489,13 +536,34 @@ impl DiskGraph {
         }
         let (mut node_reader, edge_reader) =
             Self::open_readers(&self.paths, &self.counter, &self.binding)?;
-        let mut header = [0u8; format::NODE_HEADER_LEN as usize];
-        node_reader.read_exact_at(0, &mut header)?;
-        self.meta = format::decode_node_header(&header)?;
+        self.meta = read_meta(&mut node_reader)?;
         self.node_reader = node_reader;
         self.edge_reader = edge_reader;
         Ok(())
     }
+}
+
+/// Read and decode the node-table header from `reader` (as many bytes as
+/// the file offers up to the largest version's header).
+fn read_meta(reader: &mut BlockReader) -> Result<GraphMeta> {
+    let want = format::MAX_NODE_HEADER_LEN.min(reader.file_len()) as usize;
+    let mut header = [0u8; format::MAX_NODE_HEADER_LEN as usize];
+    reader.read_exact_at(0, &mut header[..want])?;
+    format::decode_node_header(&header[..want])
+}
+
+/// Check a run the v2 decoder produced: the decoder already enforces strict
+/// ascent structurally (zero gaps are corrupt), so only the range of the
+/// maximum — the last element — needs checking.
+fn validate_sorted_run(v: u32, num_nodes: u32, run: &[u32]) -> Result<()> {
+    if let Some(&last) = run.last() {
+        if last >= num_nodes {
+            return Err(Error::corrupt(format!(
+                "neighbour {last} of node {v} out of range"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Check a decoded adjacency run: ids in range, strictly sorted.
@@ -637,7 +705,7 @@ mod tests {
         let paths = GraphPaths::from_base(&base);
         // Stamp a bogus offset into node 1's entry.
         let mut bytes = std::fs::read(&paths.nodes).unwrap();
-        let at = format::NODE_HEADER_LEN as usize + format::NODE_ENTRY_LEN as usize;
+        let at = format::NODE_HEADER_LEN_V1 as usize + format::NODE_ENTRY_LEN as usize;
         crate::codec::put_u64(&mut bytes, at, 1 << 40);
         std::fs::write(&paths.nodes, &bytes).unwrap();
         let mut dg = DiskGraph::open(&base, counter).unwrap();

@@ -215,6 +215,9 @@ pub struct BlockReader {
     /// already paid for when fetched); safe because graph files are
     /// immutable while open ([`BlockReader::invalidate`] clears it).
     memo: Option<(u64, Arc<Vec<u8>>)>,
+    /// Reusable chunk buffer for [`BlockReader::read_gap_run`]'s uncached
+    /// path, so varint decodes allocate nothing per call.
+    gap_scratch: Vec<u8>,
 }
 
 impl BlockReader {
@@ -232,6 +235,7 @@ impl BlockReader {
             cache: None,
             charge: None,
             memo: None,
+            gap_scratch: Vec::new(),
         })
     }
 
@@ -339,8 +343,14 @@ impl BlockReader {
         self.counter.charge_read(charged, out.len() as u64);
         self.last_block = Some(last_block);
         self.prev_end = end;
+        self.serve_from_window(offset, out)
+    }
 
-        // Serve the bytes from the window, refilling as needed.
+    /// Serve `out.len()` bytes at `offset` from the uncached read-ahead
+    /// window, refilling as needed — measurement-free byte movement shared
+    /// by [`BlockReader::read_exact_at`] and [`BlockReader::read_gap_run`],
+    /// which each do their own model charging.
+    fn serve_from_window(&mut self, offset: u64, out: &mut [u8]) -> Result<()> {
         let mut copied = 0usize;
         let mut pos = offset;
         while copied < out.len() {
@@ -473,6 +483,94 @@ impl BlockReader {
         self.counter.charge_read(0, len as u64);
         let from = (offset - block * b) as usize;
         Ok(Some((data, from)))
+    }
+
+    /// Decode a `count`-id delta-gap varint run starting at byte `offset`,
+    /// appending the ids to `out` (cleared first). Returns the encoded
+    /// length in bytes — the run's extent is data-dependent, so the read
+    /// proceeds block by block until the decoder is satisfied.
+    ///
+    /// Charging matches an exact-length contiguous read of the encoded
+    /// bytes: in cached mode each block transition pays per miss exactly as
+    /// [`BlockReader::read_exact_at`] would; in uncached mode each block in
+    /// the run's span is charged once (with the usual current-block
+    /// freebie), read bytes count only the bytes the decoder consumed, and
+    /// `prev_end` lands on the run's true end so the next contiguous list
+    /// pays no seek. No block beyond the one holding the run's last byte
+    /// is ever touched.
+    pub(crate) fn read_gap_run(
+        &mut self,
+        offset: u64,
+        count: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<u64> {
+        out.clear();
+        if count == 0 {
+            return Ok(0);
+        }
+        // Every id takes at least one byte: cheap lower-bound validation
+        // before any I/O.
+        self.check_range(offset, count)?;
+        out.reserve(count);
+        let b = self.counter.block_size() as u64;
+        let mut dec = crate::codec::GapDecoder::new(count);
+        let mut pos = offset;
+        let truncated = || {
+            Error::corrupt(format!(
+                "gap run of {count} ids at offset {offset} truncated by end of file"
+            ))
+        };
+        if self.cache.is_some() {
+            if offset != self.prev_end {
+                self.counter.charge_seek();
+            }
+            while !dec.is_done() {
+                if pos >= self.file_len {
+                    return Err(truncated());
+                }
+                let block = pos / b;
+                let data = self.fetch_block(block)?;
+                let from = (pos - block * b) as usize;
+                pos += dec.feed(&data[from..], out)? as u64;
+            }
+            self.prev_end = pos;
+            self.counter.charge_read(0, pos - offset);
+        } else {
+            // Charging is done here, not by `read_exact_at`: the run's
+            // extent is only known once the decoder finishes, so each chunk
+            // charges exactly the block it touches and the bytes actually
+            // consumed. Routing full-block chunks through `read_exact_at`
+            // would bill the tail block's unused remainder as read bytes
+            // and push `prev_end` past the run's true end, charging the
+            // next list a spurious seek.
+            if offset != self.prev_end {
+                self.counter.charge_seek();
+            }
+            let mut chunk = std::mem::take(&mut self.gap_scratch);
+            let res = (|| -> Result<()> {
+                while !dec.is_done() {
+                    if pos >= self.file_len {
+                        return Err(truncated());
+                    }
+                    // Decode to the end of the current block (clamped to
+                    // the file), one block per iteration.
+                    let block = pos / b;
+                    let chunk_end = ((block + 1) * b).min(self.file_len);
+                    chunk.resize((chunk_end - pos) as usize, 0);
+                    self.serve_from_window(pos, &mut chunk)?;
+                    let used = dec.feed(&chunk, out)? as u64;
+                    let blocks = u64::from(self.last_block != Some(block));
+                    self.counter.charge_read(blocks, used);
+                    self.last_block = Some(block);
+                    pos += used;
+                }
+                Ok(())
+            })();
+            self.gap_scratch = chunk;
+            res?;
+            self.prev_end = pos;
+        }
+        Ok(pos - offset)
     }
 
     /// Physically read a block-aligned window covering `pos`.

@@ -51,12 +51,13 @@ pub mod wal;
 
 pub use access::{snapshot_mem, AdjacencyRead, DynamicGraph, ShardableRead};
 pub use builder::{
-    disk_to_mem, mem_to_disk, write_mem_graph, DiskGraphWriter, ExternalGraphBuilder,
+    disk_to_mem, mem_to_disk, write_mem_graph, write_mem_graph_with, DiskGraphWriter,
+    ExternalGraphBuilder,
 };
 pub use cache::{BlockCache, CacheStats, EvictionPolicy};
 pub use catalog::{Catalog, CatalogEntry, StateCheckpoint};
 pub use error::{Error, Result};
-pub use format::{GraphMeta, GraphPaths};
+pub use format::{FormatVersion, GraphMeta, GraphPaths};
 pub use graph::DiskGraph;
 pub use io::{IoCounter, IoSnapshot, DEFAULT_BLOCK_SIZE};
 pub use memgraph::{DynGraph, MemGraph};

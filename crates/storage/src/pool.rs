@@ -277,11 +277,10 @@ impl PoolLease {
 impl Drop for PoolLease {
     fn drop(&mut self) {
         // A poisoned pool means some reader panicked mid-fetch; skipping
-        // invalidation is safe because the ids are never reallocated.
+        // invalidation is safe because the ids are never reallocated. The
+        // range form keeps teardown O(frames) even for the widest lease.
         if let Ok(mut cache) = self.inner.cache.lock() {
-            for i in 0..self.files {
-                cache.invalidate_file(self.first + i);
-            }
+            cache.invalidate_file_range(self.first, self.files);
         }
         self.inner.graphs.fetch_sub(1, Ordering::Relaxed);
     }

@@ -340,7 +340,11 @@ impl BufferedGraph {
             std::path::PathBuf::from(s)
         };
         let counter = self.disk.counter().clone();
-        let mut writer = DiskGraphWriter::create(&tmp_base, n, counter)?;
+        // The rewrite preserves the graph's edge-table encoding: a v2 graph
+        // stays compressed across flushes (the merge itself works on
+        // decoded lists, so it is format-agnostic).
+        let mut writer =
+            DiskGraphWriter::create_with_format(&tmp_base, n, counter, self.disk.format_version())?;
         let mut base = Vec::new();
         let mut merged = Vec::new();
         for v in 0..n {

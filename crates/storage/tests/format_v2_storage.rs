@@ -1,0 +1,252 @@
+//! Storage-level format-v2 coverage: byte-identical reads vs v1 across the
+//! cached/uncached/pooled open paths, compression actually shrinking the
+//! edge table, flush-preserved encoding, and corruption surfacing as
+//! errors.
+
+use graphstore::{
+    write_mem_graph_with, BufferedGraph, DiskGraph, FormatVersion, GraphPaths, IoCounter, MemGraph,
+    SharedPool, TempDir, DEFAULT_BLOCK_SIZE,
+};
+
+/// A graph whose adjacency lists span several 512 B blocks and include
+/// both tight and wide gaps.
+fn chunky_graph(n: u32) -> MemGraph {
+    let edges = (0..n).flat_map(|i| {
+        [
+            (i, (i + 1) % n),
+            (i, (i + 7) % n),
+            (i, (i * 13 + 3) % n),
+            (i, (i + n / 2) % n),
+        ]
+    });
+    MemGraph::from_edges(edges, n)
+}
+
+fn write_both(dir: &TempDir, g: &MemGraph) -> (std::path::PathBuf, std::path::PathBuf) {
+    let b1 = dir.path().join("v1");
+    let b2 = dir.path().join("v2");
+    write_mem_graph_with(
+        &b1,
+        g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V1,
+    )
+    .unwrap();
+    write_mem_graph_with(
+        &b2,
+        g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V2,
+    )
+    .unwrap();
+    (b1, b2)
+}
+
+#[test]
+fn v2_reads_are_bit_identical_across_open_paths() {
+    let g = chunky_graph(700);
+    let dir = TempDir::new("fmt2").unwrap();
+    let (b1, b2) = write_both(&dir, &g);
+
+    let block = 512usize;
+    let pool = SharedPool::new(block, 64 * block as u64).unwrap();
+    let mut opens: Vec<(&str, DiskGraph)> = vec![
+        (
+            "uncached",
+            DiskGraph::open(&b2, IoCounter::new(block)).unwrap(),
+        ),
+        (
+            "cached",
+            DiskGraph::open_with_cache(&b2, IoCounter::new(block), 16 * block as u64).unwrap(),
+        ),
+        (
+            "pooled",
+            DiskGraph::open_pooled(&b2, IoCounter::new(block), &pool, 16 * block as u64).unwrap(),
+        ),
+    ];
+    let mut reference = DiskGraph::open(&b1, IoCounter::new(block)).unwrap();
+    assert_eq!(reference.format_version(), FormatVersion::V1);
+
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    for v in 0..g.num_nodes() {
+        reference.adjacency(v, &mut want).unwrap();
+        assert_eq!(want.as_slice(), g.neighbors(v));
+        for (label, dg) in opens.iter_mut() {
+            assert_eq!(dg.format_version(), FormatVersion::V2);
+            dg.adjacency(v, &mut got).unwrap();
+            assert_eq!(got, want, "{label} node {v}");
+            let borrowed: Vec<u32> = dg.with_adjacency(v, |nbrs| nbrs.to_vec()).unwrap();
+            assert_eq!(borrowed, want, "{label} borrowed node {v}");
+        }
+    }
+    for (_, dg) in &mut opens {
+        assert_eq!(dg.read_degrees().unwrap(), g.degrees());
+    }
+}
+
+#[test]
+fn v2_edge_table_is_smaller_and_charges_fewer_scan_ios() {
+    let g = chunky_graph(4000);
+    let dir = TempDir::new("fmt2").unwrap();
+    let (b1, b2) = write_both(&dir, &g);
+
+    let len = |p: &std::path::Path| std::fs::metadata(p).unwrap().len();
+    let e1 = len(&GraphPaths::from_base(&b1).edges);
+    let e2 = len(&GraphPaths::from_base(&b2).edges);
+    assert!(
+        (e2 as f64) < 0.75 * e1 as f64,
+        "varint edge table must compress: v1 {e1} B vs v2 {e2} B"
+    );
+
+    // A full ascending sweep: v2 touches proportionally fewer edge blocks.
+    let sweep = |base: &std::path::Path| {
+        let counter = IoCounter::new(512);
+        let mut dg = DiskGraph::open(base, counter.clone()).unwrap();
+        let mut buf = Vec::new();
+        for v in 0..dg.num_nodes() {
+            dg.adjacency(v, &mut buf).unwrap();
+        }
+        counter.snapshot()
+    };
+    let (s1, s2) = (sweep(&b1), sweep(&b2));
+    assert!(
+        s2.read_ios < s1.read_ios,
+        "v2 sweep charged {} vs v1 {}",
+        s2.read_ios,
+        s1.read_ios
+    );
+    // The uncached decode path must account like an exact-length
+    // contiguous read: consecutive lists are contiguous on disk, so a
+    // sweep charges the same (tiny) seek count in either format, and v2's
+    // logical read bytes shrink with the encoding instead of being billed
+    // per touched block.
+    assert_eq!(
+        s2.seeks, s1.seeks,
+        "v2 sweep must not charge spurious per-list seeks"
+    );
+    assert!(
+        s2.read_bytes < s1.read_bytes,
+        "v2 sweep read {} logical bytes vs v1 {}",
+        s2.read_bytes,
+        s1.read_bytes
+    );
+}
+
+#[test]
+fn buffered_flush_preserves_v2_encoding() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt2").unwrap();
+    let base = dir.path().join("g2");
+    write_mem_graph_with(
+        &base,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V2,
+    )
+    .unwrap();
+    let disk = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    let mut bg = BufferedGraph::new(disk, 4); // tiny capacity: force flushes
+    bg.insert_edge(0, 5).unwrap();
+    bg.delete_edge(0, 1).unwrap();
+    bg.insert_edge(2, 9).unwrap();
+    assert!(bg.flushes() > 0, "capacity 4 must have flushed");
+    assert_eq!(bg.disk().format_version(), FormatVersion::V2);
+
+    // The rewritten tables reopen as v2 and carry the merged view.
+    let mut reopened = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    assert_eq!(reopened.format_version(), FormatVersion::V2);
+    let nbrs: Vec<u32> = reopened.with_adjacency(0, |n| n.to_vec()).unwrap();
+    assert!(nbrs.contains(&5) && !nbrs.contains(&1));
+}
+
+#[test]
+fn truncated_v2_edge_table_is_corrupt() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt2").unwrap();
+    let base = dir.path().join("g2");
+    write_mem_graph_with(
+        &base,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V2,
+    )
+    .unwrap();
+    let paths = GraphPaths::from_base(&base);
+    let len = std::fs::metadata(&paths.edges).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&paths.edges)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+    // The header-recorded payload length no longer matches the file.
+    assert!(DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE))
+        .unwrap_err()
+        .is_corrupt());
+}
+
+#[test]
+fn garbage_in_v2_run_surfaces_as_error_not_panic() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt2").unwrap();
+    let base = dir.path().join("g2");
+    write_mem_graph_with(
+        &base,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V2,
+    )
+    .unwrap();
+    let paths = GraphPaths::from_base(&base);
+    // Stamp continuation-bit garbage over the middle of the edge payload.
+    let mut bytes = std::fs::read(&paths.edges).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 16).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b = 0x80;
+    }
+    std::fs::write(&paths.edges, &bytes).unwrap();
+    let mut dg = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    let mut buf = Vec::new();
+    let mut saw_error = false;
+    for v in 0..dg.num_nodes() {
+        if dg.adjacency(v, &mut buf).is_err() {
+            saw_error = true;
+            break;
+        }
+    }
+    assert!(saw_error, "corrupted varints must surface as an error");
+}
+
+#[test]
+fn mismatched_edge_magic_is_rejected_at_open() {
+    let g = chunky_graph(50);
+    let dir = TempDir::new("fmt2").unwrap();
+    let b1 = dir.path().join("a");
+    let b2 = dir.path().join("b");
+    write_mem_graph_with(
+        &b1,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V1,
+    )
+    .unwrap();
+    write_mem_graph_with(
+        &b2,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V2,
+    )
+    .unwrap();
+    // Splice the v1 edge table under the v2 node table (lengths differ, but
+    // even with matching lengths the magic check must fire first — craft
+    // the magic-only corruption directly).
+    let p2 = GraphPaths::from_base(&b2);
+    let mut bytes = std::fs::read(&p2.edges).unwrap();
+    bytes[7] = b'1'; // KCOREDG2 -> KCOREDG1
+    std::fs::write(&p2.edges, &bytes).unwrap();
+    let err = DiskGraph::open(&b2, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap_err();
+    assert!(err.is_corrupt());
+    assert!(err.to_string().contains("magic"), "{err}");
+}

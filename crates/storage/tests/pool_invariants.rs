@@ -101,7 +101,7 @@ proptest! {
     ) {
         for policy in [EvictionPolicy::Lru, EvictionPolicy::ScanLifo] {
             let budget = frames * BLOCK as u64;
-            let mut cache = BlockCache::new(BLOCK, budget, policy);
+            let mut cache = BlockCache::new(BLOCK, budget, policy).unwrap();
             for (step, &op) in ops.iter().enumerate() {
                 apply(&mut cache, op);
                 check_invariants(&cache, budget, step);
@@ -121,7 +121,8 @@ proptest! {
                 BLOCK,
                 (FILES as u64 * BLOCKS_PER_FILE) * BLOCK as u64,
                 policy,
-            );
+            )
+            .unwrap();
             for &(f, b) in &blocks {
                 apply(&mut cache, Op::Get(f, b, 4));
             }

@@ -19,6 +19,7 @@ cache_out="$(pwd)/${prefix}_cache.json"
 threads_out="$(pwd)/${prefix}_threads.json"
 multigraph_out="$(pwd)/${prefix}_multigraph.json"
 recovery_out="$(pwd)/${prefix}_recovery.json"
+compress_out="$(pwd)/${prefix}_compress.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -58,5 +59,12 @@ echo "# bench run ${stamp} @ ${rev}" >> "${recovery_out}"
 run_target recovery \
     cargo run --release -q -p kcore-bench --bin recovery -- --json "${recovery_out}"
 
+# The v1-vs-v2 sweep is also the format's regression gate: the binary exits
+# non-zero if v2 ever charges more blocks than v1, or if the R-MAT
+# 10%-budget point falls below the 25% reduction bar.
+echo "# bench run ${stamp} @ ${rev}" >> "${compress_out}"
+run_target ablation_compress \
+    cargo run --release -q -p kcore-bench --bin ablation_compress -- --json "${compress_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out} and ${recovery_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out} and ${compress_out}"

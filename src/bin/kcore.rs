@@ -36,7 +36,7 @@ use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base>\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR] [name=graph-base ...]"
+        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR] [name=graph-base ...]"
     );
     std::process::exit(2)
 }
@@ -91,13 +91,30 @@ fn main() -> graphstore::Result<()> {
             let (Some(input), Some(base)) = (args.get(1), args.get(2)) else {
                 usage()
             };
+            // `--compress` writes the delta-varint edge table (format v2):
+            // same adjacency lists, typically 2–3× fewer edge-table bytes —
+            // and proportionally fewer charged read I/Os on every scan.
+            let version = if args.iter().any(|a| a == "--compress") {
+                graphstore::FormatVersion::V2
+            } else {
+                graphstore::FormatVersion::V1
+            };
             let t0 = std::time::Instant::now();
             let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
-            let g = edgelist::edge_list_to_disk(Path::new(input), Path::new(base), counter)?;
+            let g = edgelist::edge_list_to_disk_with(
+                Path::new(input),
+                Path::new(base),
+                counter,
+                version,
+            )?;
+            let meta = g.meta();
             println!(
-                "built {base}.nodes/.edges: {} nodes, {} edges in {:.2} s",
+                "built {base}.nodes/.edges ({}): {} nodes, {} edges, edge table {} B ({:.2} B/neighbour) in {:.2} s",
+                meta.version.tag(),
                 g.num_nodes(),
                 g.num_edges(),
+                meta.edge_bytes,
+                meta.edge_bytes as f64 / meta.degree_sum.max(1) as f64,
                 t0.elapsed().as_secs_f64()
             );
         }
@@ -304,10 +321,11 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
             ["stats", name] => report(svc.with_graph(name, |idx| {
                 let io = idx.io();
                 Ok(format!(
-                    "{} nodes, {} edges, kmax {}; charged reads {}, physical reads {}, writes {}",
+                    "{} nodes, {} edges, kmax {}, format {}; charged reads {}, physical reads {}, writes {}",
                     idx.num_nodes(),
                     idx.num_edges(),
                     idx.kmax(),
+                    idx.format_version().tag(),
                     io.read_ios,
                     io.physical_reads,
                     io.write_ios
@@ -326,7 +344,20 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
                     s.evictions
                 );
             }
-            ["list"] | ["graphs"] => println!("serving: {}", svc.graph_names().join(", ")),
+            ["list"] | ["graphs"] => {
+                // Each served graph is listed with its edge-table format,
+                // so an operator can see at a glance which tenants run
+                // compressed tables.
+                let listed: Vec<String> = svc
+                    .graph_names()
+                    .into_iter()
+                    .map(|n| match svc.format_version(&n) {
+                        Ok(v) => format!("{n}({})", v.tag()),
+                        Err(_) => n,
+                    })
+                    .collect();
+                println!("serving: {}", listed.join(", "));
+            }
             ["save"] => report(svc.save_all().map(|()| "saved all graphs".to_string())),
             ["save", name] => report(svc.save(name).map(|()| format!("saved {name}"))),
             ["verify", name] => report(svc.verify(name).map(|ok| {
@@ -348,7 +379,8 @@ fn open_and_report(svc: &CoreService, name: &str, base: &Path) {
     report(svc.open(name, base).and_then(|()| {
         svc.with_graph(name, |idx| {
             Ok(format!(
-                "opened {name}: {} nodes, {} edges, kmax {} ({} read I/Os to decompose)",
+                "opened {name} ({}): {} nodes, {} edges, kmax {} ({} read I/Os to decompose)",
+                idx.format_version().tag(),
                 idx.num_nodes(),
                 idx.num_edges(),
                 idx.kmax(),

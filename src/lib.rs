@@ -286,6 +286,12 @@ impl CoreIndex {
         &mut self.graph
     }
 
+    /// Edge-table encoding of the backing disk graph (v1 raw `u32`s or v2
+    /// delta-varints) — what `kcore serve` reports per served graph.
+    pub fn format_version(&self) -> graphstore::FormatVersion {
+        self.graph.disk().format_version()
+    }
+
     /// Check the Theorem 4.1 fixpoint certificate on the current state.
     pub fn verify(&mut self) -> Result<bool> {
         semicore::verify_cores(&mut self.graph, &self.state.core)

@@ -47,8 +47,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use graphstore::{
-    working_set_charge_budget, Catalog, CatalogEntry, DiskGraph, EvictionPolicy, IoCounter,
-    IoSnapshot, Result, SharedPool, StateCheckpoint, Wal, DEFAULT_BLOCK_SIZE,
+    working_set_charge_budget, Catalog, CatalogEntry, DiskGraph, EvictionPolicy, FormatVersion,
+    IoCounter, IoSnapshot, Result, SharedPool, StateCheckpoint, Wal, DEFAULT_BLOCK_SIZE,
 };
 use semicore::{CoreState, MaintainOp, MaintainStats, ScanExecutor};
 
@@ -104,6 +104,7 @@ struct DurableEntry {
     base: PathBuf,
     charge_bytes: u64,
     checkpoint_seq: u64,
+    format: FormatVersion,
 }
 
 fn ckpt_path(dir: &Path, name: &str) -> PathBuf {
@@ -174,8 +175,18 @@ fn validate_durable_name(name: &str) -> Result<()> {
 pub struct CoreService {
     pool: SharedPool,
     exec: ScanExecutor,
-    graphs: Mutex<HashMap<String, Arc<Mutex<Served>>>>,
+    graphs: Mutex<HashMap<String, Slot>>,
     durable: Option<Durable>,
+}
+
+/// Registry slot: the graph's lock plus metadata readable without it.
+#[derive(Debug)]
+struct Slot {
+    handle: Arc<Mutex<Served>>,
+    /// Edge-table encoding, fixed at open. Listing/diagnostic commands
+    /// read it under the registry lock alone, so they never stall behind
+    /// a graph that is mid-scan or mid-maintenance.
+    format: FormatVersion,
 }
 
 impl CoreService {
@@ -348,6 +359,7 @@ impl CoreService {
         // Decompose outside the registry lock: other graphs keep serving.
         let counter = IoCounter::new(self.pool.block_size());
         let disk = DiskGraph::open_pooled(base, counter, &self.pool, charge_bytes)?;
+        let format = disk.format_version();
         let capacity = if self.durable.is_some() {
             DURABLE_BUFFER_CAPACITY
         } else {
@@ -377,7 +389,13 @@ impl CoreService {
                 // A racing open beat us; the loser's lease frees its frames.
                 return Err(already_serving(name));
             }
-            graphs.insert(name.to_string(), Arc::clone(&handle));
+            graphs.insert(
+                name.to_string(),
+                Slot {
+                    handle: Arc::clone(&handle),
+                    format,
+                },
+            );
         }
         if let Some(d) = &self.durable {
             let publish = (|| -> Result<()> {
@@ -393,6 +411,7 @@ impl CoreService {
                         base: base.to_path_buf(),
                         charge_bytes,
                         checkpoint_seq: 0,
+                        format,
                     },
                 );
                 self.rewrite_catalog()
@@ -619,6 +638,17 @@ impl CoreService {
         self.with_graph(name, |idx| idx.verify())
     }
 
+    /// Edge-table encoding of the named graph's base tables (v1 raw
+    /// `u32`s or v2 delta-varints). Reads registry metadata only — never
+    /// blocks on the graph's own lock, so listings stay responsive while
+    /// a graph is mid-scan.
+    pub fn format_version(&self, name: &str) -> Result<FormatVersion> {
+        self.registry()
+            .get(name)
+            .map(|s| s.format)
+            .ok_or_else(|| not_serving(name))
+    }
+
     /// Write the current catalog manifest (atomic replace). Caller must
     /// have already updated the entry map. The entries lock is held across
     /// the write: snapshot-then-write-unlocked would let two racing
@@ -635,6 +665,7 @@ impl CoreService {
                 base: e.base.clone(),
                 charge_bytes: e.charge_bytes,
                 checkpoint_seq: e.checkpoint_seq,
+                format: e.format,
             })
             .collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -702,6 +733,20 @@ impl CoreService {
         let counter = IoCounter::new(self.pool.block_size());
         let disk =
             DiskGraph::open_pooled(&entry.base, counter.clone(), &self.pool, entry.charge_bytes)?;
+        // The base tables a durable graph references are immutable: finding
+        // them in a different encoding than catalogued means someone
+        // replaced them behind the catalog's back — the checkpointed state
+        // could then belong to a different graph entirely.
+        if disk.format_version() != entry.format {
+            return Err(graphstore::Error::Corrupt {
+                reason: format!(
+                    "catalog records {:?} as format {} but its base tables are {}",
+                    entry.name,
+                    entry.format.tag(),
+                    disk.format_version().tag()
+                ),
+            });
+        }
         let ck = StateCheckpoint::read(&ckpt_path(&d.dir, &entry.name), &counter)?;
         let mut index = CoreIndex::restore(
             disk,
@@ -754,13 +799,20 @@ impl CoreService {
             seq,
             ck_seq: ck.seq,
         }));
-        self.registry().insert(entry.name.clone(), handle);
+        self.registry().insert(
+            entry.name.clone(),
+            Slot {
+                handle,
+                format: entry.format,
+            },
+        );
         d.entries.lock().expect("catalog entries poisoned").insert(
             entry.name.clone(),
             DurableEntry {
                 base: entry.base.clone(),
                 charge_bytes: entry.charge_bytes,
                 checkpoint_seq: ck.seq,
+                format: entry.format,
             },
         );
         Ok(())
@@ -769,11 +821,11 @@ impl CoreService {
     fn served(&self, name: &str) -> Result<Arc<Mutex<Served>>> {
         self.registry()
             .get(name)
-            .map(Arc::clone)
+            .map(|s| Arc::clone(&s.handle))
             .ok_or_else(|| not_serving(name))
     }
 
-    fn registry(&self) -> MutexGuard<'_, HashMap<String, Arc<Mutex<Served>>>> {
+    fn registry(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
         self.graphs.lock().expect("service registry poisoned")
     }
 }
