@@ -56,8 +56,7 @@ impl DiskGraphWriter {
         if let Some(parent) = paths.nodes.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let edge_file = std::fs::File::create(&paths.edges)?;
-        let mut edge_writer = BlockWriter::new(edge_file, counter.clone());
+        let mut edge_writer = BlockWriter::create(&paths.edges, counter.clone())?;
         edge_writer.write_all(version.edge_magic())?;
         Ok(DiskGraphWriter {
             paths,
@@ -149,13 +148,12 @@ impl DiskGraphWriter {
             FormatVersion::V1 => format::GraphMeta::v1(self.num_nodes, self.degree_sum),
             FormatVersion::V2 => format::GraphMeta::v2(self.num_nodes, self.degree_sum, edge_bytes),
         };
-        let node_file = std::fs::File::create(&self.paths.nodes)?;
-        let mut w = BlockWriter::new(node_file, self.counter.clone());
+        let mut w = BlockWriter::create(&self.paths.nodes, self.counter.clone())?;
         w.write_all(&format::encode_node_header(&meta))?;
         w.write_all(&self.node_entries)?;
         w.finish()?.sync_all()?;
         // Both files are durable; now make their directory entries so.
-        crate::io::sync_parent_dir(&self.paths.nodes)?;
+        crate::io::sync_parent_dir(self.counter.vfs().as_ref(), &self.paths.nodes)?;
         Ok(self.paths)
     }
 }

@@ -303,6 +303,9 @@ impl BlockCache {
         if Arc::get_mut(&mut self.frames[idx].data).is_none() {
             self.frames[idx].data = Arc::new(Vec::with_capacity(len));
         }
+        // Audited: the branch above guarantees uniqueness (a shared Arc was
+        // just replaced by a fresh one), so this cannot fail.
+        #[allow(clippy::expect_used)]
         let buf = Arc::get_mut(&mut self.frames[idx].data).expect("frame buffer uniquely owned");
         buf.resize(len, 0);
         if let Err(e) = load(buf) {

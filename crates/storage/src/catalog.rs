@@ -24,8 +24,6 @@
 //! the per-graph write-ahead journal ([`crate::wal`]) are documented in
 //! ARCHITECTURE.md ("Durability").
 
-use std::fs::File;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -34,6 +32,7 @@ use crate::codec;
 use crate::error::{Error, Result};
 use crate::format::FormatVersion;
 use crate::io::{sync_parent_dir, IoCounter};
+use crate::vfs::{StdVfs, Vfs};
 
 /// Magic bytes opening the catalog manifest.
 pub const CATALOG_MAGIC: &[u8; 8] = b"KCORCAT1";
@@ -100,6 +99,12 @@ impl Catalog {
     /// A crash at any point leaves either the old or the new manifest,
     /// never a mixture.
     pub fn write(&self, dir: &Path) -> Result<()> {
+        self.write_with(dir, &StdVfs)
+    }
+
+    /// [`Catalog::write`] through an explicit [`Vfs`] — the seam the
+    /// fault-schedule tests drive.
+    pub fn write_with(&self, dir: &Path, vfs: &dyn Vfs) -> Result<()> {
         // Stamp the oldest version that can represent this registry: a
         // manifest whose graphs are all format v1 needs no per-entry format
         // byte, and writing it as version 1 keeps the data directory
@@ -132,13 +137,18 @@ impl Catalog {
         bytes.extend_from_slice(&codec::crc32(&body).to_le_bytes());
 
         let path = Self::path_in(dir);
-        write_atomically(&path, &bytes)
+        write_atomically(vfs, &path, &bytes)
     }
 
     /// Read and validate the manifest in `dir`.
     pub fn read(dir: &Path) -> Result<Catalog> {
+        Self::read_with(dir, &StdVfs)
+    }
+
+    /// [`Catalog::read`] through an explicit [`Vfs`].
+    pub fn read_with(dir: &Path, vfs: &dyn Vfs) -> Result<Catalog> {
         let path = Self::path_in(dir);
-        let bytes = std::fs::read(&path)?;
+        let bytes = vfs.read(&path)?;
         let body = checked_body(&bytes, CATALOG_MAGIC, "catalog")?;
         let mut cur = Cursor::new(body);
         let version = cur.u32("catalog version")?;
@@ -257,13 +267,13 @@ impl StateCheckpoint {
 
         let b = counter.block_size() as u64;
         counter.charge_write((bytes.len() as u64).div_ceil(b), bytes.len() as u64);
-        write_atomically(path, &bytes)
+        write_atomically(counter.vfs().as_ref(), path, &bytes)
     }
 
     /// Read and validate the checkpoint at `path`, charging the sequential
     /// read to `counter`.
     pub fn read(path: &Path, counter: &Arc<IoCounter>) -> Result<StateCheckpoint> {
-        let bytes = std::fs::read(path)?;
+        let bytes = counter.vfs().read(path)?;
         let b = counter.block_size() as u64;
         counter.charge_read((bytes.len() as u64).div_ceil(b).max(1), bytes.len() as u64);
 
@@ -319,19 +329,20 @@ impl StateCheckpoint {
 }
 
 /// Write `bytes` at `path` atomically: temp sibling, fsync, rename, fsync
-/// the directory entry.
-fn write_atomically(path: &Path, bytes: &[u8]) -> Result<()> {
+/// the directory entry. Routed through `vfs` so every step — including
+/// the rename that is the commit point — is fault-injectable.
+fn write_atomically(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = {
         let mut s = path.as_os_str().to_owned();
         s.push(".tmp");
         PathBuf::from(s)
     };
-    let mut f = File::create(&tmp)?;
+    let mut f = vfs.create(&tmp)?;
     f.write_all(bytes)?;
     f.sync_all()?;
     drop(f);
-    std::fs::rename(&tmp, path)?;
-    sync_parent_dir(path)
+    vfs.rename(&tmp, path)?;
+    sync_parent_dir(vfs, path)
 }
 
 /// Strip and verify magic + trailing CRC, returning the body in between.

@@ -30,6 +30,16 @@ pub enum Error {
     InvalidArgument(String),
     /// The graph would exceed a structural limit (e.g. more than `u32::MAX` nodes).
     TooLarge(String),
+    /// The named graph has been quarantined by the serving layer: an earlier
+    /// I/O failure, corruption, or a panicked operation left its in-memory
+    /// state untrusted, so further operations are rejected until it is
+    /// evicted and re-opened. Other graphs keep serving.
+    Quarantined {
+        /// Name of the quarantined graph.
+        graph: String,
+        /// What sent the graph into quarantine.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -42,6 +52,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::TooLarge(msg) => write!(f, "graph too large: {msg}"),
+            Error::Quarantined { graph, reason } => {
+                write!(f, "graph {graph:?} is quarantined: {reason}")
+            }
         }
     }
 }
@@ -73,6 +86,11 @@ impl Error {
     pub fn is_corrupt(&self) -> bool {
         matches!(self, Error::Corrupt { .. })
     }
+
+    /// True when the error reports a quarantined graph.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, Error::Quarantined { .. })
+    }
 }
 
 #[cfg(test)]
@@ -91,6 +109,13 @@ mod tests {
         };
         assert_eq!(e.to_string(), "node 9 out of range (graph has 4 nodes)");
         assert!(!e.is_corrupt());
+
+        let e = Error::Quarantined {
+            graph: "g".into(),
+            reason: "i/o failure".into(),
+        };
+        assert_eq!(e.to_string(), "graph \"g\" is quarantined: i/o failure");
+        assert!(e.is_quarantined() && !e.is_corrupt());
     }
 
     #[test]

@@ -226,10 +226,10 @@ impl DiskGraph {
             // pool's counters belong to every registered graph and must
             // survive another graph opening mid-measurement.
             if b.lease.is_none() {
-                b.pool.lock().expect("block cache poisoned").reset_stats();
+                crate::io::lock_cache(&b.pool).reset_stats();
             }
             if let Some(ghost) = b.charge.as_ref() {
-                ghost.lock().expect("charge cache poisoned").reset_stats();
+                crate::io::lock_cache(ghost).reset_stats();
             }
         }
         Ok(DiskGraph {
@@ -249,19 +249,17 @@ impl DiskGraph {
         counter: &Arc<IoCounter>,
         binding: &Option<CacheBinding>,
     ) -> Result<(BlockReader, BlockReader)> {
-        let node_file = std::fs::File::open(&paths.nodes)?;
-        let edge_file = std::fs::File::open(&paths.edges)?;
         Ok(match binding {
             Some(b) => (
-                BlockReader::new_cached_with_charge(
-                    node_file,
+                BlockReader::open_cached_with_charge(
+                    &paths.nodes,
                     counter.clone(),
                     b.pool.clone(),
                     b.node_file,
                     b.charge.as_ref().map(|g| (g.clone(), NODE_FILE)),
                 )?,
-                BlockReader::new_cached_with_charge(
-                    edge_file,
+                BlockReader::open_cached_with_charge(
+                    &paths.edges,
                     counter.clone(),
                     b.pool.clone(),
                     b.edge_file,
@@ -269,8 +267,8 @@ impl DiskGraph {
                 )?,
             ),
             None => (
-                BlockReader::new(node_file, counter.clone())?,
-                BlockReader::new(edge_file, counter.clone())?,
+                BlockReader::open(&paths.nodes, counter.clone())?,
+                BlockReader::open(&paths.edges, counter.clone())?,
             ),
         })
     }
@@ -306,7 +304,7 @@ impl DiskGraph {
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.binding
             .as_ref()
-            .map(|b| b.pool.lock().expect("block cache poisoned").stats())
+            .map(|b| crate::io::lock_cache(&b.pool).stats())
     }
 
     /// Hit/miss counters of this graph's deterministic charge cache
@@ -317,16 +315,16 @@ impl DiskGraph {
         self.binding
             .as_ref()
             .and_then(|b| b.charge.as_ref())
-            .map(|g| g.lock().expect("charge cache poisoned").stats())
+            .map(|g| crate::io::lock_cache(g).stats())
     }
 
     /// Resident cache blocks as `(file, block)` keys (diagnostics). For
     /// pooled opens this lists the whole pool, every graph's frames; this
     /// graph's own ids are [`DiskGraph::cache_file_ids`].
     pub fn cache_resident_keys(&self) -> Vec<(u32, u64)> {
-        self.binding.as_ref().map_or_else(Vec::new, |b| {
-            b.pool.lock().expect("block cache poisoned").resident_keys()
-        })
+        self.binding
+            .as_ref()
+            .map_or_else(Vec::new, |b| crate::io::lock_cache(&b.pool).resident_keys())
     }
 
     /// The `(node table, edge table)` file ids this graph's blocks are
@@ -340,7 +338,7 @@ impl DiskGraph {
     /// per-graph reservation.
     pub fn cache_budget_bytes(&self) -> u64 {
         self.binding.as_ref().map_or(0, |b| {
-            let pool = b.pool.lock().expect("block cache poisoned");
+            let pool = crate::io::lock_cache(&b.pool);
             (pool.capacity_frames() * pool.block_size()) as u64
         })
     }
@@ -521,7 +519,7 @@ impl DiskGraph {
     pub(crate) fn reopen(&mut self) -> Result<()> {
         if let Some(b) = self.binding.as_ref() {
             {
-                let mut pool = b.pool.lock().expect("block cache poisoned");
+                let mut pool = crate::io::lock_cache(&b.pool);
                 pool.invalidate_file(b.node_file);
                 pool.invalidate_file(b.edge_file);
             }
@@ -529,7 +527,7 @@ impl DiskGraph {
             // makes its tracked blocks stale the same way, so the next
             // reads charge in full — identical to a private cache's reopen.
             if let Some(ghost) = b.charge.as_ref() {
-                let mut ghost = ghost.lock().expect("charge cache poisoned");
+                let mut ghost = crate::io::lock_cache(ghost);
                 ghost.invalidate_file(NODE_FILE);
                 ghost.invalidate_file(EDGE_FILE);
             }

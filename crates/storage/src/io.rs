@@ -28,15 +28,20 @@
 //! from a deterministic per-graph *charge cache* (the graph's own budget
 //! `M`) while the bytes are served by the shared pool, whose residency —
 //! and therefore physical fetch count — depends on what *other* graphs are
-//! doing with the common budget. See [`BlockReader::new_cached_with_charge`].
+//! doing with the common budget. See [`BlockReader::open_cached_with_charge`].
+//!
+//! All opens, reads, writes and syncs are routed through the counter's
+//! [`Vfs`] seam, so fault-injection tests can fail any syscall the engine
+//! issues (see [`crate::vfs`]).
 
 use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::cache::BlockCache;
 use crate::error::{Error, Result};
+use crate::vfs::{StdFile, StdVfs, Vfs, VfsFile};
 
 /// Default block size `B` (4 KiB, a typical page).
 pub const DEFAULT_BLOCK_SIZE: usize = 4096;
@@ -53,6 +58,11 @@ const READAHEAD_BLOCKS: usize = 64;
 #[derive(Debug)]
 pub struct IoCounter {
     block_size: usize,
+    /// The filesystem seam every path opened through this counter uses —
+    /// carried here because the counter is already threaded through every
+    /// reader, writer, builder and journal in the crate, so faults can be
+    /// injected everywhere without another ambient parameter.
+    vfs: Arc<dyn Vfs>,
     read_ios: AtomicU64,
     physical_reads: AtomicU64,
     write_ios: AtomicU64,
@@ -62,11 +72,19 @@ pub struct IoCounter {
 }
 
 impl IoCounter {
-    /// Create a counter with the given block size `B`.
+    /// Create a counter with the given block size `B`, backed by the real
+    /// filesystem ([`StdVfs`]).
     pub fn new(block_size: usize) -> Arc<Self> {
+        Self::with_vfs(block_size, Arc::new(StdVfs))
+    }
+
+    /// Create a counter whose I/O goes through `vfs` — the fault-injection
+    /// entry point (see [`crate::vfs::FaultVfs`]).
+    pub fn with_vfs(block_size: usize, vfs: Arc<dyn Vfs>) -> Arc<Self> {
         assert!(block_size > 0, "block size must be positive");
         Arc::new(IoCounter {
             block_size,
+            vfs,
             read_ios: AtomicU64::new(0),
             physical_reads: AtomicU64::new(0),
             write_ios: AtomicU64::new(0),
@@ -74,6 +92,11 @@ impl IoCounter {
             write_bytes: AtomicU64::new(0),
             seeks: AtomicU64::new(0),
         })
+    }
+
+    /// The filesystem seam this counter routes opens through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
     }
 
     /// The configured block size `B` in bytes.
@@ -184,7 +207,7 @@ impl IoSnapshot {
 /// experiments (Fig. 11) vary `M` against.
 #[derive(Debug)]
 pub struct BlockReader {
-    file: File,
+    file: Box<dyn VfsFile>,
     counter: Arc<IoCounter>,
     file_len: u64,
     /// Read-ahead window contents (uncached mode only).
@@ -221,9 +244,22 @@ pub struct BlockReader {
 }
 
 impl BlockReader {
-    /// Open a reader over `file`, charging I/O to `counter`.
+    /// Open a reader over an already-open std `file`, charging I/O to
+    /// `counter`. Prefer [`BlockReader::open`], which routes the open
+    /// itself through the counter's [`Vfs`].
     pub fn new(file: File, counter: Arc<IoCounter>) -> Result<Self> {
-        let file_len = file.metadata()?.len();
+        Self::from_vfs_file(Box::new(StdFile::new(file)), counter)
+    }
+
+    /// Open the file at `path` (read-only, through the counter's [`Vfs`])
+    /// and charge I/O to `counter`.
+    pub fn open(path: &Path, counter: Arc<IoCounter>) -> Result<Self> {
+        let file = counter.vfs().open_read(path)?;
+        Self::from_vfs_file(file, counter)
+    }
+
+    fn from_vfs_file(mut file: Box<dyn VfsFile>, counter: Arc<IoCounter>) -> Result<Self> {
+        let file_len = file.len()?;
         Ok(BlockReader {
             file,
             counter,
@@ -247,43 +283,55 @@ impl BlockReader {
         pool: Arc<Mutex<BlockCache>>,
         file_id: u32,
     ) -> Result<Self> {
-        Self::new_cached_with_charge(file, counter, pool, file_id, None)
+        let mut reader = Self::new(file, counter)?;
+        reader.attach_caches(pool, file_id, None)?;
+        Ok(reader)
     }
 
-    /// [`BlockReader::new_cached`] with an optional private *charge cache*:
-    /// when `charge` is `Some((ghost, ghost_file_id))`, model read I/Os
-    /// follow the ghost's deterministic hit/miss decisions and pool misses
-    /// are recorded as physical reads only. This is how a
+    /// [`BlockReader::open`] with the shared `pool` and an optional private
+    /// *charge cache*: when `charge` is `Some((ghost, ghost_file_id))`,
+    /// model read I/Os follow the ghost's deterministic hit/miss decisions
+    /// and pool misses are recorded as physical reads only. This is how a
     /// [`SharedPool`](crate::pool::SharedPool)-served graph keeps its
     /// charged `read_ios` bit-identical whether it runs alone or alongside
     /// other graphs contending for the pool.
-    pub fn new_cached_with_charge(
-        file: File,
+    pub fn open_cached_with_charge(
+        path: &Path,
         counter: Arc<IoCounter>,
         pool: Arc<Mutex<BlockCache>>,
         file_id: u32,
         charge: Option<(Arc<Mutex<BlockCache>>, u32)>,
     ) -> Result<Self> {
-        let mut reader = Self::new(file, counter)?;
+        let mut reader = Self::open(path, counter)?;
+        reader.attach_caches(pool, file_id, charge)?;
+        Ok(reader)
+    }
+
+    fn attach_caches(
+        &mut self,
+        pool: Arc<Mutex<BlockCache>>,
+        file_id: u32,
+        charge: Option<(Arc<Mutex<BlockCache>>, u32)>,
+    ) -> Result<()> {
         {
-            let cache = pool.lock().expect("block cache poisoned");
+            let cache = lock_cache(&pool);
             assert_eq!(
                 cache.block_size(),
-                reader.counter.block_size(),
+                self.counter.block_size(),
                 "cache and counter must agree on the block size"
             );
         }
         if let Some((ghost, _)) = charge.as_ref() {
-            let ghost = ghost.lock().expect("charge cache poisoned");
+            let ghost = lock_cache(ghost);
             assert_eq!(
                 ghost.block_size(),
-                reader.counter.block_size(),
+                self.counter.block_size(),
                 "charge cache and counter must agree on the block size"
             );
         }
-        reader.cache = Some((pool, file_id));
-        reader.charge = charge;
-        Ok(reader)
+        self.cache = Some((pool, file_id));
+        self.charge = charge;
+        Ok(())
     }
 
     /// True when this reader serves blocks from a shared cache pool.
@@ -382,13 +430,18 @@ impl BlockReader {
         let b = self.counter.block_size() as u64;
         let block_start = block * b;
         let block_len = b.min(self.file_len - block_start) as usize;
-        let (pool, file_id) = self.cache.as_ref().expect("cached mode");
+        let (pool, file_id) = match self.cache.as_ref() {
+            Some(c) => c,
+            // Callers guard on `self.cache.is_some()`; an uncached reader
+            // can never reach here, but degrade to an error, not a panic.
+            None => return Err(crate::error::Error::corrupt("fetch_block without a cache")),
+        };
         let window = &mut self.window;
         let window_start = &mut self.window_start;
-        let file = &mut self.file;
+        let file = self.file.as_mut();
         let file_len = self.file_len;
         let (data, missed) = {
-            let mut cache = pool.lock().expect("block cache poisoned");
+            let mut cache = lock_cache(pool);
             cache.get_or_load(*file_id, block, block_len, |buf| {
                 fill_from_window(window, window_start, file, file_len, b, block_start, buf)
             })?
@@ -410,7 +463,7 @@ impl BlockReader {
                     self.counter.charge_physical_read(1);
                 }
                 let ghost_missed = {
-                    let mut ghost = ghost.lock().expect("charge cache poisoned");
+                    let mut ghost = lock_cache(ghost);
                     ghost.get_or_load(*ghost_file, block, 0, |_| Ok(()))?.1
                 };
                 if ghost_missed {
@@ -578,7 +631,7 @@ impl BlockReader {
         fill_window_at(
             &mut self.window,
             &mut self.window_start,
-            &mut self.file,
+            self.file.as_mut(),
             self.file_len,
             self.counter.block_size() as u64,
             pos,
@@ -599,28 +652,31 @@ impl BlockReader {
         self.prev_end = u64::MAX;
         self.memo = None;
         if let Some((pool, file_id)) = self.cache.as_ref() {
-            pool.lock()
-                .expect("block cache poisoned")
-                .invalidate_file(*file_id);
+            lock_cache(pool).invalidate_file(*file_id);
         }
         if let Some((ghost, file_id)) = self.charge.as_ref() {
-            ghost
-                .lock()
-                .expect("charge cache poisoned")
-                .invalidate_file(*file_id);
+            lock_cache(ghost).invalidate_file(*file_id);
         }
     }
+}
+
+/// Lock a shared cache, recovering from poisoning. A poisoned cache lock
+/// means some thread panicked mid-operation; `BlockCache` updates its maps
+/// before/after the load closure runs (never leaving half-linked state),
+/// and a cache holds only rereadable bytes — so recovering the guard is
+/// safe and keeps one tenant's panic from wedging every pool user.
+pub(crate) fn lock_cache(cache: &Arc<Mutex<BlockCache>>) -> std::sync::MutexGuard<'_, BlockCache> {
+    cache.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Fsync the directory containing `path`, making a just-created or
 /// just-renamed entry durable. Creating or renaming a file persists its
 /// *contents* once the file itself is synced, but the directory entry lives
 /// in the parent — a crash before the parent is flushed can lose the name.
-/// Every durability-critical create/rename in this crate pairs with this.
-pub(crate) fn sync_parent_dir(path: &std::path::Path) -> Result<()> {
-    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        File::open(parent)?.sync_all()?;
-    }
+/// Every durability-critical create/rename in this crate pairs with this,
+/// routed through `vfs` so the torture matrix sees it as a sync event.
+pub(crate) fn sync_parent_dir(vfs: &dyn Vfs, path: &std::path::Path) -> Result<()> {
+    vfs.sync_parent_dir(path)?;
     Ok(())
 }
 
@@ -630,7 +686,7 @@ pub(crate) fn sync_parent_dir(path: &std::path::Path) -> Result<()> {
 fn fill_window_at(
     window: &mut Vec<u8>,
     window_start: &mut u64,
-    file: &mut File,
+    file: &mut dyn VfsFile,
     file_len: u64,
     block_size: u64,
     pos: u64,
@@ -640,8 +696,7 @@ fn fill_window_at(
     let avail = (file_len - start) as usize;
     let len = want.min(avail);
     window.resize(len, 0);
-    file.seek(SeekFrom::Start(start))?;
-    file.read_exact(window)?;
+    file.read_exact_at(start, window)?;
     *window_start = start;
     Ok(())
 }
@@ -652,7 +707,7 @@ fn fill_window_at(
 fn fill_from_window(
     window: &mut Vec<u8>,
     window_start: &mut u64,
-    file: &mut File,
+    file: &mut dyn VfsFile,
     file_len: u64,
     block_size: u64,
     block_start: u64,
@@ -674,6 +729,11 @@ fn fill_from_window(
     Ok(())
 }
 
+/// Size of the [`BlockWriter`] staging buffer: bytes are handed to the
+/// [`VfsFile`] in chunks of up to this, so one builder write is one
+/// syscall-sized operation (and one fault-injection point), not thousands.
+const WRITE_BUFFER_LEN: usize = 1 << 20;
+
 /// Buffered writer with block-granular write accounting.
 ///
 /// Writes are append-only (the builders always produce files front to back).
@@ -681,7 +741,8 @@ fn fill_from_window(
 /// sequentially costs `ceil(N / B)` write I/Os.
 #[derive(Debug)]
 pub struct BlockWriter {
-    file: std::io::BufWriter<File>,
+    file: Box<dyn VfsFile>,
+    buf: Vec<u8>,
     counter: Arc<IoCounter>,
     pos: u64,
 }
@@ -689,8 +750,20 @@ pub struct BlockWriter {
 impl BlockWriter {
     /// Start writing `file` from offset zero.
     pub fn new(file: File, counter: Arc<IoCounter>) -> Self {
+        Self::from_vfs_file(Box::new(StdFile::new(file)), counter)
+    }
+
+    /// Create (truncating) the file at `path` through the counter's
+    /// [`Vfs`] and start writing from offset zero.
+    pub fn create(path: &Path, counter: Arc<IoCounter>) -> Result<Self> {
+        let file = counter.vfs().create(path)?;
+        Ok(Self::from_vfs_file(file, counter))
+    }
+
+    fn from_vfs_file(file: Box<dyn VfsFile>, counter: Arc<IoCounter>) -> Self {
         BlockWriter {
-            file: std::io::BufWriter::with_capacity(1 << 20, file),
+            file,
+            buf: Vec::with_capacity(WRITE_BUFFER_LEN),
             counter,
             pos: 0,
         }
@@ -699,6 +772,14 @@ impl BlockWriter {
     /// Current write position (bytes written so far).
     pub fn position(&self) -> u64 {
         self.pos
+    }
+
+    fn flush_buf(&mut self) -> Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
     }
 
     /// Append `data`, charging write I/Os for each block newly touched.
@@ -716,23 +797,30 @@ impl BlockWriter {
             blocks -= 1;
         }
         self.counter.charge_write(blocks, data.len() as u64);
-        self.file.write_all(data)?;
+        if self.buf.len() + data.len() > WRITE_BUFFER_LEN {
+            self.flush_buf()?;
+        }
+        if data.len() >= WRITE_BUFFER_LEN {
+            self.file.write_all(data)?;
+        } else {
+            self.buf.extend_from_slice(data);
+        }
         self.pos = end;
         Ok(())
     }
 
-    /// Flush buffered bytes and return the underlying file.
-    pub fn finish(mut self) -> Result<File> {
-        self.file.flush()?;
-        self.file
-            .into_inner()
-            .map_err(|e| Error::Io(e.into_error()))
+    /// Flush buffered bytes and return the underlying file (so callers on
+    /// the durable path can `sync_all` it).
+    pub fn finish(mut self) -> Result<Box<dyn VfsFile>> {
+        self.flush_buf()?;
+        Ok(self.file)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn temp_file_with(len: usize) -> (crate::tempdir::TempDir, std::path::PathBuf) {
         let dir = crate::tempdir::TempDir::new("iotest").unwrap();

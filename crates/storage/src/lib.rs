@@ -31,6 +31,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod access;
 pub mod builder;
@@ -47,6 +48,7 @@ pub mod partition;
 pub mod pool;
 pub mod tempdir;
 pub mod update_buffer;
+pub mod vfs;
 pub mod wal;
 
 pub use access::{snapshot_mem, AdjacencyRead, DynamicGraph, ShardableRead};
@@ -65,7 +67,8 @@ pub use partition::{LoadedPartition, PartitionStore};
 pub use pool::{working_set_charge_budget, PoolLease, SharedPool};
 pub use tempdir::TempDir;
 pub use update_buffer::{BufferedGraph, UpdateBuffer, DEFAULT_BUFFER_CAPACITY};
-pub use wal::Wal;
+pub use vfs::{FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
+pub use wal::{Wal, WalScan, WAL_MAGIC};
 
 /// Node identifier. The paper's largest graph (978.4M nodes) fits in `u32`.
 pub type NodeId = u32;

@@ -9,6 +9,14 @@
 
 use crate::error::{Error, Result};
 
+/// Adjacency lists must mirror each other: finding `(u, v)` in only one
+/// direction means the structure was corrupted in memory.
+fn asymmetric(u: u32, v: u32) -> Error {
+    Error::Corrupt {
+        reason: format!("asymmetric adjacency at ({u}, {v})"),
+    }
+}
+
 /// Normalise an edge list in place: symmetrise, drop self-loops and
 /// duplicates, sort pairs. Returns the implied node count (max id + 1),
 /// clamped up to `min_nodes`.
@@ -102,7 +110,7 @@ impl MemGraph {
 
     /// Sum of all degrees (`2m`).
     pub fn degree_sum(&self) -> u64 {
-        *self.offsets.last().expect("offsets non-empty")
+        self.offsets.last().copied().unwrap_or(0)
     }
 
     /// Degree of `v`.
@@ -257,9 +265,10 @@ impl DynGraph {
         match self.adj[u as usize].binary_search(&v) {
             Ok(_) => Ok(false),
             Err(iu) => {
-                let iv = self.adj[v as usize]
-                    .binary_search(&u)
-                    .expect_err("asymmetric adjacency");
+                let iv = match self.adj[v as usize].binary_search(&u) {
+                    Err(iv) => iv,
+                    Ok(_) => return Err(asymmetric(u, v)),
+                };
                 self.adj[u as usize].insert(iu, v);
                 self.adj[v as usize].insert(iv, u);
                 self.degree_sum += 2;
@@ -274,9 +283,10 @@ impl DynGraph {
         match self.adj[u as usize].binary_search(&v) {
             Err(_) => Ok(false),
             Ok(iu) => {
-                let iv = self.adj[v as usize]
-                    .binary_search(&u)
-                    .expect("asymmetric adjacency");
+                let iv = match self.adj[v as usize].binary_search(&u) {
+                    Ok(iv) => iv,
+                    Err(_) => return Err(asymmetric(u, v)),
+                };
                 self.adj[u as usize].remove(iu);
                 self.adj[v as usize].remove(iv);
                 self.degree_sum -= 2;

@@ -154,8 +154,7 @@ impl PartitionStore {
     /// Load partition `i` entirely into memory (charged read I/Os).
     pub fn load(&self, i: usize) -> Result<LoadedPartition> {
         let meta = &self.parts[i];
-        let file = std::fs::File::open(&meta.path)?;
-        let mut reader = BlockReader::new(file, self.counter.clone())?;
+        let mut reader = BlockReader::open(&meta.path, self.counter.clone())?;
         let len = reader.file_len();
         let mut bytes = vec![0u8; len as usize];
         reader.read_exact_at(0, &mut bytes)?;
@@ -201,13 +200,25 @@ impl PartitionStore {
                 )));
             }
         }
-        let dir = self.parts[i]
-            .path
-            .parent()
-            .expect("partition has parent dir");
+        let dir = match self.parts[i].path.parent() {
+            Some(d) => d,
+            None => {
+                return Err(Error::InvalidArgument(format!(
+                    "partition path {:?} has no parent directory",
+                    self.parts[i].path
+                )))
+            }
+        };
         let tmp = dir.join(format!("part{i}.new"));
         let meta = write_partition_at(&tmp, start, end, entries, &self.counter)?;
-        std::fs::rename(&tmp, &self.parts[i].path)?;
+        // The rename is only atomic-replace if the temp file's bytes are
+        // durable first, and only durable itself once the directory entry
+        // is synced — same protocol as `catalog::write_atomically` and
+        // `update_buffer::flush` (this used to skip both fsyncs, so a
+        // crash could tear or lose the freshly rewritten partition).
+        let vfs = self.counter.vfs().clone();
+        vfs.rename(&tmp, &self.parts[i].path)?;
+        crate::io::sync_parent_dir(vfs.as_ref(), &self.parts[i].path)?;
         self.parts[i].bytes = meta.bytes;
         self.parts[i].alive_nodes = meta.alive_nodes;
         Ok(())
@@ -238,8 +249,7 @@ fn write_partition_at(
     entries: &[(u32, Vec<u32>)],
     counter: &Arc<IoCounter>,
 ) -> Result<PartitionMeta> {
-    let file = std::fs::File::create(path)?;
-    let mut w = BlockWriter::new(file, counter.clone());
+    let mut w = BlockWriter::create(path, counter.clone())?;
     let mut head = [0u8; 4];
     codec::put_u32(&mut head, 0, entries.len() as u32);
     w.write_all(&head)?;
@@ -253,7 +263,9 @@ fn write_partition_at(
         w.write_all(&rec)?;
     }
     let bytes = w.position();
-    w.finish()?;
+    // Fsync before any caller renames this file over live data: the rename
+    // must never land ahead of the bytes it advertises.
+    w.finish()?.sync_all()?;
     Ok(PartitionMeta {
         start,
         end,

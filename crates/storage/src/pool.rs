@@ -241,7 +241,7 @@ impl SharedPool {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BlockCache> {
-        self.inner.cache.lock().expect("shared pool poisoned")
+        crate::io::lock_cache(&self.inner.cache)
     }
 }
 

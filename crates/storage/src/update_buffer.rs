@@ -353,10 +353,11 @@ impl BufferedGraph {
             writer.append_adjacency(v, &merged)?;
         }
         let new_paths: GraphPaths = writer.finish()?;
-        std::fs::rename(&new_paths.nodes, &paths.nodes)?;
-        std::fs::rename(&new_paths.edges, &paths.edges)?;
+        let vfs = self.disk.counter().vfs().clone();
+        vfs.rename(&new_paths.nodes, &paths.nodes)?;
+        vfs.rename(&new_paths.edges, &paths.edges)?;
         // The renamed entries must survive a crash just like the bytes.
-        crate::io::sync_parent_dir(&paths.nodes)?;
+        crate::io::sync_parent_dir(vfs.as_ref(), &paths.nodes)?;
         self.disk.reopen()?;
         self.disk.invalidate_buffers();
         self.buffer.clear();

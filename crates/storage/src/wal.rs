@@ -32,14 +32,13 @@
 //! sequential pass. The fsync per append is a wall-clock cost only; the
 //! model counts blocks, not barriers.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::codec;
 use crate::error::{Error, Result};
 use crate::io::{sync_parent_dir, IoCounter};
+use crate::vfs::VfsFile;
 
 /// Magic bytes opening a WAL file.
 pub const WAL_MAGIC: &[u8; 8] = b"KCORWAL1";
@@ -56,7 +55,7 @@ pub const MAX_RECORD_LEN: usize = 1 << 20;
 /// format, the torn-tail contract and the I/O pricing.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     counter: Arc<IoCounter>,
     /// Append position == current file length (torn tails are truncated at
@@ -73,15 +72,10 @@ impl Wal {
     /// Create (or overwrite) an empty journal at `path`, fsyncing the file
     /// and its directory entry.
     pub fn create(path: &Path, counter: Arc<IoCounter>) -> Result<Wal> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = counter.vfs().create(path)?;
         file.write_all(WAL_MAGIC)?;
         file.sync_all()?;
-        sync_parent_dir(path)?;
+        sync_parent_dir(counter.vfs().as_ref(), path)?;
         counter.charge_write(1, WAL_MAGIC.len() as u64);
         Ok(Wal {
             file,
@@ -100,41 +94,43 @@ impl Wal {
     /// append disappears, never a completed one. One sequential read of the
     /// whole file is charged to `counter`.
     pub fn open(path: &Path, counter: Arc<IoCounter>) -> Result<(Wal, Vec<Vec<u8>>)> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        let mut file = counter.vfs().open_read_write(path)?;
+        let file_len = file.len()?;
+        let mut bytes = vec![0u8; file_len as usize];
+        file.read_exact_at(0, &mut bytes)?;
         let b = counter.block_size() as u64;
         counter.charge_read((bytes.len() as u64).div_ceil(b).max(1), bytes.len() as u64);
 
-        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-            return Err(Error::corrupt(format!(
-                "bad WAL magic in {}",
-                path.display()
-            )));
-        }
-        let mut records = Vec::new();
-        let mut pos = WAL_MAGIC.len();
-        // A failed decode is the torn (or absent) tail: keep the prefix.
-        while let Some((payload, end)) = decode_record(&bytes, pos) {
-            records.push(payload);
-            pos = end;
-        }
-        if (pos as u64) < bytes.len() as u64 {
+        let scan = scan_bytes(&bytes, path)?;
+        let pos = scan.valid_len;
+        if pos < file_len {
             // Drop the torn tail so appends extend a clean log.
-            file.set_len(pos as u64)?;
+            file.set_len(pos)?;
             file.sync_all()?;
         }
-        file.seek(SeekFrom::Start(pos as u64))?;
+        file.seek_to(pos)?;
         Ok((
             Wal {
                 file,
                 path: path.to_path_buf(),
                 counter,
-                pos: pos as u64,
+                pos,
                 poisoned: false,
             },
-            records,
+            scan.records,
         ))
+    }
+
+    /// Read-only scan of the journal at `path`: every intact record, where
+    /// each one ends, and how much of the file validates — without
+    /// truncating anything. This is `fsck`'s view: it can report a torn or
+    /// corrupt tail (`valid_len < file_len`) and leave the evidence on
+    /// disk. One sequential read of the whole file is charged.
+    pub fn scan(path: &Path, counter: &IoCounter) -> Result<WalScan> {
+        let bytes = counter.vfs().read(path)?;
+        let b = counter.block_size() as u64;
+        counter.charge_read((bytes.len() as u64).div_ceil(b).max(1), bytes.len() as u64);
+        scan_bytes(&bytes, path)
     }
 
     /// Append one record and fsync it. When this returns `Ok`, the record
@@ -175,7 +171,7 @@ impl Wal {
             let restored = self
                 .file
                 .set_len(self.pos)
-                .and_then(|()| self.file.seek(SeekFrom::Start(self.pos)).map(|_| ()))
+                .and_then(|()| self.file.seek_to(self.pos))
                 .and_then(|()| self.file.sync_all());
             if restored.is_err() {
                 self.poisoned = true;
@@ -207,7 +203,7 @@ impl Wal {
             )));
         }
         self.file.set_len(len)?;
-        self.file.seek(SeekFrom::Start(len))?;
+        self.file.seek_to(len)?;
         self.file.sync_all()?;
         self.pos = len;
         // Length and position are consistent again; un-poison if a failed
@@ -241,6 +237,48 @@ impl Wal {
         self.counter.charge_write(blocks, bytes);
         self.pos = end;
     }
+}
+
+/// What a read-only [`Wal::scan`] saw: the intact record prefix and how
+/// much of the file it covers.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every record payload that fully validated, in write order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset just past each record in `records` (parallel vector).
+    pub record_ends: Vec<u64>,
+    /// Offset up to which the file validates (magic + intact records). A
+    /// repair truncates here.
+    pub valid_len: u64,
+    /// Actual file length. `valid_len < file_len` means a torn or corrupt
+    /// tail follows the intact prefix.
+    pub file_len: u64,
+}
+
+/// Walk `bytes` as a WAL image: magic check, then the intact record
+/// prefix. Shared by the truncating open and the read-only scan.
+fn scan_bytes(bytes: &[u8], path: &Path) -> Result<WalScan> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(Error::corrupt(format!(
+            "bad WAL magic in {}",
+            path.display()
+        )));
+    }
+    let mut records = Vec::new();
+    let mut record_ends = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    // A failed decode is the torn (or absent) tail: keep the prefix.
+    while let Some((payload, end)) = decode_record(bytes, pos) {
+        records.push(payload);
+        record_ends.push(end as u64);
+        pos = end;
+    }
+    Ok(WalScan {
+        records,
+        record_ends,
+        valid_len: pos as u64,
+        file_len: bytes.len() as u64,
+    })
 }
 
 /// Decode the record starting at `pos`, returning `(payload, end offset)`

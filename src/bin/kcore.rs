@@ -9,6 +9,7 @@
 //! kcore serve  [--budget-mb M] [--workers N] [--policy lru|scanlifo]
 //!              [--data-dir DIR] [name=graph-base ...]
 //!                                            serve many graphs on one budget
+//! kcore fsck   <data-dir> [--repair]         check (and repair) a durable dir
 //! ```
 //!
 //! All runs print the I/O and memory accounting the paper reports.
@@ -26,6 +27,16 @@
 //! the same directory restores every graph — maintained cores included —
 //! without re-decomposing (the directory's catalog then also supplies the
 //! pool budget and policy, so those flags are ignored on reopen).
+//!
+//! The REPL never dies on a failed command: every error is reported as one
+//! structured `err <kind>: <detail>` line (kinds: `io`, `corrupt`,
+//! `quarantined`, `range`, `usage`, `limit`) and the session keeps
+//! reading, so a scripted driver can match on the prefix and carry on.
+//!
+//! `kcore fsck` walks a durable data directory offline: catalog, base
+//! tables (full adjacency walk), checkpoints and journals. `--repair`
+//! truncates damaged journal tails back to the last good record; exit
+//! status is nonzero while unrepaired problems remain.
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -36,7 +47,7 @@ use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR] [name=graph-base ...]"
+        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]"
     );
     std::process::exit(2)
 }
@@ -188,7 +199,35 @@ fn main() -> graphstore::Result<()> {
             );
         }
         "serve" => serve(&args)?,
+        "fsck" => fsck_cmd(&args)?,
         _ => usage(),
+    }
+    Ok(())
+}
+
+/// `kcore fsck <data-dir> [--repair]`: offline integrity check of a durable
+/// directory. Prints one line per finding, then a summary; exits 1 while
+/// unrepaired problems remain so scripts can gate on it.
+fn fsck_cmd(args: &[String]) -> graphstore::Result<()> {
+    let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let repair = args.iter().any(|a| a == "--repair");
+    let report = kcore_suite::fsck(Path::new(dir), repair)?;
+    for f in &report.findings {
+        let scope = f.graph.as_deref().unwrap_or("<catalog>");
+        let status = if f.repaired { " [repaired]" } else { "" };
+        println!("{scope}: {}{status}", f.problem);
+    }
+    let unrepaired = report.unrepaired();
+    println!(
+        "fsck: {} graph(s) checked, {} problem(s), {} repaired",
+        report.graphs_checked,
+        report.findings.len(),
+        report.findings.len() - unrepaired
+    );
+    if unrepaired > 0 {
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -297,7 +336,7 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
             ["open", name, base] => open_and_report(&svc, name, Path::new(base)),
             ["core", name, v] => match parse_node(v) {
                 Some(v) => report(svc.core(name, v).map(|c| format!("core({v}) = {c}"))),
-                None => println!("error: node id {v:?} is not a number"),
+                None => println!("err usage: node id {v:?} is not a number"),
             },
             ["kmax", name] => report(svc.kmax(name).map(|k| format!("kmax = {k}"))),
             ["insert", name, u, v] | ["delete", name, u, v] => {
@@ -315,7 +354,7 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
                             )
                         }));
                     }
-                    _ => println!("error: edge endpoints must be numbers"),
+                    _ => println!("err usage: edge endpoints must be numbers"),
                 }
             }
             ["stats", name] => report(svc.with_graph(name, |idx| {
@@ -368,7 +407,7 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
                 }
             })),
             ["evict", name] => report(svc.evict(name).map(|()| format!("evicted {name}"))),
-            _ => println!("error: unrecognised command (try 'help')"),
+            _ => println!("err usage: unrecognised command (try 'help')"),
         }
     }
     Ok(())
@@ -390,10 +429,25 @@ fn open_and_report(svc: &CoreService, name: &str, base: &Path) {
     }));
 }
 
-/// Print a command's outcome on one line, errors included.
+/// Print a command's outcome on one line, errors included. Errors use the
+/// structured `err <kind>: <detail>` shape so scripted drivers can match
+/// on the prefix; the session always survives them.
 fn report(res: graphstore::Result<String>) {
     match res {
         Ok(line) => println!("{line}"),
-        Err(e) => println!("error: {e}"),
+        Err(e) => println!("{}", err_line(&e)),
     }
+}
+
+/// One stable machine-matchable token per error class.
+fn err_line(e: &graphstore::Error) -> String {
+    let kind = match e {
+        graphstore::Error::Io(_) => "io",
+        graphstore::Error::Corrupt { .. } => "corrupt",
+        graphstore::Error::NodeOutOfRange { .. } => "range",
+        graphstore::Error::InvalidArgument(_) => "usage",
+        graphstore::Error::TooLarge(_) => "limit",
+        graphstore::Error::Quarantined { .. } => "quarantined",
+    };
+    format!("err {kind}: {e}")
 }

@@ -1,0 +1,448 @@
+//! Offline integrity checking — and bounded repair — of a durable data
+//! directory.
+//!
+//! [`fsck`] walks the catalog the way [`crate::CoreService::open_catalog`]
+//! would, but keeps going after the first problem and never mutates
+//! anything unless asked: for every catalogued graph it
+//!
+//! 1. opens the **base tables** and walks the full adjacency (header
+//!    magics, per-block CRCs and extent bounds are validated by the block
+//!    reader on the way; on top, every neighbor list must be strictly
+//!    ascending, in `0..n`, and degree-consistent with the node table);
+//! 2. reads the **checkpoint** (`<name>.ckpt`, magic + CRC) and checks its
+//!    vectors against the graph's node count;
+//! 3. scans the **journal** (`<name>.wal`) read-only: magic, per-record
+//!    framing CRCs, op decodability, endpoint ranges, and gap-free
+//!    sequence numbers above the checkpoint's.
+//!
+//! With `repair` set, the *journal tail* problems — a torn or
+//! CRC-damaged tail, an undecodable op, a sequence gap — are repaired by
+//! truncating the journal back to its longest good prefix, which makes
+//! the next [`crate::CoreService::open_catalog`] recover the checkpoint
+//! plus exactly that prefix (the "fall back to the last good checkpoint"
+//! degenerate case is a truncation to the bare header). Repair never
+//! touches base tables, checkpoints or the catalog itself: damage there
+//! means acknowledged state would have to be invented, and fsck refuses
+//! to guess — those findings stay unrepaired and the exit is nonzero.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use graphstore::{
+    AdjacencyRead, Catalog, DiskGraph, IoCounter, Result, StateCheckpoint, StdVfs, Vfs, Wal,
+    WAL_MAGIC,
+};
+use semicore::MaintainOp;
+
+/// One problem found by [`fsck`], tagged with whether a repair fixed it.
+#[derive(Debug, Clone)]
+pub struct FsckFinding {
+    /// Graph the problem belongs to; `None` for directory-level damage
+    /// (an unreadable catalog).
+    pub graph: Option<String>,
+    /// What is wrong, human-readable.
+    pub problem: String,
+    /// True when `repair` was requested **and** the problem was fixed.
+    pub repaired: bool,
+}
+
+/// Outcome of an [`fsck`] pass.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Every problem found, in catalog order.
+    pub findings: Vec<FsckFinding>,
+    /// Number of catalogued graphs examined.
+    pub graphs_checked: usize,
+}
+
+impl FsckReport {
+    /// True when nothing at all was wrong.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Problems that remain after any repairs — the exit-status signal.
+    pub fn unrepaired(&self) -> usize {
+        self.findings.iter().filter(|f| !f.repaired).count()
+    }
+
+    fn push(&mut self, graph: Option<&str>, problem: String, repaired: bool) {
+        self.findings.push(FsckFinding {
+            graph: graph.map(str::to_string),
+            problem,
+            repaired,
+        });
+    }
+}
+
+/// Check the durable data directory at `dir`; with `repair`, truncate
+/// damaged journal tails back to their longest good prefix. See the
+/// module docs for exactly what is validated and what repair will and
+/// will not touch.
+pub fn fsck(dir: &Path, repair: bool) -> Result<FsckReport> {
+    fsck_with(dir, repair, StdVfs::arc())
+}
+
+/// [`fsck`] through an explicit filesystem seam, so the fault-injection
+/// tests can aim bit-flips at specific reads.
+pub fn fsck_with(dir: &Path, repair: bool, vfs: Arc<dyn Vfs>) -> Result<FsckReport> {
+    if !Catalog::exists_in(dir) {
+        return Err(graphstore::Error::InvalidArgument(format!(
+            "{} holds no catalog; nothing to check",
+            dir.display()
+        )));
+    }
+    let mut report = FsckReport::default();
+    let catalog = match Catalog::read_with(dir, vfs.as_ref()) {
+        Ok(c) => c,
+        Err(e) => {
+            // Without the catalog there is no graph list to walk; report
+            // and stop rather than guess at file names.
+            report.push(None, format!("catalog unreadable: {e}"), false);
+            return Ok(report);
+        }
+    };
+    for entry in &catalog.entries {
+        report.graphs_checked += 1;
+        check_graph(dir, entry, catalog.block_size, repair, &vfs, &mut report);
+    }
+    Ok(report)
+}
+
+fn ckpt_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.ckpt"))
+}
+
+fn wal_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.wal"))
+}
+
+fn check_graph(
+    dir: &Path,
+    entry: &graphstore::CatalogEntry,
+    block_size: usize,
+    repair: bool,
+    vfs: &Arc<dyn Vfs>,
+    report: &mut FsckReport,
+) {
+    let name = entry.name.as_str();
+    let counter = IoCounter::with_vfs(block_size, Arc::clone(vfs));
+
+    // 1. Base tables: headers validate on open, blocks on read; the walk
+    //    adds the structural invariants a CRC cannot see.
+    let num_nodes = match DiskGraph::open(&entry.base, counter.clone()) {
+        Ok(mut disk) => {
+            if disk.format_version() != entry.format {
+                report.push(
+                    Some(name),
+                    format!(
+                        "catalog records format {} but base tables are {}",
+                        entry.format.tag(),
+                        disk.format_version().tag()
+                    ),
+                    false,
+                );
+            }
+            if let Err(e) = walk_adjacency(&mut disk) {
+                report.push(Some(name), format!("base tables: {e}"), false);
+            }
+            Some(disk.num_nodes())
+        }
+        Err(e) => {
+            report.push(Some(name), format!("base tables unreadable: {e}"), false);
+            None
+        }
+    };
+
+    // 2. Checkpoint: magic + CRC inside StateCheckpoint::read; shape here.
+    let ck_seq = match StateCheckpoint::read(&ckpt_path(dir, name), &counter) {
+        Ok(ck) => {
+            if let Some(n) = num_nodes {
+                if ck.cores.len() != n as usize || ck.cnt.len() != n as usize {
+                    report.push(
+                        Some(name),
+                        format!(
+                            "checkpoint sized for {} nodes but the graph has {n}",
+                            ck.cores.len()
+                        ),
+                        false,
+                    );
+                }
+                if let Some(&(u, v, _)) = ck.edits.iter().find(|&&(u, v, _)| u >= n || v >= n) {
+                    report.push(
+                        Some(name),
+                        format!("checkpoint edit ({u}, {v}) out of range for {n} nodes"),
+                        false,
+                    );
+                }
+            }
+            Some(ck.seq)
+        }
+        Err(e) => {
+            report.push(Some(name), format!("checkpoint unreadable: {e}"), false);
+            None
+        }
+    };
+
+    // 3. Journal: read-only scan, then record-level validation.
+    check_wal(
+        &wal_path(dir, name),
+        name,
+        num_nodes,
+        ck_seq,
+        &counter,
+        repair,
+        vfs,
+        report,
+    );
+}
+
+/// Full adjacency walk: every list strictly ascending, in range, and
+/// degree-consistent with the node table; total degree must match the
+/// header.
+fn walk_adjacency(disk: &mut DiskGraph) -> Result<()> {
+    let n = disk.num_nodes();
+    let degrees = disk.read_degrees()?;
+    let mut buf = Vec::new();
+    let mut total: u64 = 0;
+    for v in 0..n {
+        disk.adjacency(v, &mut buf)?;
+        let expect = degrees.get(v as usize).copied().unwrap_or(0);
+        if buf.len() as u64 != u64::from(expect) {
+            return Err(graphstore::Error::corrupt(format!(
+                "node {v}: adjacency holds {} entries but degree is {expect}",
+                buf.len()
+            )));
+        }
+        if let Some(&w) = buf.iter().find(|&&w| w >= n) {
+            return Err(graphstore::Error::corrupt(format!(
+                "node {v}: neighbor {w} out of range for {n} nodes"
+            )));
+        }
+        if buf.windows(2).any(|p| p[0] >= p[1]) {
+            return Err(graphstore::Error::corrupt(format!(
+                "node {v}: adjacency not strictly ascending"
+            )));
+        }
+        total += buf.len() as u64;
+    }
+    if total != disk.degree_sum() {
+        return Err(graphstore::Error::corrupt(format!(
+            "adjacency lists sum to degree {total} but the header says {}",
+            disk.degree_sum()
+        )));
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_wal(
+    path: &Path,
+    name: &str,
+    num_nodes: Option<u32>,
+    ck_seq: Option<u64>,
+    counter: &Arc<IoCounter>,
+    repair: bool,
+    vfs: &Arc<dyn Vfs>,
+    report: &mut FsckReport,
+) {
+    let scan = match Wal::scan(path, counter) {
+        Ok(scan) => scan,
+        Err(e) => {
+            // Bad magic or missing file: the journal carries no decodable
+            // history at all. Repairing means declaring the checkpoint the
+            // whole truth: recreate an empty journal.
+            let repaired = repair && recreate_wal(path, counter, vfs).is_ok();
+            report.push(Some(name), format!("journal unreadable: {e}"), repaired);
+            return;
+        }
+    };
+
+    // Framing-valid prefix vs. physical length: a torn tail is the normal
+    // crash signature (recovery tolerates it silently), but fsck reports
+    // it so `--repair` can scrub the evidence.
+    if scan.valid_len < scan.file_len {
+        let repaired = repair && truncate_to(path, scan.valid_len, vfs).is_ok();
+        report.push(
+            Some(name),
+            format!(
+                "torn journal tail: {} trailing bytes after the last whole record",
+                scan.file_len - scan.valid_len
+            ),
+            repaired,
+        );
+    }
+
+    // Record-level validation of the framing-valid prefix. The first bad
+    // record poisons everything after it (replay is sequential), so repair
+    // truncates back to the end of the last good record.
+    let mut seq = ck_seq.unwrap_or(0);
+    let mut good_end = WAL_MAGIC.len() as u64;
+    for (i, record) in scan.records.iter().enumerate() {
+        let verdict = validate_record(record, num_nodes, ck_seq, &mut seq);
+        if let Err(problem) = verdict {
+            let repaired = repair && truncate_to(path, good_end, vfs).is_ok();
+            report.push(
+                Some(name),
+                format!("journal record {i}: {problem}"),
+                repaired,
+            );
+            return;
+        }
+        good_end = scan.record_ends[i];
+    }
+}
+
+/// One journal record: `seq u64 | MaintainOp`. Returns a description of
+/// what is wrong, or advances `seq` past the record.
+fn validate_record(
+    record: &[u8],
+    num_nodes: Option<u32>,
+    ck_seq: Option<u64>,
+    seq: &mut u64,
+) -> std::result::Result<(), String> {
+    if record.len() < 8 {
+        return Err(format!("undersized ({} bytes)", record.len()));
+    }
+    let mut seq_bytes = [0u8; 8];
+    seq_bytes.copy_from_slice(&record[..8]);
+    let rseq = u64::from_le_bytes(seq_bytes);
+    let op = MaintainOp::decode(&record[8..]).map_err(|e| format!("undecodable op: {e}"))?;
+    if let Some(n) = num_nodes {
+        let (u, v) = op.endpoints();
+        if u >= n || v >= n {
+            return Err(format!(
+                "op endpoints ({u}, {v}) out of range for {n} nodes"
+            ));
+        }
+    }
+    // Records at or below the checkpoint sequence are covered by the
+    // checkpoint (crash between its rename and the journal truncation);
+    // everything above must be gap-free — mirrors recovery's check.
+    if let Some(ck) = ck_seq {
+        if rseq <= ck {
+            return Ok(());
+        }
+    }
+    // With no readable checkpoint the baseline is unknown, so the first
+    // record anchors the sequence instead of being gap-checked.
+    let anchored = *seq != 0 || ck_seq.is_some();
+    if anchored && rseq != *seq + 1 {
+        return Err(format!("sequence gap: record {rseq} after {seq}"));
+    }
+    *seq = rseq;
+    Ok(())
+}
+
+fn truncate_to(path: &Path, len: u64, vfs: &Arc<dyn Vfs>) -> Result<()> {
+    let mut f = vfs.open_read_write(path)?;
+    f.set_len(len)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+fn recreate_wal(path: &Path, counter: &Arc<IoCounter>, vfs: &Arc<dyn Vfs>) -> Result<()> {
+    let _ = vfs.remove_file(path);
+    Wal::create(path, counter.clone()).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreService;
+    use graphstore::TempDir;
+    use std::io::{Seek, SeekFrom, Write};
+
+    fn seeded_dir(tmp: &TempDir) -> PathBuf {
+        let data = tmp.path().join("data");
+        let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+        svc.create(
+            "g",
+            &tmp.path().join("g"),
+            vec![(0u32, 1u32), (1, 2), (0, 2), (2, 3)],
+            4,
+        )
+        .unwrap();
+        svc.insert_edge("g", 1, 3).unwrap();
+        svc.insert_edge("g", 0, 3).unwrap();
+        data
+    }
+
+    #[test]
+    fn clean_directory_reports_clean() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        let report = fsck(&data, false).unwrap();
+        assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+        assert_eq!(report.graphs_checked, 1);
+    }
+
+    #[test]
+    fn missing_catalog_is_an_error_not_a_report() {
+        let tmp = TempDir::new("fsck").unwrap();
+        assert!(fsck(tmp.path(), false).is_err());
+    }
+
+    #[test]
+    fn torn_wal_tail_is_found_and_repaired() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        // Append garbage: a torn half-record.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(data.join("g.wal"))
+            .unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        drop(f);
+
+        let report = fsck(&data, false).unwrap();
+        assert_eq!(report.unrepaired(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].problem.contains("torn journal tail"));
+
+        let report = fsck(&data, true).unwrap();
+        assert_eq!(report.unrepaired(), 0, "{:?}", report.findings);
+        assert!(report.findings[0].repaired);
+
+        // Clean after repair, and the directory still opens.
+        assert!(fsck(&data, false).unwrap().clean());
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.kmax("g").unwrap(), 3);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reported_unrepaired() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        // Flip one byte in the checkpoint body (past the magic).
+        let path = data.join("g.ckpt");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.seek(SeekFrom::Start(mid as u64)).unwrap();
+        f.write_all(&bytes[mid..=mid]).unwrap();
+        drop(f);
+
+        let report = fsck(&data, true).unwrap();
+        assert!(report.unrepaired() >= 1, "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("checkpoint") && !f.repaired));
+    }
+
+    #[test]
+    fn garbage_wal_magic_is_repaired_to_empty_journal() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        std::fs::write(data.join("g.wal"), b"NOTAWAL!").unwrap();
+
+        let report = fsck(&data, false).unwrap();
+        assert_eq!(report.unrepaired(), 1);
+        let report = fsck(&data, true).unwrap();
+        assert_eq!(report.unrepaired(), 0, "{:?}", report.findings);
+        assert!(fsck(&data, false).unwrap().clean());
+        // Recovery falls back to the checkpoint alone.
+        assert!(CoreService::open_catalog(&data).is_ok());
+    }
+}

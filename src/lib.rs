@@ -46,8 +46,16 @@ pub use graphgen;
 pub use graphstore;
 pub use semicore;
 
+// The serving layer must never bring the process down on one tenant's
+// failure: panicking unwraps are banned outright (tests excepted).
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 mod service;
 
+/// Offline integrity checking and repair of durable data directories.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+pub mod fsck;
+
+pub use fsck::{fsck, FsckFinding, FsckReport};
 pub use service::{CoreService, DurableOptions};
 
 use std::path::Path;

@@ -41,6 +41,23 @@
 //! stay immutable while edits accumulate in the (checkpointed) update
 //! buffer, which is what makes recovery exact at any kill point. The full
 //! crash-window analysis lives in ARCHITECTURE.md ("Durability").
+//!
+//! ## Failure containment
+//!
+//! The service is multi-tenant, so one graph's failure must never take the
+//! others down. Every fallible path returns a typed
+//! [`graphstore::Error`] — nothing in this module panics on I/O failure —
+//! and a graph whose operation fails with an I/O or corruption error (or
+//! whose mutex is poisoned by a panicking thread) is **quarantined**: its
+//! slot stays in the registry but every further operation is rejected with
+//! [`graphstore::Error::Quarantined`], while all other graphs keep
+//! serving. Quarantine is deliberately sticky — after a mid-mutation
+//! failure the in-memory cores/`cnt` can no longer be trusted, and the
+//! on-disk journal/checkpoint protocol is exactly what makes that safe:
+//! [`CoreService::evict`] (which bypasses quarantine) followed by a
+//! re-open recovers the last acknowledged state from disk. All file I/O
+//! flows through a [`graphstore::Vfs`], so the crash-point torture tests
+//! inject faults here without touching production code paths.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -48,7 +65,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use graphstore::{
     working_set_charge_budget, Catalog, CatalogEntry, DiskGraph, EvictionPolicy, FormatVersion,
-    IoCounter, IoSnapshot, Result, SharedPool, StateCheckpoint, Wal, DEFAULT_BLOCK_SIZE,
+    IoCounter, IoSnapshot, Result, SharedPool, StateCheckpoint, StdVfs, Vfs, Wal,
+    DEFAULT_BLOCK_SIZE,
 };
 use semicore::{CoreState, MaintainOp, MaintainStats, ScanExecutor};
 
@@ -177,6 +195,10 @@ pub struct CoreService {
     exec: ScanExecutor,
     graphs: Mutex<HashMap<String, Slot>>,
     durable: Option<Durable>,
+    /// Filesystem seam every counter (and the catalog writer) goes
+    /// through; [`StdVfs`] in production, a fault-injecting
+    /// [`graphstore::FaultVfs`] under the torture tests.
+    vfs: Arc<dyn Vfs>,
 }
 
 /// Registry slot: the graph's lock plus metadata readable without it.
@@ -187,6 +209,47 @@ struct Slot {
     /// read it under the registry lock alone, so they never stall behind
     /// a graph that is mid-scan or mid-maintenance.
     format: FormatVersion,
+    /// `Some(reason)` once the graph is quarantined. Shared (not inline in
+    /// the slot) so a failing operation can trip it after the registry
+    /// lock has been released, without re-entering the registry.
+    quarantine: Arc<Mutex<Option<String>>>,
+}
+
+impl Slot {
+    fn new(handle: Arc<Mutex<Served>>, format: FormatVersion) -> Slot {
+        Slot {
+            handle,
+            format,
+            quarantine: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+/// Lock a metadata mutex, recovering from poison. Safe for the registry,
+/// quarantine and catalog-entry maps: they hold plain lookup data that is
+/// updated in single assignments, so a panicking holder cannot leave them
+/// half-written the way a mid-maintenance graph can be.
+fn lock_meta<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Record a quarantine reason (first failure wins).
+fn set_quarantine(q: &Mutex<Option<String>>, reason: &str) {
+    let mut slot = lock_meta(q);
+    if slot.is_none() {
+        *slot = Some(reason.to_string());
+    }
+}
+
+/// Should this error quarantine the graph it came from? I/O failures and
+/// corruption mean the backing storage (or the state rebuilt from it) can
+/// no longer be trusted; argument and range errors are the caller's fault
+/// and leave the graph untouched.
+fn should_quarantine(e: &graphstore::Error) -> bool {
+    matches!(
+        e,
+        graphstore::Error::Io(_) | graphstore::Error::Corrupt { .. }
+    )
 }
 
 impl CoreService {
@@ -213,11 +276,26 @@ impl CoreService {
         policy: EvictionPolicy,
         exec: ScanExecutor,
     ) -> Result<CoreService> {
+        Self::with_config_vfs(block_size, budget_bytes, policy, exec, StdVfs::arc())
+    }
+
+    /// [`CoreService::with_config`] with an explicit filesystem seam. Every
+    /// I/O counter the service creates routes through `vfs`, so a
+    /// [`graphstore::FaultVfs`] here puts the whole serving stack under
+    /// fault injection.
+    pub fn with_config_vfs(
+        block_size: usize,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+        exec: ScanExecutor,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<CoreService> {
         Ok(CoreService {
             pool: SharedPool::with_policy(block_size, budget_bytes, policy)?,
             exec,
             graphs: Mutex::new(HashMap::new()),
             durable: None,
+            vfs,
         })
     }
 
@@ -248,6 +326,28 @@ impl CoreService {
         exec: ScanExecutor,
         opts: DurableOptions,
     ) -> Result<CoreService> {
+        Self::create_durable_with_vfs(
+            dir,
+            block_size,
+            budget_bytes,
+            policy,
+            exec,
+            opts,
+            StdVfs::arc(),
+        )
+    }
+
+    /// [`CoreService::create_durable_with`] with an explicit filesystem
+    /// seam (see [`CoreService::with_config_vfs`]).
+    pub fn create_durable_with_vfs(
+        dir: &Path,
+        block_size: usize,
+        budget_bytes: u64,
+        policy: EvictionPolicy,
+        exec: ScanExecutor,
+        opts: DurableOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<CoreService> {
         std::fs::create_dir_all(dir)?;
         if Catalog::exists_in(dir) {
             return Err(graphstore::Error::InvalidArgument(format!(
@@ -264,6 +364,7 @@ impl CoreService {
                 checkpoint_every: opts.checkpoint_every.max(1),
                 entries: Mutex::new(HashMap::new()),
             }),
+            vfs,
         };
         svc.rewrite_catalog()?;
         Ok(svc)
@@ -287,7 +388,19 @@ impl CoreService {
         exec: ScanExecutor,
         opts: DurableOptions,
     ) -> Result<CoreService> {
-        let catalog = Catalog::read(dir)?;
+        Self::open_catalog_with_vfs(dir, exec, opts, StdVfs::arc())
+    }
+
+    /// [`CoreService::open_catalog_with`] with an explicit filesystem seam
+    /// (see [`CoreService::with_config_vfs`]). Recovery itself — catalog,
+    /// checkpoint and journal reads — goes through `vfs` too.
+    pub fn open_catalog_with_vfs(
+        dir: &Path,
+        exec: ScanExecutor,
+        opts: DurableOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<CoreService> {
+        let catalog = Catalog::read_with(dir, vfs.as_ref())?;
         let svc = CoreService {
             pool: SharedPool::with_policy(
                 catalog.block_size,
@@ -301,6 +414,7 @@ impl CoreService {
                 checkpoint_every: opts.checkpoint_every.max(1),
                 entries: Mutex::new(HashMap::new()),
             }),
+            vfs,
         };
         for entry in &catalog.entries {
             svc.recover_entry(entry)?;
@@ -357,7 +471,7 @@ impl CoreService {
             return Err(already_serving(name));
         }
         // Decompose outside the registry lock: other graphs keep serving.
-        let counter = IoCounter::new(self.pool.block_size());
+        let counter = IoCounter::with_vfs(self.pool.block_size(), Arc::clone(&self.vfs));
         let disk = DiskGraph::open_pooled(base, counter, &self.pool, charge_bytes)?;
         let format = disk.format_version();
         let capacity = if self.durable.is_some() {
@@ -382,20 +496,16 @@ impl CoreService {
             seq: 0,
             ck_seq: 0,
         }));
-        let mut served = handle.lock().expect("served graph poisoned");
+        // Freshly created mutex: nothing else holds it, so locking cannot
+        // observe poison — but recover anyway rather than assert.
+        let mut served = lock_meta(&handle);
         {
             let mut graphs = self.registry();
             if graphs.contains_key(name) {
                 // A racing open beat us; the loser's lease frees its frames.
                 return Err(already_serving(name));
             }
-            graphs.insert(
-                name.to_string(),
-                Slot {
-                    handle: Arc::clone(&handle),
-                    format,
-                },
-            );
+            graphs.insert(name.to_string(), Slot::new(Arc::clone(&handle), format));
         }
         if let Some(d) = &self.durable {
             let publish = (|| -> Result<()> {
@@ -405,7 +515,7 @@ impl CoreService {
                 self.checkpoint_locked(name, &mut served)?;
                 let counter = served.index.graph_mut().disk().counter().clone();
                 served.wal = Some(Wal::create(&wal_path(&d.dir, name), counter)?);
-                d.entries.lock().expect("catalog entries poisoned").insert(
+                lock_meta(&d.entries).insert(
                     name.to_string(),
                     DurableEntry {
                         base: base.to_path_buf(),
@@ -420,12 +530,9 @@ impl CoreService {
                 // Roll the registration back rather than serve a graph the
                 // catalog will not restore.
                 self.registry().remove(name);
-                d.entries
-                    .lock()
-                    .expect("catalog entries poisoned")
-                    .remove(name);
-                let _ = std::fs::remove_file(ckpt_path(&d.dir, name));
-                let _ = std::fs::remove_file(wal_path(&d.dir, name));
+                lock_meta(&d.entries).remove(name);
+                let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name));
+                let _ = self.vfs.remove_file(&wal_path(&d.dir, name));
                 return Err(e);
             }
         }
@@ -445,7 +552,7 @@ impl CoreService {
             return Err(already_serving(name));
         }
         let mem = graphstore::MemGraph::from_edges(edges, min_nodes);
-        let counter = graphstore::IoCounter::new(self.pool.block_size());
+        let counter = IoCounter::with_vfs(self.pool.block_size(), Arc::clone(&self.vfs));
         graphstore::write_mem_graph(base, &mem, counter)?;
         self.open(name, base)
     }
@@ -455,21 +562,21 @@ impl CoreService {
     /// its handle. On a durable service the graph also leaves the catalog
     /// and its checkpoint/journal files are removed — the base tables are
     /// untouched, so it can be re-opened (and re-decomposed) later.
+    ///
+    /// Eviction deliberately **bypasses quarantine**: removing a poisoned
+    /// or corrupted graph is how an operator clears it for re-open.
     pub fn evict(&self, name: &str) -> Result<()> {
         self.registry()
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| not_serving(name))?;
         if let Some(d) = &self.durable {
-            d.entries
-                .lock()
-                .expect("catalog entries poisoned")
-                .remove(name);
+            lock_meta(&d.entries).remove(name);
             self.rewrite_catalog()?;
             // Sidecars of an uncatalogued graph are dead weight; failures
             // here are harmless (recovery never reads uncatalogued files).
-            let _ = std::fs::remove_file(ckpt_path(&d.dir, name));
-            let _ = std::fs::remove_file(wal_path(&d.dir, name));
+            let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name));
+            let _ = self.vfs.remove_file(&wal_path(&d.dir, name));
         }
         Ok(())
     }
@@ -480,15 +587,34 @@ impl CoreService {
     /// service, mutate only via [`CoreService::apply`] (or its wrappers):
     /// edits made directly through `f` bypass the journal and will not
     /// survive a restart.
+    ///
+    /// A quarantined graph rejects `f` outright; an `f` that fails with an
+    /// I/O or corruption error quarantines the graph (see the module docs,
+    /// "Failure containment").
     pub fn with_graph<R>(
         &self,
         name: &str,
         f: impl FnOnce(&mut CoreIndex) -> Result<R>,
     ) -> Result<R> {
-        let handle = self.served(name)?;
+        let (handle, quarantine) = self.served(name)?;
         // The registry lock is released; only this graph serializes.
-        let mut served = handle.lock().expect("served graph poisoned");
-        f(&mut served.index)
+        let mut served = lock_served(name, &handle, &quarantine)?;
+        let res = f(&mut served.index);
+        if let Err(e) = &res {
+            if should_quarantine(e) {
+                set_quarantine(&quarantine, &format!("operation failed: {e}"));
+            }
+        }
+        res
+    }
+
+    /// Why the named graph is quarantined (`None` while it is healthy).
+    /// Errors when `name` is not being served at all.
+    pub fn quarantine_reason(&self, name: &str) -> Result<Option<String>> {
+        let registry = self.registry();
+        let slot = registry.get(name).ok_or_else(|| not_serving(name))?;
+        let reason = lock_meta(&slot.quarantine).clone();
+        Ok(reason)
     }
 
     /// All core numbers of the named graph.
@@ -529,9 +655,33 @@ impl CoreService {
     /// instant loses at most an op whose success was never reported; every
     /// `checkpoint_every` ops the maintained state is checkpointed and the
     /// journal truncated.
+    ///
+    /// Failure containment: a quarantined graph rejects the op; an op that
+    /// fails with an I/O or corruption error — journal append, dispatch, or
+    /// the validating adjacency read — quarantines the graph, because after
+    /// a mid-mutation failure the in-memory state can no longer be trusted.
+    /// Validation rejections (duplicate insert, absent delete, bad node)
+    /// leave the graph serving.
     pub fn apply(&self, name: &str, op: MaintainOp) -> Result<MaintainStats> {
-        let handle = self.served(name)?;
-        let mut served = handle.lock().expect("served graph poisoned");
+        let (handle, quarantine) = self.served(name)?;
+        let mut served = lock_served(name, &handle, &quarantine)?;
+        let res = self.apply_locked(name, &mut served, op);
+        if let Err(e) = &res {
+            if should_quarantine(e) {
+                set_quarantine(&quarantine, &format!("maintenance failed: {e}"));
+            }
+        }
+        res
+    }
+
+    /// [`CoreService::apply`] past the registry/quarantine gate, with the
+    /// graph's lock held.
+    fn apply_locked(
+        &self,
+        name: &str,
+        served: &mut Served,
+        op: MaintainOp,
+    ) -> Result<MaintainStats> {
         let (u, v) = op.endpoints();
         if op.is_insert() {
             if served.index.has_edge(u, v)? {
@@ -582,7 +732,7 @@ impl CoreService {
                 // until one succeeds; a persistent failure (e.g. a full
                 // disk) surfaces on its own through failing appends or an
                 // explicit [`CoreService::save`].
-                let _ = self.checkpoint_locked(name, &mut served);
+                let _ = self.checkpoint_locked(name, served);
             }
         }
         Ok(stats)
@@ -611,9 +761,15 @@ impl CoreService {
                 "service has no data directory; nothing to save".into(),
             ));
         }
-        let handle = self.served(name)?;
-        let mut served = handle.lock().expect("served graph poisoned");
-        self.checkpoint_locked(name, &mut served)
+        let (handle, quarantine) = self.served(name)?;
+        let mut served = lock_served(name, &handle, &quarantine)?;
+        let res = self.checkpoint_locked(name, &mut served);
+        if let Err(e) = &res {
+            if should_quarantine(e) {
+                set_quarantine(&quarantine, &format!("checkpoint failed: {e}"));
+            }
+        }
+        res
     }
 
     /// [`CoreService::save`] for every served graph.
@@ -656,8 +812,12 @@ impl CoreService {
     /// stale one could land last — durably resurrecting an evicted graph
     /// whose sidecars are already gone.
     fn rewrite_catalog(&self) -> Result<()> {
-        let d = self.durable.as_ref().expect("durable services only");
-        let guard = d.entries.lock().expect("catalog entries poisoned");
+        let Some(d) = self.durable.as_ref() else {
+            return Err(graphstore::Error::InvalidArgument(
+                "catalog rewrite on a service with no data directory".into(),
+            ));
+        };
+        let guard = lock_meta(&d.entries);
         let mut entries: Vec<CatalogEntry> = guard
             .iter()
             .map(|(name, e)| CatalogEntry {
@@ -675,7 +835,7 @@ impl CoreService {
             policy: self.pool.policy(),
             entries,
         }
-        .write(&d.dir)
+        .write_with(&d.dir, self.vfs.as_ref())
         // `guard` drops here, after the manifest is durably in place.
     }
 
@@ -709,12 +869,7 @@ impl CoreService {
         // `checkpoint_seq` is advisory (the checkpoint file's own sequence
         // number is what recovery trusts), and three fsyncs per checkpoint
         // on the hot apply path would buy nothing.
-        if let Some(e) = d
-            .entries
-            .lock()
-            .expect("catalog entries poisoned")
-            .get_mut(name)
-        {
+        if let Some(e) = lock_meta(&d.entries).get_mut(name) {
             e.checkpoint_seq = served.seq;
         }
         Ok(())
@@ -724,13 +879,17 @@ impl CoreService {
     /// load the checkpoint, re-inject the buffered edits, replay the
     /// journal tail through [`CoreIndex::apply`], and serve it.
     fn recover_entry(&self, entry: &CatalogEntry) -> Result<()> {
-        let d = self.durable.as_ref().expect("durable services only");
+        let Some(d) = self.durable.as_ref() else {
+            return Err(graphstore::Error::InvalidArgument(
+                "recovery on a service with no data directory".into(),
+            ));
+        };
         if self.contains(&entry.name) {
             return Err(graphstore::Error::Corrupt {
                 reason: format!("catalog lists {:?} twice", entry.name),
             });
         }
-        let counter = IoCounter::new(self.pool.block_size());
+        let counter = IoCounter::with_vfs(self.pool.block_size(), Arc::clone(&self.vfs));
         let disk =
             DiskGraph::open_pooled(&entry.base, counter.clone(), &self.pool, entry.charge_bytes)?;
         // The base tables a durable graph references are immutable: finding
@@ -777,7 +936,9 @@ impl CoreService {
                     reason: format!("undersized journal record for {:?}", entry.name),
                 });
             }
-            let rseq = u64::from_le_bytes(record[..8].try_into().expect("length checked"));
+            let mut seq_bytes = [0u8; 8];
+            seq_bytes.copy_from_slice(&record[..8]);
+            let rseq = u64::from_le_bytes(seq_bytes);
             let op = MaintainOp::decode(&record[8..])?;
             if rseq <= ck.seq {
                 continue;
@@ -799,14 +960,9 @@ impl CoreService {
             seq,
             ck_seq: ck.seq,
         }));
-        self.registry().insert(
-            entry.name.clone(),
-            Slot {
-                handle,
-                format: entry.format,
-            },
-        );
-        d.entries.lock().expect("catalog entries poisoned").insert(
+        self.registry()
+            .insert(entry.name.clone(), Slot::new(handle, entry.format));
+        lock_meta(&d.entries).insert(
             entry.name.clone(),
             DurableEntry {
                 base: entry.base.clone(),
@@ -818,15 +974,48 @@ impl CoreService {
         Ok(())
     }
 
-    fn served(&self, name: &str) -> Result<Arc<Mutex<Served>>> {
-        self.registry()
-            .get(name)
-            .map(|s| Arc::clone(&s.handle))
-            .ok_or_else(|| not_serving(name))
+    /// Look the graph up and gate on quarantine, returning its handle plus
+    /// the shared quarantine flag (so the caller can trip it after this
+    /// registry guard is gone).
+    #[allow(clippy::type_complexity)]
+    fn served(&self, name: &str) -> Result<(Arc<Mutex<Served>>, Arc<Mutex<Option<String>>>)> {
+        let registry = self.registry();
+        let slot = registry.get(name).ok_or_else(|| not_serving(name))?;
+        if let Some(reason) = lock_meta(&slot.quarantine).clone() {
+            return Err(graphstore::Error::Quarantined {
+                graph: name.to_string(),
+                reason,
+            });
+        }
+        Ok((Arc::clone(&slot.handle), Arc::clone(&slot.quarantine)))
     }
 
     fn registry(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
-        self.graphs.lock().expect("service registry poisoned")
+        lock_meta(&self.graphs)
+    }
+}
+
+/// Lock a served graph, converting a poisoned mutex into quarantine. A
+/// panicking holder may have left the index mid-mutation, so — unlike the
+/// metadata maps — the state must **not** be recovered into; it is sealed
+/// off and the graph re-opened from its durable state instead.
+fn lock_served<'a>(
+    name: &str,
+    handle: &'a Mutex<Served>,
+    quarantine: &Mutex<Option<String>>,
+) -> Result<MutexGuard<'a, Served>> {
+    match handle.lock() {
+        Ok(guard) => Ok(guard),
+        Err(_) => {
+            let reason =
+                "a thread panicked while operating on this graph; in-memory state is untrusted"
+                    .to_string();
+            set_quarantine(quarantine, &reason);
+            Err(graphstore::Error::Quarantined {
+                graph: name.to_string(),
+                reason,
+            })
+        }
     }
 }
 
@@ -1042,6 +1231,82 @@ mod tests {
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn io_failure_quarantines_only_the_failing_graph() {
+        let dir = TempDir::new("svc-quarantine").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("sick", &dir.path().join("sick"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.create("well", &dir.path().join("well"), triangle_plus_tail(), 4)
+            .unwrap();
+        assert_eq!(svc.quarantine_reason("sick").unwrap(), None);
+
+        // An operation that fails with an I/O error trips quarantine…
+        let err = svc
+            .with_graph("sick", |_idx| -> Result<()> {
+                Err(graphstore::Error::Io(std::io::Error::other("injected")))
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, graphstore::Error::Io(_)),
+            "first failure surfaces as-is"
+        );
+
+        // …so every further operation is rejected with the typed error.
+        assert!(svc.kmax("sick").unwrap_err().is_quarantined());
+        assert!(svc.insert_edge("sick", 1, 3).unwrap_err().is_quarantined());
+        assert!(svc.quarantine_reason("sick").unwrap().is_some());
+
+        // Other tenants are untouched.
+        assert_eq!(svc.kmax("well").unwrap(), 2);
+        assert!(svc.verify("well").unwrap());
+
+        // Eviction bypasses quarantine and clears the slot for re-open.
+        svc.evict("sick").unwrap();
+        svc.open("sick", &dir.path().join("sick")).unwrap();
+        assert_eq!(svc.kmax("sick").unwrap(), 2);
+    }
+
+    #[test]
+    fn validation_errors_do_not_quarantine() {
+        let dir = TempDir::new("svc-quarantine").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        assert!(svc.insert_edge("a", 0, 1).is_err()); // duplicate
+        assert!(svc.core("a", 99).is_err()); // out of range
+        assert_eq!(svc.quarantine_reason("a").unwrap(), None);
+        assert_eq!(svc.kmax("a").unwrap(), 2, "graph keeps serving");
+    }
+
+    #[test]
+    fn poisoned_graph_lock_becomes_quarantine_not_a_crash() {
+        let dir = TempDir::new("svc-poison").unwrap();
+        let svc = Arc::new(CoreService::new(1 << 20).unwrap());
+        svc.create("p", &dir.path().join("p"), triangle_plus_tail(), 4)
+            .unwrap();
+        svc.create("q", &dir.path().join("q"), triangle_plus_tail(), 4)
+            .unwrap();
+        let svc2 = Arc::clone(&svc);
+        let panicked = std::thread::spawn(move || {
+            let _ = svc2.with_graph("p", |_idx| -> Result<()> {
+                panic!("simulated crash mid-operation");
+            });
+        })
+        .join();
+        assert!(panicked.is_err(), "the worker thread must have panicked");
+
+        // The poisoned graph is quarantined, not `.expect(...)`-fatal…
+        let err = svc.kmax("p").unwrap_err();
+        assert!(err.is_quarantined(), "got {err}");
+        // …the registry (locked by graph_names) recovered fine, and the
+        // other tenant still serves.
+        assert_eq!(svc.graph_names().len(), 2);
+        assert_eq!(svc.kmax("q").unwrap(), 2);
+        svc.evict("p").unwrap();
+        assert!(!svc.contains("p"));
     }
 
     #[test]

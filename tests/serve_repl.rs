@@ -1,0 +1,144 @@
+//! Smoke test of the `kcore serve` REPL binary: a session must survive
+//! failed commands — each reported as one structured `err <kind>: …` line —
+//! and keep answering correctly afterwards.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+use graphstore::{IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
+
+fn write_triangle_tail(base: &Path) {
+    let mem = MemGraph::from_edges(vec![(0u32, 1u32), (1, 2), (0, 2), (2, 3)], 4);
+    graphstore::write_mem_graph(base, &mem, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+}
+
+fn run_session(args: &[&str], script: &str) -> (String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_kcore"))
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn kcore serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("kcore serve exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn errors_are_structured_and_do_not_end_the_session() {
+    let dir = TempDir::new("repl").unwrap();
+    let base = dir.path().join("g");
+    write_triangle_tail(&base);
+
+    let script = "\
+core g 999\n\
+core g notanumber\n\
+insert g 0 1\n\
+kmax nosuchgraph\n\
+definitely not a command\n\
+kmax g\n\
+insert g 1 3\n\
+insert g 0 3\n\
+kmax g\n\
+quit\n";
+    let (stdout, ok) = run_session(&[&format!("g={}", base.display())], script);
+    assert!(ok, "session must exit cleanly, got:\n{stdout}");
+
+    // Every failure is one structured `err <kind>: …` line.
+    assert!(
+        stdout.contains("err range:"),
+        "out-of-range query:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("err usage: node id"),
+        "unparsable node id:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("err usage: invalid argument: edge (0, 1) already present"),
+        "duplicate insert:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("err usage: invalid argument: no graph named"),
+        "unknown graph:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("err usage: unrecognised command"),
+        "unknown command:\n{stdout}"
+    );
+
+    // The same session still serves correct answers *after* the errors:
+    // kmax twice (2 before the inserts, 3 after the K4-completing edges).
+    let answers: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with("kmax = "))
+        .collect();
+    assert_eq!(answers, vec!["kmax = 2", "kmax = 3"], "\n{stdout}");
+    let err_count = stdout.lines().filter(|l| l.starts_with("err ")).count();
+    assert_eq!(err_count, 5, "exactly one err line per failure:\n{stdout}");
+}
+
+#[test]
+fn fsck_reports_clean_directory_and_flags_damage() {
+    let dir = TempDir::new("repl-fsck").unwrap();
+    let base = dir.path().join("g");
+    write_triangle_tail(&base);
+    let data = dir.path().join("data");
+
+    // Seed a durable directory through one serve session.
+    let script = "insert g 1 3\nsave\nquit\n";
+    let (stdout, ok) = run_session(
+        &[
+            "--data-dir",
+            &data.display().to_string(),
+            &format!("g={}", base.display()),
+        ],
+        script,
+    );
+    assert!(ok, "durable session:\n{stdout}");
+
+    // Clean directory: fsck exits 0.
+    let clean = Command::new(env!("CARGO_BIN_EXE_kcore"))
+        .args(["fsck", &data.display().to_string()])
+        .output()
+        .expect("run fsck");
+    assert!(clean.status.success(), "clean fsck must exit 0");
+
+    // Tear the journal tail; fsck must fail, repair, then pass again.
+    use std::fs::OpenOptions;
+    let mut f = OpenOptions::new()
+        .append(true)
+        .open(data.join("g.wal"))
+        .unwrap();
+    f.write_all(&[0xba, 0xad]).unwrap();
+    drop(f);
+
+    let torn = Command::new(env!("CARGO_BIN_EXE_kcore"))
+        .args(["fsck", &data.display().to_string()])
+        .output()
+        .expect("run fsck");
+    assert!(!torn.status.success(), "torn tail must exit nonzero");
+    assert!(String::from_utf8_lossy(&torn.stdout).contains("torn journal tail"));
+
+    let repaired = Command::new(env!("CARGO_BIN_EXE_kcore"))
+        .args(["fsck", &data.display().to_string(), "--repair"])
+        .output()
+        .expect("run fsck --repair");
+    assert!(repaired.status.success(), "repair must clear the problem");
+
+    let after = Command::new(env!("CARGO_BIN_EXE_kcore"))
+        .args(["fsck", &data.display().to_string()])
+        .output()
+        .expect("run fsck");
+    assert!(after.status.success(), "directory clean after repair");
+}
