@@ -52,7 +52,10 @@ fn main() -> graphstore::Result<()> {
         64 << 20,
         EvictionPolicy::ScanLifo,
         ScanExecutor::Sequential,
-        DurableOptions { checkpoint_every },
+        DurableOptions {
+            checkpoint_every,
+            group_commit: None,
+        },
     )?;
     let t0 = Instant::now();
     svc.create("g", &base, g.edges(), n)?;

@@ -30,6 +30,18 @@ pub enum Error {
     InvalidArgument(String),
     /// The graph would exceed a structural limit (e.g. more than `u32::MAX` nodes).
     TooLarge(String),
+    /// The serving layer's admission controller shed this request: the
+    /// tenant's working set cannot be granted without blowing the
+    /// configured charge budget, and the wait queue is already full (or the
+    /// request alone exceeds the whole budget). Unlike [`Error::Quarantined`]
+    /// this is a *load* condition, not damage — retrying later, raising the
+    /// budget, or evicting idle tenants all clear it.
+    Overloaded {
+        /// Tenant (graph name) whose request was shed.
+        tenant: String,
+        /// Why admission refused it.
+        reason: String,
+    },
     /// The named graph has been quarantined by the serving layer: an earlier
     /// I/O failure, corruption, or a panicked operation left its in-memory
     /// state untrusted, so further operations are rejected until it is
@@ -52,6 +64,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::TooLarge(msg) => write!(f, "graph too large: {msg}"),
+            Error::Overloaded { tenant, reason } => {
+                write!(f, "tenant {tenant:?} overloaded: {reason}")
+            }
             Error::Quarantined { graph, reason } => {
                 write!(f, "graph {graph:?} is quarantined: {reason}")
             }
@@ -91,6 +106,12 @@ impl Error {
     pub fn is_quarantined(&self) -> bool {
         matches!(self, Error::Quarantined { .. })
     }
+
+    /// True when the error reports admission-control shedding (a load
+    /// condition that clears on its own, unlike quarantine).
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Error::Overloaded { .. })
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +137,16 @@ mod tests {
         };
         assert_eq!(e.to_string(), "graph \"g\" is quarantined: i/o failure");
         assert!(e.is_quarantined() && !e.is_corrupt());
+
+        let e = Error::Overloaded {
+            tenant: "t".into(),
+            reason: "admission queue full".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "tenant \"t\" overloaded: admission queue full"
+        );
+        assert!(e.is_overloaded() && !e.is_quarantined());
     }
 
     #[test]

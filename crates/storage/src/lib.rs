@@ -64,11 +64,14 @@ pub use graph::DiskGraph;
 pub use io::{IoCounter, IoSnapshot, DEFAULT_BLOCK_SIZE};
 pub use memgraph::{DynGraph, MemGraph};
 pub use partition::{LoadedPartition, PartitionStore};
-pub use pool::{working_set_charge_budget, PoolLease, SharedPool};
+pub use pool::{
+    working_set_charge_budget, AdmissionController, AdmissionPermit, PendingAdmission, PoolLease,
+    QosConfig, SharedPool,
+};
 pub use tempdir::TempDir;
 pub use update_buffer::{BufferedGraph, UpdateBuffer, DEFAULT_BUFFER_CAPACITY};
 pub use vfs::{FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
-pub use wal::{Wal, WalScan, WAL_MAGIC};
+pub use wal::{GroupCommitOptions, GroupCommitWal, Wal, WalScan, WAL_MAGIC};
 
 /// Node identifier. The paper's largest graph (978.4M nodes) fits in `u32`.
 pub type NodeId = u32;

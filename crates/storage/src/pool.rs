@@ -286,6 +286,358 @@ impl Drop for PoolLease {
     }
 }
 
+/// Scale factor for weighted-fair-queueing virtual time: a request's tag
+/// advance is `bytes * WFQ_SCALE / weight`, so weights act as bandwidth
+/// shares without losing precision on small requests.
+const WFQ_SCALE: u128 = 1 << 20;
+
+/// Configuration for the serving layer's [`AdmissionController`].
+#[derive(Debug, Clone, Copy)]
+pub struct QosConfig {
+    /// Combined working-set bytes the controller may admit at once —
+    /// conventionally the shared pool budget `M` (or a small multiple).
+    /// Admitting more than the pool can hold does not fail, it *thrashes*;
+    /// the controller queues or sheds instead.
+    pub capacity_bytes: u64,
+    /// Queued (admitted-later) requests allowed before new arrivals are
+    /// shed with [`Error::Overloaded`].
+    pub max_waiters: usize,
+}
+
+/// Per-tenant admission control over a shared charge budget.
+///
+/// The serving layer sizes each tenant's request by its *working set* (the
+/// graph's [`working_set_charge_budget`]) and asks the controller for a
+/// permit before touching the pool. The controller keeps the sum of
+/// admitted working sets within [`QosConfig::capacity_bytes`]:
+///
+/// * **Weighted fairness.** Queued requests are ordered by a
+///   weighted-fair-queueing tag — virtual time plus
+///   `bytes * WFQ_SCALE / weight` — and granted strictly min-tag-first with
+///   **no bypass**: a small request never jumps over a large one that was
+///   tagged earlier. That head-of-line discipline is the no-starvation
+///   guarantee — while a request waits, other tenants can only be granted
+///   bytes proportional to their weight (see the QoS proptest suite).
+/// * **Piggybacking.** Concurrent operations on the *same* tenant share one
+///   working set, so a tenant that is already admitted is granted
+///   immediately by refcount — no new bytes are charged.
+/// * **Shedding.** A request whose working set alone exceeds the whole
+///   budget, or that arrives when the queue is full, fails with
+///   [`Error::Overloaded`] — a load condition, not damage; the queue being
+///   non-empty already means the smallest-tag waiter does not fit.
+///
+/// [`AdmissionController::admit`] is the blocking entry point;
+/// [`AdmissionController::request`] + [`PendingAdmission::try_permit`] form
+/// a deterministic, single-threaded step API used by the property tests.
+#[derive(Debug)]
+pub struct AdmissionController {
+    state: Mutex<AdmissionState>,
+    cv: std::sync::Condvar,
+    capacity: u64,
+    max_waiters: usize,
+}
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    in_use: u64,
+    vtime: u128,
+    next_ticket: u64,
+    weights: std::collections::HashMap<String, u32>,
+    last_tag: std::collections::HashMap<String, u128>,
+    active: std::collections::HashMap<String, ActiveTenant>,
+    queue: Vec<Waiter>,
+    granted: std::collections::HashSet<u64>,
+}
+
+#[derive(Debug)]
+struct ActiveTenant {
+    refs: usize,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct Waiter {
+    ticket: u64,
+    tenant: String,
+    bytes: u64,
+    tag: u128,
+}
+
+fn lock_admission(m: &Mutex<AdmissionState>) -> std::sync::MutexGuard<'_, AdmissionState> {
+    // Admission state is plain counters and queues — a panicking waiter
+    // cannot leave it logically torn, so poison is recovered by adoption.
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl AdmissionController {
+    /// A controller enforcing `config`. Weights default to 1 until
+    /// [`AdmissionController::set_weight`] raises them.
+    pub fn new(config: QosConfig) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            state: Mutex::new(AdmissionState::default()),
+            cv: std::sync::Condvar::new(),
+            capacity: config.capacity_bytes,
+            max_waiters: config.max_waiters,
+        })
+    }
+
+    /// The configured budget ceiling.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently admitted (sum of active tenants' working sets).
+    /// Never exceeds [`AdmissionController::capacity_bytes`].
+    pub fn in_use_bytes(&self) -> u64 {
+        lock_admission(&self.state).in_use
+    }
+
+    /// Requests currently queued (tagged, not yet admitted).
+    pub fn queue_len(&self) -> usize {
+        lock_admission(&self.state).queue.len()
+    }
+
+    /// Sum of the queued requests' working-set bytes.
+    pub fn queued_demand_bytes(&self) -> u64 {
+        lock_admission(&self.state)
+            .queue
+            .iter()
+            .map(|w| w.bytes)
+            .sum()
+    }
+
+    /// Set `tenant`'s bandwidth share (minimum 1). A weight of `w` makes
+    /// the tenant's queued requests accumulate virtual time `w`× slower, so
+    /// under contention it is granted ~`w`× the bytes of a weight-1 tenant.
+    pub fn set_weight(&self, tenant: &str, weight: u32) {
+        lock_admission(&self.state)
+            .weights
+            .insert(tenant.to_string(), weight.max(1));
+    }
+
+    /// The tenant's configured weight (1 if never set).
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        lock_admission(&self.state)
+            .weights
+            .get(tenant)
+            .copied()
+            .unwrap_or(1)
+    }
+
+    /// Ask to admit `bytes` of working set for `tenant`. Returns a
+    /// [`PendingAdmission`] — possibly already granted (same-tenant
+    /// piggyback, or the budget has room and nobody is queued ahead) — or
+    /// [`Error::Overloaded`] when the request is shed.
+    pub fn request(self: &Arc<Self>, tenant: &str, bytes: u64) -> Result<PendingAdmission> {
+        let mut st = lock_admission(&self.state);
+        if bytes > self.capacity {
+            return Err(Error::Overloaded {
+                tenant: tenant.to_string(),
+                reason: format!(
+                    "working set of {bytes} B exceeds the whole {} B admission budget",
+                    self.capacity
+                ),
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        if let Some(active) = st.active.get_mut(tenant) {
+            // Piggyback: concurrent ops on one tenant share its working set.
+            active.refs += 1;
+            st.granted.insert(ticket);
+        } else {
+            let weight = u128::from(st.weights.get(tenant).copied().unwrap_or(1));
+            let start = st.vtime.max(st.last_tag.get(tenant).copied().unwrap_or(0));
+            let tag = start + u128::from(bytes) * WFQ_SCALE / weight;
+            if st.queue.is_empty() && st.in_use + bytes <= self.capacity {
+                st.last_tag.insert(tenant.to_string(), tag);
+                st.vtime = st.vtime.max(tag);
+                st.in_use += bytes;
+                st.active
+                    .insert(tenant.to_string(), ActiveTenant { refs: 1, bytes });
+                st.granted.insert(ticket);
+            } else if st.queue.len() >= self.max_waiters {
+                return Err(Error::Overloaded {
+                    tenant: tenant.to_string(),
+                    reason: format!("admission queue full ({} waiting)", st.queue.len()),
+                });
+            } else {
+                st.last_tag.insert(tenant.to_string(), tag);
+                st.queue.push(Waiter {
+                    ticket,
+                    tenant: tenant.to_string(),
+                    bytes,
+                    tag,
+                });
+                // The newcomer may itself hold the minimum tag *and* fit —
+                // then WFQ order says it goes now. The pass still stops at
+                // the first blocked minimum, so it can never leapfrog an
+                // earlier-tagged waiter.
+                self.grant_pass(&mut st);
+            }
+        }
+        drop(st);
+        Ok(PendingAdmission {
+            ctl: Arc::clone(self),
+            ticket,
+            tenant: tenant.to_string(),
+            claimed: false,
+        })
+    }
+
+    /// [`AdmissionController::request`] + [`PendingAdmission::wait`]: block
+    /// until admitted (or shed immediately).
+    pub fn admit(self: &Arc<Self>, tenant: &str, bytes: u64) -> Result<AdmissionPermit> {
+        Ok(self.request(tenant, bytes)?.wait())
+    }
+
+    /// Grant queued waiters strictly min-(tag, ticket) first. Stops at the
+    /// first waiter that neither piggybacks nor fits — no bypass, so a
+    /// blocked head is never starved by later small requests.
+    fn grant_pass(&self, st: &mut AdmissionState) {
+        while let Some(best) = st
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| (w.tag, w.ticket))
+            .map(|(i, _)| i)
+        {
+            let fits = {
+                let w = &st.queue[best];
+                st.active.contains_key(&w.tenant) || st.in_use + w.bytes <= self.capacity
+            };
+            if !fits {
+                break;
+            }
+            let w = st.queue.remove(best);
+            if let Some(active) = st.active.get_mut(&w.tenant) {
+                active.refs += 1;
+            } else {
+                st.in_use += w.bytes;
+                st.active.insert(
+                    w.tenant.clone(),
+                    ActiveTenant {
+                        refs: 1,
+                        bytes: w.bytes,
+                    },
+                );
+            }
+            st.vtime = st.vtime.max(w.tag);
+            st.granted.insert(w.ticket);
+        }
+    }
+
+    fn release(&self, tenant: &str) {
+        let mut st = lock_admission(&self.state);
+        let emptied = match st.active.get_mut(tenant) {
+            Some(active) => {
+                active.refs -= 1;
+                active.refs == 0
+            }
+            None => false,
+        };
+        if emptied {
+            if let Some(active) = st.active.remove(tenant) {
+                st.in_use = st.in_use.saturating_sub(active.bytes);
+            }
+        }
+        self.grant_pass(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn cancel(&self, ticket: u64, tenant: &str) {
+        let mut st = lock_admission(&self.state);
+        if st.granted.remove(&ticket) {
+            drop(st);
+            self.release(tenant);
+            return;
+        }
+        // Still queued: removing it may unblock the head of the line.
+        st.queue.retain(|w| w.ticket != ticket);
+        self.grant_pass(&mut st);
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// An admission request in flight: poll it ([`PendingAdmission::try_permit`])
+/// or block on it ([`PendingAdmission::wait`]). Dropping it un-asks — the
+/// queued entry is removed, or the grant is released if it already landed.
+#[derive(Debug)]
+pub struct PendingAdmission {
+    ctl: Arc<AdmissionController>,
+    ticket: u64,
+    tenant: String,
+    claimed: bool,
+}
+
+impl PendingAdmission {
+    /// Non-blocking poll: the permit, if the grant has landed.
+    pub fn try_permit(&mut self) -> Option<AdmissionPermit> {
+        let mut st = lock_admission(&self.ctl.state);
+        if st.granted.remove(&self.ticket) {
+            drop(st);
+            self.claimed = true;
+            Some(AdmissionPermit {
+                ctl: Arc::clone(&self.ctl),
+                tenant: self.tenant.clone(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Block until the grant lands.
+    pub fn wait(mut self) -> AdmissionPermit {
+        let mut st = lock_admission(&self.ctl.state);
+        while !st.granted.contains(&self.ticket) {
+            st = self
+                .ctl
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.granted.remove(&self.ticket);
+        drop(st);
+        self.claimed = true;
+        AdmissionPermit {
+            ctl: Arc::clone(&self.ctl),
+            tenant: self.tenant.clone(),
+        }
+    }
+}
+
+impl Drop for PendingAdmission {
+    fn drop(&mut self) {
+        if !self.claimed {
+            self.ctl.cancel(self.ticket, &self.tenant);
+        }
+    }
+}
+
+/// A granted admission: the tenant's working set is charged against the
+/// budget until the permit drops (last permit out releases the bytes and
+/// wakes the queue).
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    ctl: Arc<AdmissionController>,
+    tenant: String,
+}
+
+impl AdmissionPermit {
+    /// The tenant this permit admits.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.ctl.release(&self.tenant);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,5 +712,125 @@ mod tests {
         let lease = clone.register(2).unwrap();
         assert_eq!(pool.registered_graphs(), 1);
         assert_eq!(lease.file_count(), 2);
+    }
+
+    fn qos(capacity_bytes: u64, max_waiters: usize) -> Arc<AdmissionController> {
+        AdmissionController::new(QosConfig {
+            capacity_bytes,
+            max_waiters,
+        })
+    }
+
+    #[test]
+    fn admission_grants_and_releases_budget() {
+        let ctl = qos(100, 4);
+        let a = ctl.admit("a", 60).unwrap();
+        assert_eq!(ctl.in_use_bytes(), 60);
+        let b = ctl.admit("b", 40).unwrap();
+        assert_eq!(ctl.in_use_bytes(), 100);
+        drop(a);
+        assert_eq!(ctl.in_use_bytes(), 40);
+        drop(b);
+        assert_eq!(ctl.in_use_bytes(), 0);
+    }
+
+    #[test]
+    fn same_tenant_piggybacks_without_new_bytes() {
+        let ctl = qos(100, 4);
+        let first = ctl.admit("a", 90).unwrap();
+        // A second op on the same graph shares the working set: admitted
+        // immediately even though 90 + 90 > 100.
+        let second = ctl.admit("a", 90).unwrap();
+        assert_eq!(ctl.in_use_bytes(), 90);
+        drop(first);
+        assert_eq!(ctl.in_use_bytes(), 90, "still one ref holding the bytes");
+        drop(second);
+        assert_eq!(ctl.in_use_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_and_queue_full_requests_are_shed_typed() {
+        let ctl = qos(100, 1);
+        let err = ctl.admit("big", 101).unwrap_err();
+        assert!(err.is_overloaded(), "whole-budget overflow: {err}");
+
+        let _held = ctl.admit("a", 100).unwrap();
+        let _waiting = ctl.request("b", 50).unwrap();
+        assert_eq!(ctl.queue_len(), 1);
+        let err = ctl.request("c", 50).unwrap_err();
+        assert!(err.is_overloaded(), "queue full: {err}");
+        assert_eq!(ctl.queued_demand_bytes(), 50);
+    }
+
+    #[test]
+    fn queued_requests_grant_min_tag_first_without_bypass() {
+        // Tags in WFQ_SCALE units; vtime is 100 after the hog's grant:
+        // a = 100 + 80/8 = 110, b = 100 + 80/4 = 120, c = 100 + 10/1 = 110
+        // (ties broken by arrival, so a precedes c).
+        let ctl = qos(100, 8);
+        let held = ctl.admit("hog", 100).unwrap();
+        ctl.set_weight("a", 8);
+        ctl.set_weight("b", 4);
+        let mut a = ctl.request("a", 80).unwrap();
+        let mut b = ctl.request("b", 80).unwrap();
+        let mut c = ctl.request("c", 10).unwrap();
+        // Budget is exhausted: nobody is granted yet, smallest tag or not.
+        assert!(a.try_permit().is_none());
+        drop(held);
+        // Grant order is strictly by (tag, arrival): a (110) then c (110)
+        // fit; b (120) blocks at 80 + 10 + 80 > 100.
+        let pa = a.try_permit().expect("min tag granted first");
+        let pc = c.try_permit().expect("tie-broken next, and it fits");
+        assert!(b.try_permit().is_none(), "largest tag still blocked");
+        assert_eq!(ctl.in_use_bytes(), 90);
+        // A brand-new request now tags at 120 too (vtime is 110 + 10/1),
+        // tying b but arriving later — it fits the free 10 B yet must not
+        // leapfrog the blocked head.
+        let mut late = ctl.request("late", 10).unwrap();
+        assert!(late.try_permit().is_none(), "no bypass past a blocked head");
+        drop(late);
+        drop(pa);
+        // Cancelling `late` and freeing a's 80 B re-runs the pass: b fits.
+        let pb = b.try_permit();
+        assert!(pb.is_some(), "head unblocks once budget frees");
+        drop(pc);
+        assert_eq!(ctl.in_use_bytes(), 80);
+    }
+
+    #[test]
+    fn dropping_a_queued_request_unblocks_the_line() {
+        // b (weight 8) tags at 60 + 80/8 = 70; c at 60 + 30/1 = 90 — so b
+        // is the minimum-tag head, blocked at 60 + 80 > 100, and c (which
+        // would fit) waits behind it.
+        let ctl = qos(100, 8);
+        let held = ctl.admit("a", 60).unwrap();
+        ctl.set_weight("b", 8);
+        let blocked = ctl.request("b", 80).unwrap();
+        let mut behind = ctl.request("c", 30).unwrap();
+        assert!(behind.try_permit().is_none(), "blocked behind b");
+        drop(blocked);
+        let pc = behind.try_permit();
+        assert!(pc.is_some(), "cancelling the head re-runs the grant pass");
+        drop(held);
+        assert_eq!(ctl.in_use_bytes(), 30);
+        assert_eq!(ctl.queue_len(), 0);
+    }
+
+    #[test]
+    fn blocking_wait_wakes_on_release() {
+        let ctl = qos(100, 8);
+        let held = ctl.admit("a", 100).unwrap();
+        let ctl2 = Arc::clone(&ctl);
+        let waiter = std::thread::spawn(move || {
+            let permit = ctl2.admit("b", 50).unwrap();
+            drop(permit);
+        });
+        // Give the waiter time to enqueue, then free the budget.
+        while ctl.queue_len() == 0 {
+            std::thread::yield_now();
+        }
+        drop(held);
+        waiter.join().unwrap();
+        assert_eq!(ctl.in_use_bytes(), 0);
     }
 }

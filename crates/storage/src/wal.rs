@@ -33,7 +33,8 @@
 //! model counts blocks, not barriers.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 use crate::codec;
 use crate::error::{Error, Result};
@@ -143,6 +144,27 @@ impl Wal {
     /// record. If even that cleanup fails, the journal poisons itself and
     /// refuses further appends (reopening the file recovers).
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        self.append_inner(payload, true)
+    }
+
+    /// [`Wal::append`] without the fsync: the record is written (and
+    /// charged) but **not yet durable** — a crash can lose it even after
+    /// this returns `Ok`. This is the building block of group commit: a
+    /// batch of unsynced appends followed by one [`Wal::sync`] (or, across
+    /// threads, a [`GroupCommitWal`]) pays one barrier for the lot. The
+    /// failure cleanup is identical to [`Wal::append`].
+    pub fn append_unsynced(&mut self, payload: &[u8]) -> Result<()> {
+        self.append_inner(payload, false)
+    }
+
+    /// Fsync the journal file: every record appended so far — synced or
+    /// not — is durable when this returns `Ok`.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    fn append_inner(&mut self, payload: &[u8], sync: bool) -> Result<()> {
         if self.poisoned {
             return Err(Error::Io(std::io::Error::other(format!(
                 "journal {} is poisoned by an earlier failed append; reopen it",
@@ -159,10 +181,16 @@ impl Wal {
         rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         rec.extend_from_slice(&codec::crc32(payload).to_le_bytes());
         rec.extend_from_slice(payload);
-        let written = self
-            .file
-            .write_all(&rec)
-            .and_then(|()| self.file.sync_all());
+        let written =
+            self.file.write_all(&rec).and_then(
+                |()| {
+                    if sync {
+                        self.file.sync_all()
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
         if let Err(e) = written {
             // The truncation must itself be fsynced: set_len alone lives in
             // the page cache, and a crash after writeback persisted the
@@ -236,6 +264,253 @@ impl Wal {
         }
         self.counter.charge_write(blocks, bytes);
         self.pos = end;
+    }
+}
+
+/// Tuning knobs for a [`GroupCommitWal`].
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitOptions {
+    /// How long an fsync leader waits before capturing its batch, giving
+    /// concurrent submitters time to land their records in the same
+    /// barrier. Zero disables the gather window (the leader still absorbs
+    /// every record written before its fsync starts, so batching under
+    /// load happens either way — the window just widens the batch at the
+    /// cost of per-op latency).
+    pub max_delay: Duration,
+}
+
+impl Default for GroupCommitOptions {
+    fn default() -> Self {
+        GroupCommitOptions {
+            max_delay: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Follower wait quantum: a bounded condvar wait so a waiter re-checks for
+/// leadership even in the (theoretical) event of a missed wakeup.
+const FOLLOWER_WAIT: Duration = Duration::from_millis(20);
+
+/// Lock one of the group's metadata mutexes, recovering from poison. Every
+/// protected structure here is updated in single assignments (counters,
+/// flags) or by [`Wal`] methods that restore their own invariants on
+/// failure, so adopting a panicking holder's state is safe.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A [`Wal`] shared by concurrent writers with **group commit**: records
+/// are appended without an fsync ([`GroupCommitWal::submit`]) and made
+/// durable in batches by [`GroupCommitWal::wait_durable`], which elects one
+/// waiting thread the *leader* — it issues a single fsync covering every
+/// record written up to that instant, and all *followers* whose records
+/// the barrier covered return without ever touching the disk. A high-rate
+/// update stream thus pays one fsync per batch instead of one per op.
+///
+/// ## Protocol
+///
+/// Appends go to the journal's write handle under the append lock; the
+/// fsync goes to a **second handle on the same file** (POSIX `fsync`
+/// flushes the inode, not the descriptor's own writes), so submitters keep
+/// appending *while* the leader's barrier is in flight — that overlap is
+/// where the batching comes from. Leadership is a `try_lock` on the
+/// committer handle: whoever gets it sleeps `max_delay` (the gather
+/// window), snapshots the highest written LSN, fsyncs, publishes it as the
+/// durable LSN and wakes everyone. Woken waiters whose LSN is still not
+/// durable loop and elect the next leader.
+///
+/// ## Crash window
+///
+/// An op is *acknowledged* only once its LSN is ≤ the durable LSN. A crash
+/// loses the unsynced suffix — possibly several submitted-but-unacked
+/// records — and [`Wal::open`] truncates any torn tail, so recovery always
+/// observes a clean **prefix** of the submit order that covers at least
+/// every acknowledged record: acked-prefix, or acked-prefix plus some
+/// still-in-flight records, never a gap and never a partially-acked batch.
+///
+/// A checkpoint elsewhere can make pending records durable through a
+/// different file; [`GroupCommitWal::truncate_satisfy`] is the hook that
+/// then empties the journal and releases every waiter successfully.
+#[derive(Debug)]
+pub struct GroupCommitWal {
+    /// The journal and the LSN allocator, under the append lock.
+    append: Mutex<GroupAppend>,
+    /// Second handle to the same file, used only for fsync. Held (blocking
+    /// out other leaders, but **not** submitters) for the duration of each
+    /// barrier.
+    committer: Mutex<Box<dyn VfsFile>>,
+    /// Durability watermarks and the sticky barrier error.
+    progress: Mutex<Progress>,
+    /// Wakes followers when the durable LSN advances (or a barrier fails).
+    cv: Condvar,
+    opts: GroupCommitOptions,
+}
+
+#[derive(Debug)]
+struct GroupAppend {
+    wal: Wal,
+    /// LSN handed to the next submit. LSNs are 1-based and never reused —
+    /// a rolled-back record's LSN stays consumed, so a stale durable
+    /// watermark can never vouch for a record that was never written.
+    next_lsn: u64,
+}
+
+#[derive(Debug)]
+struct Progress {
+    /// Highest LSN covered by a completed barrier (or checkpoint).
+    durable_lsn: u64,
+    /// Highest LSN whose record is written (the next barrier's target).
+    written_lsn: u64,
+    /// First barrier failure, sticky: once an fsync fails the journal's
+    /// durable frontier is unknowable, so every outstanding and future
+    /// wait reports it (the serving layer quarantines the graph).
+    sync_error: Option<String>,
+}
+
+impl GroupCommitWal {
+    /// Wrap `wal` for group commit, opening the second (fsync) handle on
+    /// the same file through the journal's own [`Vfs`](crate::Vfs).
+    pub fn wrap(wal: Wal, opts: GroupCommitOptions) -> Result<GroupCommitWal> {
+        let committer = wal.counter.vfs().open_read_write(&wal.path)?;
+        Ok(GroupCommitWal {
+            append: Mutex::new(GroupAppend { wal, next_lsn: 1 }),
+            committer: Mutex::new(committer),
+            progress: Mutex::new(Progress {
+                durable_lsn: 0,
+                written_lsn: 0,
+                sync_error: None,
+            }),
+            cv: Condvar::new(),
+            opts,
+        })
+    }
+
+    /// Append one record *without* a barrier and return its LSN. The
+    /// record is not durable until [`GroupCommitWal::wait_durable`] (or a
+    /// checkpoint via [`GroupCommitWal::truncate_satisfy`]) covers the
+    /// returned LSN.
+    pub fn submit(&self, payload: &[u8]) -> Result<u64> {
+        let mut ap = relock(&self.append);
+        ap.wal.append_unsynced(payload)?;
+        let lsn = ap.next_lsn;
+        ap.next_lsn += 1;
+        drop(ap);
+        let mut p = relock(&self.progress);
+        p.written_lsn = p.written_lsn.max(lsn);
+        Ok(lsn)
+    }
+
+    /// The journal's current byte watermark (for
+    /// [`GroupCommitWal::rollback_to`]).
+    pub fn mark(&self) -> u64 {
+        relock(&self.append).wal.len_bytes()
+    }
+
+    /// Durably discard the bytes appended since `mark` — the undo for a
+    /// submit whose higher-level application then failed. The rolled-back
+    /// record's LSN stays consumed (LSNs are never reissued); callers
+    /// must hold whatever higher-level lock serializes submits, so the
+    /// discarded bytes are always the newest ones.
+    pub fn rollback_to(&self, mark: u64) -> Result<()> {
+        relock(&self.append).wal.rollback_to(mark)
+    }
+
+    /// Block until every record up to `lsn` is durable — acknowledged by a
+    /// completed fsync barrier or absorbed into a checkpoint. With
+    /// `gather`, a thread elected leader waits the configured `max_delay`
+    /// before its barrier so concurrent submits can join the batch; without
+    /// it the barrier is issued immediately (explicit flushes).
+    pub fn wait_durable(&self, lsn: u64, gather: bool) -> Result<()> {
+        loop {
+            {
+                let p = relock(&self.progress);
+                if let Some(e) = barrier_error(&p, lsn) {
+                    return Err(e);
+                }
+                if p.durable_lsn >= lsn {
+                    return Ok(());
+                }
+            }
+            if let Ok(mut file) = self.committer.try_lock() {
+                // Leader: gather, snapshot the batch, one barrier for all.
+                if gather && !self.opts.max_delay.is_zero() {
+                    std::thread::sleep(self.opts.max_delay);
+                }
+                let target = {
+                    let p = relock(&self.progress);
+                    if p.durable_lsn >= lsn && p.sync_error.is_none() {
+                        // A checkpoint satisfied everyone mid-election.
+                        continue;
+                    }
+                    p.written_lsn
+                };
+                let res = file.sync_all();
+                drop(file);
+                let mut p = relock(&self.progress);
+                match res {
+                    Ok(()) => p.durable_lsn = p.durable_lsn.max(target),
+                    Err(e) => {
+                        if p.sync_error.is_none() {
+                            p.sync_error = Some(e.to_string());
+                        }
+                    }
+                }
+                self.cv.notify_all();
+                if let Some(e) = barrier_error(&p, lsn) {
+                    return Err(e);
+                }
+                if p.durable_lsn >= lsn {
+                    return Ok(());
+                }
+                // Our record landed after the snapshot; go around again.
+            } else {
+                // Follower: wait for the current leader's barrier. The
+                // bounded wait means a waiter never hangs on a missed
+                // wakeup; it just re-checks and stands for election.
+                let mut p = relock(&self.progress);
+                while p.durable_lsn < lsn && p.sync_error.is_none() {
+                    let (guard, timeout) = self
+                        .cv
+                        .wait_timeout(p, FOLLOWER_WAIT)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    p = guard;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Empty the journal after a checkpoint has made every submitted
+    /// record durable elsewhere: truncate the file and release all
+    /// outstanding waiters successfully (their ops are covered by the
+    /// checkpoint, which is already durably in place when this is called).
+    pub fn truncate_satisfy(&self) -> Result<()> {
+        let mut ap = relock(&self.append);
+        ap.wal.truncate()?;
+        drop(ap);
+        let mut p = relock(&self.progress);
+        p.durable_lsn = p.durable_lsn.max(p.written_lsn);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Highest LSN covered by a completed barrier or checkpoint.
+    pub fn durable_lsn(&self) -> u64 {
+        relock(&self.progress).durable_lsn
+    }
+}
+
+/// The sticky barrier failure as a typed error, if `lsn` is past the
+/// durable frontier (records at or below it were acknowledged by a barrier
+/// that *did* complete, so they stay good).
+fn barrier_error(p: &Progress, lsn: u64) -> Option<Error> {
+    match &p.sync_error {
+        Some(e) if lsn > p.durable_lsn => Some(Error::Io(std::io::Error::other(format!(
+            "group-commit barrier failed: {e}"
+        )))),
+        _ => None,
     }
 }
 
@@ -452,6 +727,171 @@ mod tests {
         let mut w = Wal::create(&wal_path(&dir), counter()).unwrap();
         let huge = vec![0u8; MAX_RECORD_LEN + 1];
         assert!(w.append(&huge).is_err());
+    }
+
+    fn fault_counter(plan: crate::vfs::FaultPlan) -> (Arc<crate::vfs::FaultVfs>, Arc<IoCounter>) {
+        let vfs = crate::vfs::FaultVfs::new(plan);
+        let counter = IoCounter::with_vfs(
+            DEFAULT_BLOCK_SIZE,
+            Arc::clone(&vfs) as Arc<dyn crate::vfs::Vfs>,
+        );
+        (vfs, counter)
+    }
+
+    #[test]
+    fn group_commit_one_barrier_covers_many_submits() {
+        let dir = TempDir::new("gwal").unwrap();
+        let path = wal_path(&dir);
+        let (vfs, fc) = fault_counter(crate::vfs::FaultPlan::default());
+        let wal = Wal::create(&path, fc).unwrap();
+        let group = GroupCommitWal::wrap(wal, GroupCommitOptions::default()).unwrap();
+
+        let before = vfs.sync_events();
+        let mut last = 0;
+        for payload in [b"a".as_slice(), b"bb", b"ccc", b"dddd", b"eeeee"] {
+            last = group.submit(payload).unwrap();
+        }
+        assert_eq!(group.durable_lsn(), 0, "nothing durable before the barrier");
+        group.wait_durable(last, false).unwrap();
+        assert_eq!(
+            vfs.sync_events() - before,
+            1,
+            "five submits, one fsync barrier"
+        );
+        assert_eq!(group.durable_lsn(), last);
+        // Waiting again is free: the watermark already covers it.
+        group.wait_durable(last, false).unwrap();
+        assert_eq!(vfs.sync_events() - before, 1);
+
+        drop(group);
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                b"a".to_vec(),
+                b"bb".to_vec(),
+                b"ccc".to_vec(),
+                b"dddd".to_vec(),
+                b"eeeee".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    fn group_commit_concurrent_submitters_all_recover_in_submit_order() {
+        let dir = TempDir::new("gwal-mt").unwrap();
+        let path = wal_path(&dir);
+        let (vfs, fc) = fault_counter(crate::vfs::FaultPlan::default());
+        let wal = Wal::create(&path, fc).unwrap();
+        let group = Arc::new(
+            GroupCommitWal::wrap(
+                wal,
+                GroupCommitOptions {
+                    max_delay: Duration::from_micros(500),
+                },
+            )
+            .unwrap(),
+        );
+
+        let before = vfs.sync_events();
+        const THREADS: u8 = 4;
+        const OPS: u8 = 16;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let g = Arc::clone(&group);
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        let lsn = g.submit(&[t, i]).unwrap();
+                        g.wait_durable(lsn, true).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = u64::from(THREADS) * u64::from(OPS);
+        assert_eq!(group.durable_lsn(), total);
+        let barriers = vfs.sync_events() - before;
+        assert!(
+            (1..=total).contains(&barriers),
+            "{barriers} barriers for {total} ops"
+        );
+
+        drop(group);
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records.len(), total as usize);
+        // Per-thread subsequences stay in program order (appends happen
+        // under the append lock in LSN order).
+        for t in 0..THREADS {
+            let seen: Vec<u8> = records.iter().filter(|r| r[0] == t).map(|r| r[1]).collect();
+            assert_eq!(seen, (0..OPS).collect::<Vec<u8>>());
+        }
+    }
+
+    #[test]
+    fn group_commit_truncate_satisfy_releases_waiters() {
+        let dir = TempDir::new("gwal").unwrap();
+        let path = wal_path(&dir);
+        let wal = Wal::create(&path, counter()).unwrap();
+        let group = GroupCommitWal::wrap(wal, GroupCommitOptions::default()).unwrap();
+        for p in [b"x".as_slice(), b"y"] {
+            group.submit(p).unwrap();
+        }
+        group.truncate_satisfy().unwrap();
+        // Both records are covered (by the caller's checkpoint) without a
+        // barrier of their own, and the journal is empty again.
+        group.wait_durable(2, false).unwrap();
+        assert_eq!(group.mark(), WAL_MAGIC.len() as u64);
+        let lsn = group.submit(b"z").unwrap();
+        assert_eq!(lsn, 3, "LSNs keep counting across truncation");
+        group.wait_durable(lsn, false).unwrap();
+        drop(group);
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records, vec![b"z".to_vec()]);
+    }
+
+    #[test]
+    fn group_commit_rollback_discards_record_but_consumes_its_lsn() {
+        let dir = TempDir::new("gwal").unwrap();
+        let path = wal_path(&dir);
+        let wal = Wal::create(&path, counter()).unwrap();
+        let group = GroupCommitWal::wrap(wal, GroupCommitOptions::default()).unwrap();
+        let first = group.submit(b"kept").unwrap();
+        let mark = group.mark();
+        group.submit(b"doomed").unwrap();
+        group.rollback_to(mark).unwrap();
+        group.wait_durable(first, false).unwrap();
+        let third = group.submit(b"after").unwrap();
+        assert_eq!(third, 3, "rolled-back LSN 2 is consumed, not reused");
+        group.wait_durable(third, false).unwrap();
+        drop(group);
+        let (_w, records) = Wal::open(&path, counter()).unwrap();
+        assert_eq!(records, vec![b"kept".to_vec(), b"after".to_vec()]);
+    }
+
+    #[test]
+    fn group_commit_failed_barrier_is_sticky_but_acked_prefix_stays_good() {
+        let dir = TempDir::new("gwal").unwrap();
+        let path = wal_path(&dir);
+        let (vfs, c) = fault_counter(crate::vfs::FaultPlan::default());
+        let wal = Wal::create(&path, c).unwrap();
+        let group = GroupCommitWal::wrap(wal, GroupCommitOptions::default()).unwrap();
+        let acked = group.submit(b"acked").unwrap();
+        group.wait_durable(acked, false).unwrap();
+
+        // The next barrier fails: its op errors, and so does every later
+        // wait — the durable frontier is no longer knowable.
+        vfs.set_plan(crate::vfs::FaultPlan {
+            fail_fsync: Some(1),
+            ..crate::vfs::FaultPlan::default()
+        });
+        let lost = group.submit(b"lost").unwrap();
+        assert!(group.wait_durable(lost, false).is_err());
+        let after = group.submit(b"after").unwrap();
+        assert!(group.wait_durable(after, false).is_err(), "sticky");
+        // …but anything acknowledged before the failure stays acknowledged.
+        group.wait_durable(acked, false).unwrap();
     }
 
     #[test]

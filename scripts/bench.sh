@@ -20,6 +20,7 @@ threads_out="$(pwd)/${prefix}_threads.json"
 multigraph_out="$(pwd)/${prefix}_multigraph.json"
 recovery_out="$(pwd)/${prefix}_recovery.json"
 compress_out="$(pwd)/${prefix}_compress.json"
+serve_out="$(pwd)/${prefix}_serve.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -66,5 +67,13 @@ echo "# bench run ${stamp} @ ${rev}" >> "${compress_out}"
 run_target ablation_compress \
     cargo run --release -q -p kcore-bench --bin ablation_compress -- --json "${compress_out}"
 
+# Multi-client serving: ops/sec, p99 and fsync counts for fsync-per-op vs
+# group commit. The binary is the group-commit regression gate: it exits
+# non-zero if batching does not beat per-op durability at the multi-client
+# point (throughput and fsyncs both).
+echo "# bench run ${stamp} @ ${rev}" >> "${serve_out}"
+run_target serve_load \
+    cargo run --release -q -p kcore-bench --bin serve_load -- --json "${serve_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out} and ${compress_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out} and ${serve_out}"

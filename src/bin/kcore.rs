@@ -7,8 +7,9 @@
 //! kcore query  <graph-base> --k 8            print the k-core's nodes/components
 //! kcore stats  <graph-base>                  core profile (onion levels, nucleus)
 //! kcore serve  [--budget-mb M] [--workers N] [--policy lru|scanlifo]
-//!              [--data-dir DIR] [name=graph-base ...]
-//!                                            serve many graphs on one budget
+//!              [--data-dir DIR] [--listen ADDR] [--max-conns N]
+//!              [--qos-mb M] [--qos-queue N] [--group-commit-us U]
+//!              [name=graph-base ...]         serve many graphs on one budget
 //! kcore fsck   <data-dir> [--repair]         check (and repair) a durable dir
 //! ```
 //!
@@ -21,17 +22,28 @@
 //! `kcore serve` starts a [`CoreService`]: every named graph is opened
 //! against one process-wide pool of `--budget-mb` MiB, then commands are
 //! read line by line from stdin (`open`, `core`, `kmax`, `insert`,
-//! `delete`, `stats`, `graphs`, `save`, `verify`, `pool`, `evict`, `quit`
-//! — see `help`). With `--data-dir DIR` the registry is durable: every
-//! maintenance op is journaled before it is applied, and restarting with
-//! the same directory restores every graph — maintained cores included —
-//! without re-decomposing (the directory's catalog then also supplies the
-//! pool budget and policy, so those flags are ignored on reopen).
+//! `delete`, `stats`, `weight`, `qos`, `graphs`, `save`, `verify`,
+//! `pool`, `evict`, `quit` — see `help`). With `--data-dir DIR` the
+//! registry is durable: every maintenance op is journaled before it is
+//! applied, and restarting with the same directory restores every graph —
+//! maintained cores included — without re-decomposing (the directory's
+//! catalog then also supplies the pool budget and policy, so those flags
+//! are ignored on reopen). `--group-commit-us U` (durable mode only)
+//! batches concurrent journal fsyncs into one barrier with a `U`-µs
+//! gather window.
+//!
+//! `--listen ADDR` additionally serves the same line protocol over TCP
+//! (thread per connection, at most `--max-conns` of them) while stdin
+//! keeps working as a local admin console. `--qos-mb M` caps admitted
+//! working sets at `M` MiB across all clients: requests beyond the budget
+//! queue weighted-fair (`weight <name> <w>` favours a tenant), and
+//! requests that cannot queue are shed with `err overloaded`.
 //!
 //! The REPL never dies on a failed command: every error is reported as one
 //! structured `err <kind>: <detail>` line (kinds: `io`, `corrupt`,
-//! `quarantined`, `range`, `usage`, `limit`) and the session keeps
-//! reading, so a scripted driver can match on the prefix and carry on.
+//! `quarantined`, `range`, `usage`, `limit`, `overloaded`) and the
+//! session keeps reading, so a scripted driver can match on the prefix
+//! and carry on.
 //!
 //! `kcore fsck` walks a durable data directory offline: catalog, base
 //! tables (full adjacency walk), checkpoints and journals. `--repair`
@@ -40,14 +52,20 @@
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
-use graphstore::{edgelist, DiskGraph, EvictionPolicy, IoCounter, DEFAULT_BLOCK_SIZE};
+use graphstore::{
+    edgelist, DiskGraph, EvictionPolicy, GroupCommitOptions, IoCounter, QosConfig,
+    DEFAULT_BLOCK_SIZE,
+};
 use kcore_suite::semicore::{self, analysis, DecomposeOptions, EmCoreOptions, ScanExecutor};
+use kcore_suite::server::{dispatch, Server, ServerOptions};
 use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]"
+        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR]\n              [--listen ADDR] [--max-conns N] [--qos-mb M] [--qos-queue N]\n              [--group-commit-us U] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]"
     );
     std::process::exit(2)
 }
@@ -234,11 +252,22 @@ fn fsck_cmd(args: &[String]) -> graphstore::Result<()> {
 
 /// The value-taking flags of `kcore serve` — the single list both the
 /// flag parsers and the positional-argument scan below work from.
-const SERVE_FLAGS: [&str; 4] = ["--budget-mb", "--workers", "--policy", "--data-dir"];
+const SERVE_FLAGS: [&str; 9] = [
+    "--budget-mb",
+    "--workers",
+    "--policy",
+    "--data-dir",
+    "--listen",
+    "--max-conns",
+    "--qos-mb",
+    "--qos-queue",
+    "--group-commit-us",
+];
 
-/// `kcore serve`: a [`CoreService`] REPL over stdin. Non-interactive use
-/// pipes a command script in; every response is a single line, errors are
-/// reported and do not end the session.
+/// `kcore serve`: a [`CoreService`] REPL over stdin, optionally also
+/// served over TCP with `--listen`. Non-interactive use pipes a command
+/// script in; every response is a single line, errors are reported and do
+/// not end the session.
 fn serve(args: &[String]) -> graphstore::Result<()> {
     // A trailing flag with its value forgotten would otherwise be
     // indistinguishable from an absent flag and silently get the default.
@@ -264,15 +293,28 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
         Some("scanlifo") | None => EvictionPolicy::ScanLifo,
         Some(_) => usage(),
     };
+    // `--group-commit-us U` batches concurrent journal fsyncs; it only
+    // means anything when there is a journal, i.e. with `--data-dir`.
+    let group_commit = match arg_value(args, SERVE_FLAGS[8]).map(|v| v.parse::<u64>()) {
+        Some(Ok(us)) => Some(GroupCommitOptions {
+            max_delay: Duration::from_micros(us),
+        }),
+        Some(Err(_)) => usage(),
+        None => None,
+    };
+    if group_commit.is_some() && arg_value(args, SERVE_FLAGS[3]).is_none() {
+        eprintln!("--group-commit-us requires --data-dir (there is no journal without one)");
+        usage()
+    }
+    let durable_opts = kcore_suite::DurableOptions {
+        group_commit,
+        ..kcore_suite::DurableOptions::default()
+    };
     let svc = match arg_value(args, SERVE_FLAGS[3]) {
         Some(dir) => {
             let dir = Path::new(&dir);
             if graphstore::Catalog::exists_in(dir) {
-                let svc = CoreService::open_catalog_with(
-                    dir,
-                    exec,
-                    kcore_suite::DurableOptions::default(),
-                )?;
+                let svc = CoreService::open_catalog_with(dir, exec, durable_opts)?;
                 println!(
                     "reopened catalog {} ({} MiB pool from manifest): restored [{}]",
                     dir.display(),
@@ -287,7 +329,7 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
                     budget_mb << 20,
                     policy,
                     exec,
-                    kcore_suite::DurableOptions::default(),
+                    durable_opts,
                 )?;
                 println!(
                     "serving durably from {} on a {budget_mb} MiB shared pool ({policy:?}, {exec:?})",
@@ -304,6 +346,39 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
             svc
         }
     };
+    let svc = Arc::new(svc);
+
+    // `--qos-mb M` turns on per-tenant admission control over the charge
+    // budget; `--qos-queue N` bounds how many requests may wait (default
+    // 16) and is meaningless without a budget to wait for.
+    let qos_mb = match arg_value(args, SERVE_FLAGS[6]).map(|v| v.parse::<u64>()) {
+        Some(Ok(mb)) => Some(mb),
+        Some(Err(_)) => usage(),
+        None => None,
+    };
+    let qos_queue = match arg_value(args, SERVE_FLAGS[7]).map(|v| v.parse::<usize>()) {
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => usage(),
+        None => None,
+    };
+    match (qos_mb, qos_queue) {
+        (Some(mb), queue) => {
+            svc.set_qos(Some(QosConfig {
+                capacity_bytes: mb << 20,
+                max_waiters: queue.unwrap_or(16),
+            }));
+            println!(
+                "qos: {} MiB admission budget, {} queued requests max",
+                mb,
+                queue.unwrap_or(16)
+            );
+        }
+        (None, Some(_)) => {
+            eprintln!("--qos-queue requires --qos-mb (there is no queue without a budget)");
+            usage()
+        }
+        (None, None) => {}
+    }
 
     // Positional `name=base` specs pre-open graphs before the REPL starts.
     let mut i = 1usize;
@@ -314,140 +389,61 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
             let Some((name, base)) = args[i].split_once('=') else {
                 usage()
             };
-            open_and_report(&svc, name, Path::new(base));
+            let resp = dispatch(&svc, &format!("open {name} {base}"));
+            for l in &resp.lines {
+                println!("{l}");
+            }
             i += 1;
         }
     }
 
+    // `--listen ADDR` serves the same protocol over TCP alongside stdin.
+    let mut server = match arg_value(args, SERVE_FLAGS[4]) {
+        Some(addr) => {
+            let max_connections = match arg_value(args, SERVE_FLAGS[5]).map(|v| v.parse()) {
+                Some(Ok(n)) => n,
+                Some(Err(_)) => usage(),
+                None => ServerOptions::default().max_connections,
+            };
+            let opts = ServerOptions {
+                max_connections,
+                ..ServerOptions::default()
+            };
+            let server = Server::start(Arc::clone(&svc), &addr, opts)?;
+            println!(
+                "listening on {} ({} connections max)",
+                server.local_addr(),
+                max_connections
+            );
+            Some(server)
+        }
+        None => None,
+    };
+
     let stdin = std::io::stdin();
+    let mut quit = false;
     for line in stdin.lock().lines() {
         let line = line?;
-        let words: Vec<&str> = line.split_whitespace().collect();
-        let parse_node = |w: &str| w.parse::<u32>().ok();
-        match words.as_slice() {
-            [] => {}
-            ["quit"] | ["exit"] => break,
-            ["help"] => println!(
-                "commands: open <name> <base> | core <name> <v> | kmax <name> | \
-                 insert <name> <u> <v> | delete <name> <u> <v> | stats <name> | \
-                 verify <name> | graphs | save [<name>] | pool | list | \
-                 evict <name> | quit"
-            ),
-            ["open", name, base] => open_and_report(&svc, name, Path::new(base)),
-            ["core", name, v] => match parse_node(v) {
-                Some(v) => report(svc.core(name, v).map(|c| format!("core({v}) = {c}"))),
-                None => println!("err usage: node id {v:?} is not a number"),
-            },
-            ["kmax", name] => report(svc.kmax(name).map(|k| format!("kmax = {k}"))),
-            ["insert", name, u, v] | ["delete", name, u, v] => {
-                match (parse_node(u), parse_node(v)) {
-                    (Some(u), Some(v)) => {
-                        let res = if words[0] == "insert" {
-                            svc.insert_edge(name, u, v)
-                        } else {
-                            svc.delete_edge(name, u, v)
-                        };
-                        report(res.map(|s| {
-                            format!(
-                                "{}: {} node computations, {} read I/Os",
-                                s.algorithm, s.node_computations, s.io.read_ios
-                            )
-                        }));
-                    }
-                    _ => println!("err usage: edge endpoints must be numbers"),
-                }
+        let resp = dispatch(&svc, &line);
+        for l in &resp.lines {
+            println!("{l}");
+        }
+        if resp.quit {
+            quit = true;
+            break;
+        }
+    }
+
+    if let Some(server) = server.as_mut() {
+        if quit {
+            server.shutdown();
+        } else {
+            // stdin closed (e.g. the server was started with </dev/null):
+            // keep serving TCP until the process is killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
             }
-            ["stats", name] => report(svc.with_graph(name, |idx| {
-                let io = idx.io();
-                Ok(format!(
-                    "{} nodes, {} edges, kmax {}, format {}; charged reads {}, physical reads {}, writes {}",
-                    idx.num_nodes(),
-                    idx.num_edges(),
-                    idx.kmax(),
-                    idx.format_version().tag(),
-                    io.read_ios,
-                    io.physical_reads,
-                    io.write_ios
-                ))
-            })),
-            ["pool"] => {
-                let p = svc.pool();
-                let s = p.stats();
-                println!(
-                    "pool: {} graphs, {}/{} B resident, {} hits / {} misses / {} evictions",
-                    p.registered_graphs(),
-                    p.resident_bytes(),
-                    p.budget_bytes(),
-                    s.hits,
-                    s.misses,
-                    s.evictions
-                );
-            }
-            ["list"] | ["graphs"] => {
-                // Each served graph is listed with its edge-table format,
-                // so an operator can see at a glance which tenants run
-                // compressed tables.
-                let listed: Vec<String> = svc
-                    .graph_names()
-                    .into_iter()
-                    .map(|n| match svc.format_version(&n) {
-                        Ok(v) => format!("{n}({})", v.tag()),
-                        Err(_) => n,
-                    })
-                    .collect();
-                println!("serving: {}", listed.join(", "));
-            }
-            ["save"] => report(svc.save_all().map(|()| "saved all graphs".to_string())),
-            ["save", name] => report(svc.save(name).map(|()| format!("saved {name}"))),
-            ["verify", name] => report(svc.verify(name).map(|ok| {
-                if ok {
-                    format!("{name}: certificate holds (Theorem 4.1 fixpoint)")
-                } else {
-                    format!("{name}: CERTIFICATE VIOLATED")
-                }
-            })),
-            ["evict", name] => report(svc.evict(name).map(|()| format!("evicted {name}"))),
-            _ => println!("err usage: unrecognised command (try 'help')"),
         }
     }
     Ok(())
-}
-
-/// Open `base` as `name` on the service, printing the outcome either way.
-fn open_and_report(svc: &CoreService, name: &str, base: &Path) {
-    report(svc.open(name, base).and_then(|()| {
-        svc.with_graph(name, |idx| {
-            Ok(format!(
-                "opened {name} ({}): {} nodes, {} edges, kmax {} ({} read I/Os to decompose)",
-                idx.format_version().tag(),
-                idx.num_nodes(),
-                idx.num_edges(),
-                idx.kmax(),
-                idx.decompose_stats().io.read_ios
-            ))
-        })
-    }));
-}
-
-/// Print a command's outcome on one line, errors included. Errors use the
-/// structured `err <kind>: <detail>` shape so scripted drivers can match
-/// on the prefix; the session always survives them.
-fn report(res: graphstore::Result<String>) {
-    match res {
-        Ok(line) => println!("{line}"),
-        Err(e) => println!("{}", err_line(&e)),
-    }
-}
-
-/// One stable machine-matchable token per error class.
-fn err_line(e: &graphstore::Error) -> String {
-    let kind = match e {
-        graphstore::Error::Io(_) => "io",
-        graphstore::Error::Corrupt { .. } => "corrupt",
-        graphstore::Error::NodeOutOfRange { .. } => "range",
-        graphstore::Error::InvalidArgument(_) => "usage",
-        graphstore::Error::TooLarge(_) => "limit",
-        graphstore::Error::Quarantined { .. } => "quarantined",
-    };
-    format!("err {kind}: {e}")
 }

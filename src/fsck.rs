@@ -1,7 +1,7 @@
 //! Offline integrity checking — and bounded repair — of a durable data
 //! directory.
 //!
-//! [`fsck`] walks the catalog the way [`crate::CoreService::open_catalog`]
+//! [`fsck()`] walks the catalog the way [`crate::CoreService::open_catalog`]
 //! would, but keeps going after the first problem and never mutates
 //! anything unless asked: for every catalogued graph it
 //!

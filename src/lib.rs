@@ -51,11 +51,16 @@ pub use semicore;
 #[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 mod service;
 
+/// Line-protocol dispatch and the multi-client TCP front-end.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+pub mod server;
+
 /// Offline integrity checking and repair of durable data directories.
 #[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod fsck;
 
 pub use fsck::{fsck, FsckFinding, FsckReport};
+pub use server::{Server, ServerOptions};
 pub use service::{CoreService, DurableOptions};
 
 use std::path::Path;

@@ -64,8 +64,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use graphstore::{
-    working_set_charge_budget, Catalog, CatalogEntry, DiskGraph, EvictionPolicy, FormatVersion,
-    IoCounter, IoSnapshot, Result, SharedPool, StateCheckpoint, StdVfs, Vfs, Wal,
+    working_set_charge_budget, AdmissionController, AdmissionPermit, Catalog, CatalogEntry,
+    DiskGraph, EvictionPolicy, FormatVersion, GroupCommitOptions, GroupCommitWal, IoCounter,
+    IoSnapshot, QosConfig, Result, SharedPool, StateCheckpoint, StdVfs, Vfs, Wal,
     DEFAULT_BLOCK_SIZE,
 };
 use semicore::{CoreState, MaintainOp, MaintainStats, ScanExecutor};
@@ -85,14 +86,72 @@ pub struct DurableOptions {
     /// ops per graph. Smaller values bound the replay tail; larger values
     /// amortise the `O(n)` checkpoint write. Clamped to at least 1.
     pub checkpoint_every: u64,
+    /// `Some` switches every graph's journal to **group commit**: appends
+    /// land unsynced, [`CoreService::apply`] waits on a shared fsync
+    /// barrier *after* releasing the graph's lock, and concurrent appliers
+    /// coalesce into one fsync (see [`GroupCommitWal`]). `None` keeps the
+    /// fsync-per-op journal. The acknowledgement contract is identical
+    /// either way — an op whose success was reported is durable — only
+    /// unacknowledged in-flight ops ride a wider crash window.
+    pub group_commit: Option<GroupCommitOptions>,
 }
 
 impl Default for DurableOptions {
     fn default() -> Self {
         DurableOptions {
             checkpoint_every: 64,
+            group_commit: None,
         }
     }
+}
+
+/// A served graph's journal: fsync-per-append, or batched group commit.
+#[derive(Debug)]
+enum Journal {
+    /// Every appended op is fsynced before `apply` proceeds.
+    PerOp(Wal),
+    /// Appends land unsynced under the graph lock; the submitter gets an
+    /// LSN and waits for the shared barrier after the lock is released,
+    /// so concurrent appliers (and whole batches) share fsyncs.
+    Group(Arc<GroupCommitWal>),
+}
+
+impl Journal {
+    fn mark(&mut self) -> u64 {
+        match self {
+            Journal::PerOp(w) => w.len_bytes(),
+            Journal::Group(g) => g.mark(),
+        }
+    }
+
+    fn rollback_to(&mut self, mark: u64) -> Result<()> {
+        match self {
+            Journal::PerOp(w) => w.rollback_to(mark),
+            Journal::Group(g) => g.rollback_to(mark),
+        }
+    }
+
+    fn truncate(&mut self) -> Result<()> {
+        match self {
+            Journal::PerOp(w) => w.truncate(),
+            // The caller just checkpointed (durably) past every journaled
+            // op, so emptying the file also satisfies any waiter still
+            // queued on the barrier.
+            Journal::Group(g) => g.truncate_satisfy(),
+        }
+    }
+}
+
+/// What [`CoreService::apply`] still owes after the graph lock is gone:
+/// the group-commit barrier to wait on, if the journal batches fsyncs.
+type DurabilityTicket = Option<(Arc<GroupCommitWal>, u64)>;
+
+/// Wire encoding of one journal record: sequence number, then the op.
+fn encode_record(seq: u64, op: MaintainOp) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + semicore::MAINTAIN_OP_LEN);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&op.encode());
+    payload
 }
 
 /// One served graph: its index plus the journaling state of the durable
@@ -102,7 +161,7 @@ impl Default for DurableOptions {
 struct Served {
     index: CoreIndex,
     /// The graph's journal (durable services only).
-    wal: Option<Wal>,
+    wal: Option<Journal>,
     /// Sequence number of the last applied op.
     seq: u64,
     /// Sequence number of the last completed checkpoint.
@@ -114,7 +173,19 @@ struct Served {
 struct Durable {
     dir: PathBuf,
     checkpoint_every: u64,
+    /// `Some` wraps every journal in a [`GroupCommitWal`] at create/open.
+    group_commit: Option<GroupCommitOptions>,
     entries: Mutex<HashMap<String, DurableEntry>>,
+}
+
+impl Durable {
+    /// Wrap a freshly created/opened journal per the service's commit mode.
+    fn journal(&self, wal: Wal) -> Result<Journal> {
+        Ok(match self.group_commit {
+            Some(opts) => Journal::Group(Arc::new(GroupCommitWal::wrap(wal, opts)?)),
+            None => Journal::PerOp(wal),
+        })
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -199,6 +270,11 @@ pub struct CoreService {
     /// through; [`StdVfs`] in production, a fault-injecting
     /// [`graphstore::FaultVfs`] under the torture tests.
     vfs: Arc<dyn Vfs>,
+    /// Per-tenant admission control over the charge budget (`None` admits
+    /// everything). Installed by [`CoreService::set_qos`]; every serving
+    /// entry point takes a permit sized by the graph's working set before
+    /// touching its lock.
+    qos: Mutex<Option<Arc<AdmissionController>>>,
 }
 
 /// Registry slot: the graph's lock plus metadata readable without it.
@@ -209,6 +285,9 @@ struct Slot {
     /// read it under the registry lock alone, so they never stall behind
     /// a graph that is mid-scan or mid-maintenance.
     format: FormatVersion,
+    /// The graph's charge budget — also the working-set size its
+    /// operations are admitted at when QoS is enabled.
+    charge_bytes: u64,
     /// `Some(reason)` once the graph is quarantined. Shared (not inline in
     /// the slot) so a failing operation can trip it after the registry
     /// lock has been released, without re-entering the registry.
@@ -216,10 +295,11 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(handle: Arc<Mutex<Served>>, format: FormatVersion) -> Slot {
+    fn new(handle: Arc<Mutex<Served>>, format: FormatVersion, charge_bytes: u64) -> Slot {
         Slot {
             handle,
             format,
+            charge_bytes,
             quarantine: Arc::new(Mutex::new(None)),
         }
     }
@@ -296,6 +376,7 @@ impl CoreService {
             graphs: Mutex::new(HashMap::new()),
             durable: None,
             vfs,
+            qos: Mutex::new(None),
         })
     }
 
@@ -362,9 +443,11 @@ impl CoreService {
             durable: Some(Durable {
                 dir: dir.to_path_buf(),
                 checkpoint_every: opts.checkpoint_every.max(1),
+                group_commit: opts.group_commit,
                 entries: Mutex::new(HashMap::new()),
             }),
             vfs,
+            qos: Mutex::new(None),
         };
         svc.rewrite_catalog()?;
         Ok(svc)
@@ -412,9 +495,11 @@ impl CoreService {
             durable: Some(Durable {
                 dir: dir.to_path_buf(),
                 checkpoint_every: opts.checkpoint_every.max(1),
+                group_commit: opts.group_commit,
                 entries: Mutex::new(HashMap::new()),
             }),
             vfs,
+            qos: Mutex::new(None),
         };
         for entry in &catalog.entries {
             svc.recover_entry(entry)?;
@@ -431,6 +516,49 @@ impl CoreService {
     /// The shared pool, for budget/occupancy/hit-rate introspection.
     pub fn pool(&self) -> &SharedPool {
         &self.pool
+    }
+
+    /// Install (or, with `None`, remove) per-tenant admission control.
+    /// With QoS enabled, every query/maintenance entry point first admits
+    /// the graph's working set against [`QosConfig::capacity_bytes`]:
+    /// concurrent ops on one graph share a single admission (they share a
+    /// working set), distinct graphs queue in weighted-fair order, and
+    /// requests that cannot be queued are shed with
+    /// [`graphstore::Error::Overloaded`]. Replacing the controller drops
+    /// the old queue's bookkeeping once its in-flight permits finish.
+    pub fn set_qos(&self, config: Option<QosConfig>) {
+        *lock_meta(&self.qos) = config.map(AdmissionController::new);
+    }
+
+    /// The live admission controller, for introspection (`None` when QoS
+    /// is off).
+    pub fn qos(&self) -> Option<Arc<AdmissionController>> {
+        lock_meta(&self.qos).clone()
+    }
+
+    /// Set a tenant's QoS weight (see
+    /// [`AdmissionController::set_weight`]). Errors when QoS is off.
+    pub fn set_tenant_weight(&self, name: &str, weight: u32) -> Result<()> {
+        let ctl = self.qos().ok_or_else(|| {
+            graphstore::Error::InvalidArgument("no QoS configured; set a budget first".to_string())
+        })?;
+        ctl.set_weight(name, weight);
+        Ok(())
+    }
+
+    /// Take an admission permit for one operation on `name` (a no-op
+    /// `None` when QoS is off). Called *before* the graph lock so a
+    /// queued request never blocks the graph it is waiting to use.
+    fn admit(&self, name: &str) -> Result<Option<AdmissionPermit>> {
+        let Some(ctl) = self.qos() else {
+            return Ok(None);
+        };
+        let bytes = self
+            .registry()
+            .get(name)
+            .map(|s| s.charge_bytes)
+            .ok_or_else(|| not_serving(name))?;
+        ctl.admit(name, bytes).map(Some)
     }
 
     /// Names of the graphs currently being served, sorted.
@@ -505,7 +633,10 @@ impl CoreService {
                 // A racing open beat us; the loser's lease frees its frames.
                 return Err(already_serving(name));
             }
-            graphs.insert(name.to_string(), Slot::new(Arc::clone(&handle), format));
+            graphs.insert(
+                name.to_string(),
+                Slot::new(Arc::clone(&handle), format, charge_bytes),
+            );
         }
         if let Some(d) = &self.durable {
             let publish = (|| -> Result<()> {
@@ -514,7 +645,7 @@ impl CoreService {
                 // and the entry map has nothing to refresh yet).
                 self.checkpoint_locked(name, &mut served)?;
                 let counter = served.index.graph_mut().disk().counter().clone();
-                served.wal = Some(Wal::create(&wal_path(&d.dir, name), counter)?);
+                served.wal = Some(d.journal(Wal::create(&wal_path(&d.dir, name), counter)?)?);
                 lock_meta(&d.entries).insert(
                     name.to_string(),
                     DurableEntry {
@@ -596,6 +727,7 @@ impl CoreService {
         name: &str,
         f: impl FnOnce(&mut CoreIndex) -> Result<R>,
     ) -> Result<R> {
+        let _permit = self.admit(name)?;
         let (handle, quarantine) = self.served(name)?;
         // The registry lock is released; only this graph serializes.
         let mut served = lock_served(name, &handle, &quarantine)?;
@@ -663,9 +795,21 @@ impl CoreService {
     /// Validation rejections (duplicate insert, absent delete, bad node)
     /// leave the graph serving.
     pub fn apply(&self, name: &str, op: MaintainOp) -> Result<MaintainStats> {
+        let _permit = self.admit(name)?;
         let (handle, quarantine) = self.served(name)?;
         let mut served = lock_served(name, &handle, &quarantine)?;
         let res = self.apply_locked(name, &mut served, op);
+        // Under group commit the fsync barrier is crossed *after* the
+        // graph lock is gone: the next applier can validate, journal and
+        // apply while this op's batch is being synced — that overlap is
+        // the whole point. The op is acknowledged only once the barrier
+        // reports its LSN durable.
+        drop(served);
+        let res = match res {
+            Ok((stats, Some((group, lsn)))) => group.wait_durable(lsn, true).map(|()| stats),
+            Ok((stats, None)) => Ok(stats),
+            Err(e) => Err(e),
+        };
         if let Err(e) = &res {
             if should_quarantine(e) {
                 set_quarantine(&quarantine, &format!("maintenance failed: {e}"));
@@ -674,14 +818,10 @@ impl CoreService {
         res
     }
 
-    /// [`CoreService::apply`] past the registry/quarantine gate, with the
-    /// graph's lock held.
-    fn apply_locked(
-        &self,
-        name: &str,
-        served: &mut Served,
-        op: MaintainOp,
-    ) -> Result<MaintainStats> {
+    /// Validate `op` against the graph's current edges (one adjacency
+    /// read): duplicate inserts and absent deletes are rejected before
+    /// anything is journaled.
+    fn validate_op(served: &mut Served, op: MaintainOp) -> Result<()> {
         let (u, v) = op.endpoints();
         if op.is_insert() {
             if served.index.has_edge(u, v)? {
@@ -694,14 +834,32 @@ impl CoreService {
                 "edge ({u}, {v}) not present"
             )));
         }
+        Ok(())
+    }
+
+    /// [`CoreService::apply`] past the registry/quarantine gate, with the
+    /// graph's lock held. Returns the stats plus the barrier the caller
+    /// must wait on once the lock is released (group commit only).
+    fn apply_locked(
+        &self,
+        name: &str,
+        served: &mut Served,
+        op: MaintainOp,
+    ) -> Result<(MaintainStats, DurabilityTicket)> {
+        Self::validate_op(served, op)?;
         let seq = served.seq + 1;
         let mut journal_mark = None;
-        if let Some(wal) = served.wal.as_mut() {
-            let mut payload = Vec::with_capacity(8 + semicore::MAINTAIN_OP_LEN);
-            payload.extend_from_slice(&seq.to_le_bytes());
-            payload.extend_from_slice(&op.encode());
-            journal_mark = Some(wal.len_bytes());
-            wal.append(&payload)?;
+        let mut ticket = None;
+        if let Some(journal) = served.wal.as_mut() {
+            let payload = encode_record(seq, op);
+            journal_mark = Some(journal.mark());
+            match journal {
+                Journal::PerOp(w) => w.append(&payload)?,
+                Journal::Group(g) => {
+                    let lsn = g.submit(&payload)?;
+                    ticket = Some((Arc::clone(g), lsn));
+                }
+            }
         }
         let stats = match served.index.apply(op) {
             Ok(stats) => stats,
@@ -712,9 +870,11 @@ impl CoreService {
                 // history). If even the rollback fails, the record stays —
                 // then the op *is* durably recorded, so consume its
                 // sequence number rather than let the next op reuse it and
-                // poison the journal's gap check.
-                if let (Some(wal), Some(mark)) = (served.wal.as_mut(), journal_mark) {
-                    if wal.rollback_to(mark).is_err() {
+                // poison the journal's gap check. (A rolled-back group
+                // record's LSN stays consumed too — the barrier can still
+                // advance past it, it just vouches for nothing.)
+                if let (Some(journal), Some(mark)) = (served.wal.as_mut(), journal_mark) {
+                    if journal.rollback_to(mark).is_err() {
                         served.seq = seq;
                     }
                 }
@@ -735,7 +895,137 @@ impl CoreService {
                 let _ = self.checkpoint_locked(name, served);
             }
         }
-        Ok(stats)
+        Ok((stats, ticket))
+    }
+
+    /// Apply a whole batch of ops to the named graph under **one** fsync:
+    /// every op is validated, journaled (unsynced) and applied in order
+    /// under the graph's lock, then a single barrier makes the batch
+    /// durable. On an fsync-per-op journal this is the only batching path;
+    /// under group commit the barrier may additionally coalesce with other
+    /// appliers' batches.
+    ///
+    /// Error semantics: ops are applied in order until the first failure;
+    /// the already-applied prefix *stays* applied and is made durable
+    /// before the error is returned (a batch is a convenience, not a
+    /// transaction). Journal/dispatch failures quarantine the graph
+    /// exactly like [`CoreService::apply`]; a validation rejection mid-
+    /// batch leaves it serving.
+    pub fn apply_batch(&self, name: &str, ops: &[MaintainOp]) -> Result<Vec<MaintainStats>> {
+        let _permit = self.admit(name)?;
+        let (handle, quarantine) = self.served(name)?;
+        let mut served = lock_served(name, &handle, &quarantine)?;
+        let (res, ticket) = self.apply_batch_locked(name, &mut served, ops);
+        drop(served);
+        let res = match ticket {
+            Some((group, lsn)) => match (group.wait_durable(lsn, false), res) {
+                (Ok(()), res) => res,
+                // A failed barrier outranks a validation rejection: the
+                // applied prefix cannot be promised durable any more.
+                (Err(e), _) => Err(e),
+            },
+            None => res,
+        };
+        if let Err(e) = &res {
+            if should_quarantine(e) {
+                set_quarantine(&quarantine, &format!("maintenance failed: {e}"));
+            }
+        }
+        res
+    }
+
+    /// [`CoreService::apply_batch`] under the graph lock. The ticket is
+    /// returned even when the result is an error so the caller can finish
+    /// the barrier covering the applied prefix.
+    #[allow(clippy::type_complexity)]
+    fn apply_batch_locked(
+        &self,
+        name: &str,
+        served: &mut Served,
+        ops: &[MaintainOp],
+    ) -> (Result<Vec<MaintainStats>>, DurabilityTicket) {
+        let mut all = Vec::with_capacity(ops.len());
+        let mut last_lsn = None;
+        let mut appended = false;
+        let mut outcome: Result<()> = Ok(());
+        for &op in ops {
+            if let Err(e) = Self::validate_op(served, op) {
+                outcome = Err(e);
+                break;
+            }
+            let seq = served.seq + 1;
+            let mut journal_mark = None;
+            let mut journal_err = None;
+            if let Some(journal) = served.wal.as_mut() {
+                let payload = encode_record(seq, op);
+                journal_mark = Some(journal.mark());
+                match journal {
+                    Journal::PerOp(w) => {
+                        if let Err(e) = w.append_unsynced(&payload) {
+                            journal_err = Some(e);
+                        }
+                    }
+                    Journal::Group(g) => match g.submit(&payload) {
+                        Ok(lsn) => last_lsn = Some(lsn),
+                        Err(e) => journal_err = Some(e),
+                    },
+                }
+                if journal_err.is_none() {
+                    appended = true;
+                }
+            }
+            if let Some(e) = journal_err {
+                outcome = Err(e);
+                break;
+            }
+            match served.index.apply(op) {
+                Ok(stats) => {
+                    served.seq = seq;
+                    all.push(stats);
+                }
+                Err(e) => {
+                    // Same contract as the single-op path: never leave a
+                    // journaled record whose failure we report.
+                    if let (Some(journal), Some(mark)) = (served.wal.as_mut(), journal_mark) {
+                        if journal.rollback_to(mark).is_err() {
+                            served.seq = seq;
+                        }
+                    }
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        // One barrier for whatever was journaled — even on early error,
+        // the applied prefix must be durable before it is reported.
+        let mut ticket = None;
+        if appended {
+            if let Some(journal) = served.wal.as_mut() {
+                match journal {
+                    Journal::PerOp(w) => {
+                        if let Err(e) = w.sync() {
+                            if outcome.is_ok() {
+                                outcome = Err(e);
+                            }
+                        }
+                    }
+                    Journal::Group(g) => {
+                        if let Some(lsn) = last_lsn {
+                            ticket = Some((Arc::clone(g), lsn));
+                        }
+                    }
+                }
+            }
+        }
+        if outcome.is_ok() {
+            if let Some(d) = &self.durable {
+                if served.seq - served.ck_seq >= d.checkpoint_every {
+                    // Best-effort, exactly like the single-op path.
+                    let _ = self.checkpoint_locked(name, served);
+                }
+            }
+        }
+        (outcome.map(|()| all), ticket)
     }
 
     /// Insert an edge into the named graph, maintaining its cores
@@ -761,6 +1051,7 @@ impl CoreService {
                 "service has no data directory; nothing to save".into(),
             ));
         }
+        let _permit = self.admit(name)?;
         let (handle, quarantine) = self.served(name)?;
         let mut served = lock_served(name, &handle, &quarantine)?;
         let res = self.checkpoint_locked(name, &mut served);
@@ -956,12 +1247,14 @@ impl CoreService {
         }
         let handle = Arc::new(Mutex::new(Served {
             index,
-            wal: Some(wal),
+            wal: Some(d.journal(wal)?),
             seq,
             ck_seq: ck.seq,
         }));
-        self.registry()
-            .insert(entry.name.clone(), Slot::new(handle, entry.format));
+        self.registry().insert(
+            entry.name.clone(),
+            Slot::new(handle, entry.format, entry.charge_bytes),
+        );
         lock_meta(&d.entries).insert(
             entry.name.clone(),
             DurableEntry {
@@ -1187,6 +1480,7 @@ mod tests {
             ScanExecutor::Sequential,
             DurableOptions {
                 checkpoint_every: 2,
+                group_commit: None,
             },
         )
         .unwrap();

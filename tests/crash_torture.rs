@@ -22,10 +22,14 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
-use graphstore::{EvictionPolicy, FaultPlan, FaultVfs, MemGraph, TempDir, Vfs, DEFAULT_BLOCK_SIZE};
+use graphstore::{
+    EvictionPolicy, FaultPlan, FaultVfs, GroupCommitOptions, MemGraph, TempDir, Vfs,
+    DEFAULT_BLOCK_SIZE,
+};
 use kcore_suite::{CoreService, DurableOptions};
-use semicore::ScanExecutor;
+use semicore::{MaintainOp, ScanExecutor};
 use testutil::oracle_cores;
 
 const BUDGET: u64 = 4 << 20;
@@ -159,6 +163,7 @@ impl Scenario {
 fn run_scenario(vfs: Arc<dyn Vfs>, data: &Path, bases: &Path, sc: &Scenario) -> (bool, Vec<bool>) {
     let opts = DurableOptions {
         checkpoint_every: 3,
+        group_commit: None,
     };
     let svc = match CoreService::create_durable_with_vfs(
         data,
@@ -304,6 +309,7 @@ fn quarantine_isolates_tenant_and_fsck_catches_bit_rot() {
         ScanExecutor::Sequential,
         DurableOptions {
             checkpoint_every: 8,
+            group_commit: None,
         },
         Arc::clone(&fault) as Arc<dyn Vfs>,
     )
@@ -386,4 +392,204 @@ fn quarantine_isolates_tenant_and_fsck_catches_bit_rot() {
     let mem = MemGraph::from_edges(expect, 32);
     assert_eq!(svc.cores("well").unwrap(), oracle_cores(&mem));
     assert!(svc.verify("well").unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit crash stream: the torture matrix again, but with journal
+// fsyncs batched behind `GroupCommitOptions` and the ops arriving as
+// `apply_batch` groups. The acknowledgement contract must not weaken: a
+// batch that returned `Ok` is an *acked* batch and recovers in full at
+// every crash point; the single in-flight batch may recover any prefix of
+// itself (including empty) — never a suffix, never a partially-acked
+// earlier batch, never a third state.
+// ---------------------------------------------------------------------------
+
+const GC: &str = "gc";
+const GC_NODES: u32 = 36;
+
+/// The batched stream: each batch is valid by construction when every
+/// prior batch and every earlier op of the same batch has been applied.
+fn gc_stream() -> (Vec<(u32, u32)>, Vec<Vec<MaintainOp>>) {
+    let base = normalized(graphgen::gnm(GC_NODES, 80, 21));
+    let mut set: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+    let mut batches = Vec::new();
+    let mut lcg = 0x9E3779B97F4A7C15u64;
+    for round in 0..6 {
+        let mut batch = Vec::new();
+        for _ in 0..(2 + round % 3) {
+            // Alternate fresh inserts and deletes of present edges, driven
+            // by a tiny deterministic generator.
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if !lcg.is_multiple_of(3) || set.len() < 4 {
+                let e = fresh_edges(&set, GC_NODES, 1)[0];
+                set.insert(e);
+                batch.push(MaintainOp::Insert(e.0, e.1));
+            } else {
+                let i = (lcg as usize / 3) % set.len();
+                let e = *set.iter().nth(i).unwrap();
+                set.remove(&e);
+                batch.push(MaintainOp::Delete(e.0, e.1));
+            }
+        }
+        batches.push(batch);
+    }
+    (base, batches)
+}
+
+/// Core numbers after `base` plus `ops`, by the in-memory oracle.
+fn gc_world(base: &[(u32, u32)], ops: &[MaintainOp]) -> Vec<u32> {
+    let mut set: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+    for op in ops {
+        match *op {
+            MaintainOp::Insert(u, v) => {
+                set.insert((u, v));
+            }
+            MaintainOp::Delete(u, v) => {
+                set.remove(&(u, v));
+            }
+        }
+    }
+    oracle_cores(&MemGraph::from_edges(set, GC_NODES))
+}
+
+/// Drive the batched stream against a fresh group-commit directory.
+/// Returns whether the graph was created, and which batches acked.
+fn run_gc_stream(
+    vfs: Arc<dyn Vfs>,
+    data: &Path,
+    bases: &Path,
+    base: &[(u32, u32)],
+    batches: &[Vec<MaintainOp>],
+) -> (bool, Vec<bool>) {
+    let opts = DurableOptions {
+        checkpoint_every: 4,
+        group_commit: Some(GroupCommitOptions {
+            max_delay: Duration::ZERO,
+        }),
+    };
+    let svc = match CoreService::create_durable_with_vfs(
+        data,
+        DEFAULT_BLOCK_SIZE,
+        BUDGET,
+        EvictionPolicy::ScanLifo,
+        ScanExecutor::Sequential,
+        opts,
+        vfs,
+    ) {
+        Ok(svc) => svc,
+        Err(_) => return (false, vec![false; batches.len()]),
+    };
+    if svc
+        .create(GC, &bases.join(GC), base.iter().copied(), GC_NODES)
+        .is_err()
+    {
+        return (true, vec![false; batches.len()]);
+    }
+    let acked = batches
+        .iter()
+        .map(|batch| svc.apply_batch(GC, batch).is_ok())
+        .collect();
+    (true, acked)
+}
+
+#[test]
+fn group_commit_crash_points_recover_acked_batches_or_in_flight_prefix() {
+    let (base, batches) = gc_stream();
+    let flat = |n: usize, p: usize| -> Vec<MaintainOp> {
+        let mut ops: Vec<MaintainOp> = batches[..n].iter().flatten().copied().collect();
+        ops.extend_from_slice(&batches[n][..p]);
+        ops
+    };
+
+    // Count pass: fault-free, numbering every sync point.
+    let dir = TempDir::new("gc-count").unwrap();
+    let (data, bases) = (dir.path().join("data"), dir.path().join("bases"));
+    std::fs::create_dir_all(&bases).unwrap();
+    let fault = FaultVfs::new(FaultPlan::default());
+    let (created, acked) = run_gc_stream(
+        Arc::clone(&fault) as Arc<dyn Vfs>,
+        &data,
+        &bases,
+        &base,
+        &batches,
+    );
+    assert!(
+        created && acked.iter().all(|&a| a),
+        "fault-free run must ack"
+    );
+    let total = fault.sync_events();
+    assert!(
+        (5..=150).contains(&total),
+        "sync-point count {total} outside the expected band"
+    );
+    let all_ops: Vec<MaintainOp> = batches.iter().flatten().copied().collect();
+    let reopened = CoreService::open_catalog(&data).unwrap();
+    assert_eq!(
+        reopened.cores(GC).unwrap(),
+        gc_world(&base, &all_ops),
+        "clean-run recovery"
+    );
+    drop(reopened);
+
+    for k in 1..=total {
+        let dir = TempDir::new("gc-crash").unwrap();
+        let (data, bases) = (dir.path().join("data"), dir.path().join("bases"));
+        std::fs::create_dir_all(&bases).unwrap();
+        let fault = FaultVfs::new(FaultPlan {
+            crash_before_sync: Some(k),
+            ..FaultPlan::default()
+        });
+        let (created, acked) = run_gc_stream(
+            Arc::clone(&fault) as Arc<dyn Vfs>,
+            &data,
+            &bases,
+            &base,
+            &batches,
+        );
+        assert!(fault.crashed(), "crash point {k} never fired");
+
+        // Acked batches must form a clean prefix.
+        let j = acked.iter().position(|&a| !a).unwrap_or(batches.len());
+        assert!(
+            acked[j..].iter().all(|&a| !a),
+            "crash {k}: batch acks not a prefix: {acked:?}"
+        );
+
+        match CoreService::open_catalog(&data) {
+            Err(e) => assert!(
+                !created,
+                "crash {k}: reopen failed though create_durable acked: {e}"
+            ),
+            Ok(svc) => {
+                if !svc.graph_names().iter().any(|n| n == GC) {
+                    // The crash landed inside graph creation itself.
+                    assert_eq!(j, 0, "crash {k}: acked batches on an unrecovered graph");
+                    continue;
+                }
+                assert!(svc.verify(GC).unwrap(), "crash {k}: certificate");
+                let got = svc.cores(GC).unwrap();
+                // Allowed worlds: every acked batch in full, plus any
+                // prefix of the single in-flight batch — never a suffix,
+                // never a partially-recovered *acked* batch.
+                let allowed: Vec<Vec<u32>> = if j < batches.len() {
+                    (0..=batches[j].len())
+                        .map(|p| gc_world(&base, &flat(j, p)))
+                        .collect()
+                } else {
+                    vec![gc_world(&base, &all_ops)]
+                };
+                assert!(
+                    allowed.contains(&got),
+                    "crash {k} (batch {j} in flight) recovered a third state"
+                );
+                drop(svc);
+                let report = kcore_suite::fsck(&data, false).unwrap();
+                assert!(
+                    report.clean(),
+                    "crash {k}: fsck after recovery: {:?}",
+                    report.findings
+                );
+            }
+        }
+    }
 }

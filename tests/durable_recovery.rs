@@ -54,7 +54,10 @@ fn durable_service(data: &Path, policy: EvictionPolicy, checkpoint_every: u64) -
         1 << 20,
         policy,
         ScanExecutor::Sequential,
-        DurableOptions { checkpoint_every },
+        DurableOptions {
+            checkpoint_every,
+            group_commit: None,
+        },
     )
     .unwrap()
 }

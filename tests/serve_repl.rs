@@ -1,12 +1,24 @@
-//! Smoke test of the `kcore serve` REPL binary: a session must survive
-//! failed commands — each reported as one structured `err <kind>: …` line —
-//! and keep answering correctly afterwards.
+//! Smoke tests of the `kcore serve` surface: the stdin REPL binary, and
+//! the TCP front-end. A session must survive failed commands — each
+//! reported as one structured `err <kind>: …` line — and keep answering
+//! correctly afterwards; over TCP, one connection tripping a tenant's
+//! quarantine must not disturb a concurrent connection serving another
+//! tenant, and the connection limit must shed with a parseable line.
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::Path;
 use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
 
-use graphstore::{IoCounter, MemGraph, TempDir, DEFAULT_BLOCK_SIZE};
+use graphstore::{
+    EvictionPolicy, FaultPlan, FaultVfs, IoCounter, MemGraph, QosConfig, TempDir, Vfs,
+    DEFAULT_BLOCK_SIZE,
+};
+use kcore_suite::server::{Server, ServerOptions};
+use kcore_suite::{CoreService, DurableOptions};
+use semicore::ScanExecutor;
 
 fn write_triangle_tail(base: &Path) {
     let mem = MemGraph::from_edges(vec![(0u32, 1u32), (1, 2), (0, 2), (2, 3)], 4);
@@ -141,4 +153,151 @@ fn fsck_reports_clean_directory_and_flags_damage() {
         .output()
         .expect("run fsck");
     assert!(after.status.success(), "directory clean after repair");
+}
+
+// ---------------------------------------------------------------------------
+// TCP front-end: the same protocol over sockets, with fault isolation.
+// ---------------------------------------------------------------------------
+
+/// One line-protocol exchange over a socket: send the command, read back
+/// exactly one reply line.
+fn ask(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, cmd: &str) -> String {
+    writeln!(stream, "{cmd}").expect("send command");
+    stream.flush().expect("flush command");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    line.trim_end().to_string()
+}
+
+fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("clone socket"));
+    (stream, reader)
+}
+
+/// Two concurrent connections: one trips a tenant's quarantine through an
+/// injected I/O failure, the other keeps serving its own tenant through
+/// it all — and every failure crosses the socket as one structured
+/// `err <kind>: …` line.
+#[test]
+fn tcp_connection_tripping_quarantine_does_not_disturb_the_other() {
+    let dir = TempDir::new("tcp-serve").unwrap();
+    let (data, bases) = (dir.path().join("data"), dir.path().join("bases"));
+    std::fs::create_dir_all(&bases).unwrap();
+
+    // A durable service through a FaultVfs, so one tenant's disk can
+    // "fail" on cue while the server stays up.
+    let fault = FaultVfs::new(FaultPlan::default());
+    let svc = Arc::new(
+        CoreService::create_durable_with_vfs(
+            &data,
+            DEFAULT_BLOCK_SIZE,
+            4 << 20,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+            DurableOptions {
+                checkpoint_every: 8,
+                group_commit: None,
+            },
+            Arc::clone(&fault) as Arc<dyn Vfs>,
+        )
+        .unwrap(),
+    );
+    let edges = [(0u32, 1u32), (1, 2), (0, 2), (2, 3)];
+    svc.create("well", &bases.join("well"), edges.iter().copied(), 4)
+        .unwrap();
+    svc.create("sick", &bases.join("sick"), edges.iter().copied(), 4)
+        .unwrap();
+    svc.set_qos(Some(QosConfig {
+        capacity_bytes: 4 << 20,
+        max_waiters: 8,
+    }));
+
+    let mut server = Server::start(Arc::clone(&svc), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind server");
+    let (mut a, mut ra) = connect(&server);
+    let (mut b, mut rb) = connect(&server);
+
+    // Both connections serve normally first.
+    assert_eq!(ask(&mut a, &mut ra, "kmax sick"), "kmax = 2");
+    assert_eq!(ask(&mut b, &mut rb, "kmax well"), "kmax = 2");
+    assert!(
+        ask(&mut b, &mut rb, "qos").starts_with("qos: "),
+        "qos line over the socket"
+    );
+    assert_eq!(ask(&mut b, &mut rb, "weight well 3"), "weight(well) = 3");
+
+    // Connection A's tenant hits disk-full mid-insert: a structured io
+    // error crosses the socket and the graph is quarantined.
+    fault.set_plan(FaultPlan {
+        enospc_after: Some(0),
+        ..FaultPlan::default()
+    });
+    let io_err = ask(&mut a, &mut ra, "insert sick 1 3");
+    assert!(io_err.starts_with("err io:"), "typed io error: {io_err}");
+    fault.set_plan(FaultPlan::default());
+    let q_err = ask(&mut a, &mut ra, "insert sick 1 3");
+    assert!(
+        q_err.starts_with("err quarantined:"),
+        "sticky quarantine: {q_err}"
+    );
+    assert!(ask(&mut a, &mut ra, "kmax sick").starts_with("err quarantined:"));
+
+    // Connection B never noticed: its tenant keeps serving and mutating.
+    assert!(ask(&mut b, &mut rb, "insert well 1 3").contains("node computations"));
+    assert!(ask(&mut b, &mut rb, "insert well 0 3").contains("node computations"));
+    assert_eq!(ask(&mut b, &mut rb, "kmax well"), "kmax = 3");
+    assert!(ask(&mut b, &mut rb, "verify well").contains("certificate holds"));
+
+    // `quit` ends connection A only; B still answers afterwards.
+    writeln!(a, "quit").unwrap();
+    let mut rest = String::new();
+    ra.read_line(&mut rest).unwrap(); // EOF: server closed A
+    assert_eq!(rest, "", "quit closes the connection");
+    assert_eq!(ask(&mut b, &mut rb, "kmax well"), "kmax = 3");
+
+    server.shutdown();
+}
+
+/// The accept bound: with `max_connections = 1`, a second client is not
+/// silently queued — it gets one `err overloaded: …` line and the socket
+/// closes, while the admitted client keeps serving.
+#[test]
+fn tcp_connection_limit_sheds_with_a_structured_line() {
+    let svc = Arc::new(
+        CoreService::with_config(
+            DEFAULT_BLOCK_SIZE,
+            4 << 20,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+        )
+        .unwrap(),
+    );
+    let opts = ServerOptions {
+        max_connections: 1,
+        ..ServerOptions::default()
+    };
+    let mut server = Server::start(Arc::clone(&svc), "127.0.0.1:0", opts).expect("bind server");
+
+    let (mut a, mut ra) = connect(&server);
+    // Prove the first connection is live (so the second is really over
+    // the limit, not racing the accept loop).
+    assert!(ask(&mut a, &mut ra, "help").starts_with("commands:"));
+
+    let (_b, mut rb) = connect(&server);
+    let mut line = String::new();
+    rb.read_line(&mut line).expect("read refusal");
+    assert!(
+        line.starts_with("err overloaded: connection limit (1)"),
+        "refusal line: {line}"
+    );
+    let mut rest = String::new();
+    assert_eq!(rb.read_line(&mut rest).unwrap(), 0, "refused socket closes");
+
+    // The admitted connection is untouched.
+    assert!(ask(&mut a, &mut ra, "graphs").starts_with("serving:"));
+    server.shutdown();
 }
