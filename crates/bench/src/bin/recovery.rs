@@ -55,6 +55,7 @@ fn main() -> graphstore::Result<()> {
         DurableOptions {
             checkpoint_every,
             group_commit: None,
+            ..Default::default()
         },
     )?;
     let t0 = Instant::now();

@@ -76,6 +76,7 @@ fn run_mode(
         DurableOptions {
             checkpoint_every: u64::MAX, // isolate journal batching from checkpoints
             group_commit: group,
+            ..Default::default()
         },
         Arc::clone(&fault) as Arc<dyn Vfs>,
     )?);

@@ -42,8 +42,9 @@ pub const CHECKPOINT_MAGIC: &[u8; 8] = b"KCORCKP1";
 pub const DURABILITY_VERSION: u32 = 1;
 /// Format version written into new catalog manifests. Version 1 manifests
 /// (no per-entry edge-table format flag; all entries default to
-/// [`FormatVersion::V1`]) keep opening unchanged.
-pub const CATALOG_VERSION: u32 = 2;
+/// [`FormatVersion::V1`]) and version 2 manifests (no per-entry table
+/// generation; all entries default to generation 0) keep opening unchanged.
+pub const CATALOG_VERSION: u32 = 3;
 
 /// Name of the manifest file within a data directory.
 pub const CATALOG_FILE: &str = "catalog.kc";
@@ -67,6 +68,35 @@ pub struct CatalogEntry {
     /// disk, so a base table swapped behind the catalog's back surfaces as
     /// corruption instead of silently serving a different file.
     pub format: FormatVersion,
+    /// Table generation of the base file pair. Generation 0 names the
+    /// registered base path verbatim; generation `g > 0` names
+    /// `<base>.g<g>` — the output of the `g`-th compaction rewrite. The
+    /// catalog rewrite that bumps this field is the single commit point of
+    /// a compaction: until it lands, recovery keeps reading the old tables
+    /// and the new-generation files are dead weight `fsck` can sweep.
+    pub generation: u64,
+}
+
+impl CatalogEntry {
+    /// Base path of the table pair this entry's generation actually names:
+    /// the registered base for generation 0, `<base>.g<generation>`
+    /// otherwise. All openers (recovery, fsck, the CLI) must resolve
+    /// through this, never through [`CatalogEntry::base`] directly.
+    pub fn table_base(&self) -> PathBuf {
+        generation_base(&self.base, self.generation)
+    }
+}
+
+/// The table base path of generation `generation` for a graph registered at
+/// `base`: the base itself at generation 0, `<base>.g<generation>` beyond.
+pub fn generation_base(base: &Path, generation: u64) -> PathBuf {
+    if generation == 0 {
+        base.to_path_buf()
+    } else {
+        let mut s = base.as_os_str().to_owned();
+        s.push(format!(".g{generation}"));
+        PathBuf::from(s)
+    }
 }
 
 /// The persistent manifest of a durable serving directory: pool
@@ -107,11 +137,20 @@ impl Catalog {
     pub fn write_with(&self, dir: &Path, vfs: &dyn Vfs) -> Result<()> {
         // Stamp the oldest version that can represent this registry: a
         // manifest whose graphs are all format v1 needs no per-entry format
-        // byte, and writing it as version 1 keeps the data directory
-        // openable by pre-v2 binaries after a rollback.
+        // byte, one whose graphs are all generation 0 needs no per-entry
+        // generation — and writing the oldest layout keeps the data
+        // directory openable by older binaries after a rollback.
         let needs_v2 = self.entries.iter().any(|e| e.format != FormatVersion::V1);
+        let needs_v3 = self.entries.iter().any(|e| e.generation != 0);
+        let version = if needs_v3 {
+            CATALOG_VERSION
+        } else if needs_v2 {
+            2
+        } else {
+            1
+        };
         let mut body = Vec::new();
-        codec_put_u32(&mut body, if needs_v2 { CATALOG_VERSION } else { 1 });
+        codec_put_u32(&mut body, version);
         codec_put_u32(&mut body, self.block_size as u32);
         body.extend_from_slice(&self.budget_bytes.to_le_bytes());
         body.push(encode_policy(self.policy));
@@ -127,8 +166,11 @@ impl Catalog {
             put_str(&mut body, base)?;
             body.extend_from_slice(&e.charge_bytes.to_le_bytes());
             body.extend_from_slice(&e.checkpoint_seq.to_le_bytes());
-            if needs_v2 {
+            if version >= 2 {
                 body.push(e.format.as_u32() as u8);
+            }
+            if version >= 3 {
+                body.extend_from_slice(&e.generation.to_le_bytes());
             }
         }
         let mut bytes = Vec::with_capacity(body.len() + 12);
@@ -177,12 +219,20 @@ impl Catalog {
             } else {
                 FormatVersion::V1
             };
+            // Versions 1/2 predate table generations; every graph they
+            // catalogue still lives at its registered base path.
+            let generation = if version >= 3 {
+                cur.u64("entry generation")?
+            } else {
+                0
+            };
             entries.push(CatalogEntry {
                 name,
                 base,
                 charge_bytes,
                 checkpoint_seq,
                 format,
+                generation,
             });
         }
         cur.finish("catalog")?;
@@ -472,6 +522,7 @@ mod tests {
                     charge_bytes: 123_456,
                     checkpoint_seq: 7,
                     format: FormatVersion::V2,
+                    generation: 0,
                 },
                 CatalogEntry {
                     name: "beta".into(),
@@ -479,6 +530,7 @@ mod tests {
                     charge_bytes: 0,
                     checkpoint_seq: 0,
                     format: FormatVersion::V1,
+                    generation: 0,
                 },
             ],
         }
@@ -526,6 +578,35 @@ mod tests {
         // The version field sits right after the 8-byte magic.
         assert_eq!(&bytes[8..12], &1u32.to_le_bytes());
         assert_eq!(Catalog::read(dir.path()).unwrap(), cat);
+    }
+
+    #[test]
+    fn zero_generation_registry_writes_a_version_2_manifest() {
+        // A registry with v2 graphs but no compacted generation stays in
+        // the version-2 layout a pre-generation binary can still open.
+        let dir = TempDir::new("cat-v2").unwrap();
+        let cat = sample_catalog();
+        cat.write(dir.path()).unwrap();
+        let bytes = std::fs::read(Catalog::path_in(dir.path())).unwrap();
+        assert_eq!(&bytes[8..12], &2u32.to_le_bytes());
+        assert_eq!(Catalog::read(dir.path()).unwrap(), cat);
+    }
+
+    #[test]
+    fn compacted_generation_round_trips_through_a_v3_manifest() {
+        let dir = TempDir::new("cat-v3").unwrap();
+        let mut cat = sample_catalog();
+        cat.entries[0].generation = 5;
+        cat.write(dir.path()).unwrap();
+        let bytes = std::fs::read(Catalog::path_in(dir.path())).unwrap();
+        assert_eq!(&bytes[8..12], &3u32.to_le_bytes());
+        let back = Catalog::read(dir.path()).unwrap();
+        assert_eq!(back, cat);
+        assert_eq!(
+            back.entries[0].table_base(),
+            PathBuf::from("/data/alpha.g5")
+        );
+        assert_eq!(back.entries[1].table_base(), PathBuf::from("rel/beta"));
     }
 
     #[test]

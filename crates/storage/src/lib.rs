@@ -57,7 +57,7 @@ pub use builder::{
     ExternalGraphBuilder,
 };
 pub use cache::{BlockCache, CacheStats, EvictionPolicy};
-pub use catalog::{Catalog, CatalogEntry, StateCheckpoint};
+pub use catalog::{generation_base, Catalog, CatalogEntry, StateCheckpoint};
 pub use error::{Error, Result};
 pub use format::{FormatVersion, GraphMeta, GraphPaths};
 pub use graph::DiskGraph;
@@ -69,7 +69,9 @@ pub use pool::{
     QosConfig, SharedPool,
 };
 pub use tempdir::TempDir;
-pub use update_buffer::{BufferedGraph, UpdateBuffer, DEFAULT_BUFFER_CAPACITY};
+pub use update_buffer::{
+    rewrite_temp_base, rewrite_temp_paths, BufferedGraph, UpdateBuffer, DEFAULT_BUFFER_CAPACITY,
+};
 pub use vfs::{FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{GroupCommitOptions, GroupCommitWal, Wal, WalScan, WAL_MAGIC};
 

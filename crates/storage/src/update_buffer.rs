@@ -13,11 +13,12 @@
 //! graph while paying disk I/O only for the base adjacency lists.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 
 use crate::access::AdjacencyRead;
 use crate::builder::DiskGraphWriter;
 use crate::error::{Error, Result};
-use crate::format::GraphPaths;
+use crate::format::{FormatVersion, GraphPaths};
 use crate::graph::DiskGraph;
 use crate::io::IoSnapshot;
 
@@ -228,6 +229,25 @@ pub struct BufferedGraph {
 /// Default edit-entry capacity of the in-memory buffer.
 pub const DEFAULT_BUFFER_CAPACITY: usize = 1 << 20;
 
+/// The temp base path a flush rewrite of `paths` goes through before the
+/// rename: the node table path with `.rewrite` appended. The writer then
+/// materialises `<temp base>.nodes` / `<temp base>.edges` — see
+/// [`rewrite_temp_paths`] for the concrete pair a crashed flush leaves
+/// behind.
+pub fn rewrite_temp_base(paths: &GraphPaths) -> PathBuf {
+    let mut s = paths.nodes.as_os_str().to_owned();
+    s.push(".rewrite");
+    PathBuf::from(s)
+}
+
+/// The concrete temp file pair a flush of `paths` writes (and a crashed
+/// flush strands): the [`rewrite_temp_base`] expanded to its node/edge
+/// tables. `fsck` scans for these; [`BufferedGraph::clean_stale_temps`]
+/// removes them.
+pub fn rewrite_temp_paths(paths: &GraphPaths) -> GraphPaths {
+    GraphPaths::from_base(&rewrite_temp_base(paths))
+}
+
 impl BufferedGraph {
     /// Wrap `disk` with an update buffer of the given capacity (edit entries).
     pub fn new(disk: DiskGraph, capacity: usize) -> Self {
@@ -318,6 +338,35 @@ impl BufferedGraph {
         self.maybe_flush()
     }
 
+    /// [`BufferedGraph::insert_edge`] with the precondition enforced:
+    /// inserting an edge already present in the merged view is rejected
+    /// with [`Error::InvalidArgument`] *before* any state changes, instead
+    /// of silently double-counting `degree_sum_delta` the way the unchecked
+    /// variant (documented as such) would. Costs one extra adjacency read —
+    /// the price the durable serving path pays for never drifting.
+    pub fn insert_edge_checked(&mut self, u: u32, v: u32) -> Result<()> {
+        if self.has_edge(u, v)? {
+            return Err(Error::InvalidArgument(format!(
+                "edge ({u}, {v}) already exists"
+            )));
+        }
+        self.insert_edge(u, v)
+    }
+
+    /// [`BufferedGraph::delete_edge`] with the precondition enforced:
+    /// deleting an edge absent from the merged view is rejected with
+    /// [`Error::InvalidArgument`] before any state changes (the unchecked
+    /// variant would under-count `degree_sum_delta` and strand a phantom
+    /// delete in the buffer). Costs one extra adjacency read.
+    pub fn delete_edge_checked(&mut self, u: u32, v: u32) -> Result<()> {
+        if !self.has_edge(u, v)? {
+            return Err(Error::InvalidArgument(format!(
+                "edge ({u}, {v}) does not exist"
+            )));
+        }
+        self.delete_edge(u, v)
+    }
+
     fn maybe_flush(&mut self) -> Result<()> {
         if self.buffer.len() >= self.capacity {
             self.flush()?;
@@ -328,31 +377,21 @@ impl BufferedGraph {
     /// Apply all pending edits to the on-disk graph: sequentially rewrite the
     /// node and edge tables (charged as write I/Os), atomically replace the
     /// files, and clear the buffer.
+    ///
+    /// Any stale temp pair a crashed prior flush stranded at the
+    /// [`rewrite_temp_paths`] location is removed first, so the rewrite
+    /// never collides with (or is confused by) leftover bytes.
     pub fn flush(&mut self) -> Result<()> {
         if self.buffer.is_empty() {
             return Ok(());
         }
-        let n = self.disk.num_nodes();
+        self.clean_stale_temps()?;
         let paths = self.disk.paths().clone();
-        let tmp_base = {
-            let mut s = paths.nodes.as_os_str().to_owned();
-            s.push(".rewrite");
-            std::path::PathBuf::from(s)
-        };
-        let counter = self.disk.counter().clone();
+        let tmp_base = rewrite_temp_base(&paths);
         // The rewrite preserves the graph's edge-table encoding: a v2 graph
         // stays compressed across flushes (the merge itself works on
         // decoded lists, so it is format-agnostic).
-        let mut writer =
-            DiskGraphWriter::create_with_format(&tmp_base, n, counter, self.disk.format_version())?;
-        let mut base = Vec::new();
-        let mut merged = Vec::new();
-        for v in 0..n {
-            self.disk.adjacency(v, &mut base)?;
-            self.buffer.apply(v, &base, &mut merged);
-            writer.append_adjacency(v, &merged)?;
-        }
-        let new_paths: GraphPaths = writer.finish()?;
+        let new_paths = self.rewrite_to(&tmp_base, self.disk.format_version())?;
         let vfs = self.disk.counter().vfs().clone();
         vfs.rename(&new_paths.nodes, &paths.nodes)?;
         vfs.rename(&new_paths.edges, &paths.edges)?;
@@ -364,6 +403,43 @@ impl BufferedGraph {
         self.degree_sum_delta = 0;
         self.flushes += 1;
         Ok(())
+    }
+
+    /// Write the merged view — base tables plus every pending edit — into a
+    /// fresh, fully fsynced table pair at `target_base`, encoded as
+    /// `format`. The live graph, the buffer and the original files are left
+    /// untouched: the caller owns the commit (a flush renames over the
+    /// source; a generational compaction publishes the new base through the
+    /// catalog instead). Returns the new pair's paths.
+    pub fn rewrite_to(&mut self, target_base: &Path, format: FormatVersion) -> Result<GraphPaths> {
+        let n = self.disk.num_nodes();
+        let counter = self.disk.counter().clone();
+        let mut writer = DiskGraphWriter::create_with_format(target_base, n, counter, format)?;
+        let mut base = Vec::new();
+        let mut merged = Vec::new();
+        for v in 0..n {
+            self.disk.adjacency(v, &mut base)?;
+            self.buffer.apply(v, &base, &mut merged);
+            writer.append_adjacency(v, &merged)?;
+        }
+        writer.finish()
+    }
+
+    /// Remove any stale flush temp files left at [`rewrite_temp_paths`] by
+    /// a crash between a prior flush's writes and its renames. Returns how
+    /// many files were removed. Removal is plain unlink work — no sync
+    /// points — so calling this at open adds no crash windows.
+    pub fn clean_stale_temps(&mut self) -> Result<usize> {
+        let tmp = rewrite_temp_paths(self.disk.paths());
+        let vfs = self.disk.counter().vfs().clone();
+        let mut removed = 0;
+        for p in [&tmp.nodes, &tmp.edges] {
+            if p.exists() {
+                vfs.remove_file(p)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 
     /// Resident bytes of the buffer (the only O(updates) memory held).
@@ -557,6 +633,74 @@ mod tests {
         }
         assert!(bg.flushes() > 0, "stream should have forced flushes");
         assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn checked_mutations_reject_instead_of_drifting() {
+        let (_d, mut bg, _m) = setup(1 << 20);
+        let before = bg.degree_sum();
+        // (0, 1) exists on disk; (0, 3) does not.
+        assert!(matches!(
+            bg.insert_edge_checked(0, 1),
+            Err(Error::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            bg.delete_edge_checked(0, 3),
+            Err(Error::InvalidArgument(_))
+        ));
+        // Rejected ops leave no trace: no pending edits, no delta drift.
+        assert_eq!(bg.pending_edits(), 0);
+        assert_eq!(bg.degree_sum(), before);
+        // The happy path still mutates.
+        bg.insert_edge_checked(0, 3).unwrap();
+        bg.delete_edge_checked(0, 1).unwrap();
+        assert!(bg.has_edge(0, 3).unwrap());
+        assert!(!bg.has_edge(0, 1).unwrap());
+        assert_eq!(bg.degree_sum(), before);
+    }
+
+    #[test]
+    fn stale_rewrite_temps_are_cleaned_before_flush() {
+        let (_d, mut bg, mut mirror) = setup(1 << 20);
+        // Strand a fake temp pair the way a crashed flush would.
+        let tmp = rewrite_temp_paths(bg.disk().paths());
+        std::fs::write(&tmp.nodes, b"stale").unwrap();
+        std::fs::write(&tmp.edges, b"stale").unwrap();
+        assert_eq!(bg.clean_stale_temps().unwrap(), 2);
+        assert!(!tmp.nodes.exists() && !tmp.edges.exists());
+        // And a flush over freshly stranded temps succeeds end to end.
+        std::fs::write(&tmp.nodes, b"stale").unwrap();
+        bg.insert_edge(4, 5).unwrap();
+        mirror.insert_edge(4, 5).unwrap();
+        bg.flush().unwrap();
+        assert!(!tmp.nodes.exists(), "flush must consume the stale temp");
+        assert_same_view(&mut bg, &mirror);
+    }
+
+    #[test]
+    fn rewrite_to_writes_merged_view_and_leaves_source_untouched() {
+        let (dir, mut bg, mut mirror) = setup(1 << 20);
+        bg.insert_edge(4, 5).unwrap();
+        mirror.insert_edge(4, 5).unwrap();
+        bg.delete_edge(0, 1).unwrap();
+        mirror.delete_edge(0, 1).unwrap();
+        let target = dir.path().join("g.g1");
+        let new_paths = bg
+            .rewrite_to(&target, crate::format::FormatVersion::V2)
+            .unwrap();
+        // The source pair and the pending buffer are untouched.
+        assert_eq!(bg.pending_edits(), 4);
+        assert_same_view(&mut bg, &mirror);
+        // The new pair holds the merged view, re-encoded as v2.
+        let mut out =
+            DiskGraph::open(&target, crate::io::IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+        assert_eq!(out.format_version(), crate::format::FormatVersion::V2);
+        assert_eq!(new_paths, GraphPaths::from_base(&target));
+        let mut buf = Vec::new();
+        for v in 0..out.num_nodes() {
+            out.adjacency(v, &mut buf).unwrap();
+            assert_eq!(buf.as_slice(), mirror.neighbors(v), "node {v}");
+        }
     }
 
     #[test]

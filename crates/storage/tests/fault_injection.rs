@@ -30,6 +30,7 @@ fn catalog(tag: u64) -> Catalog {
             } else {
                 FormatVersion::V2
             },
+            generation: (tag + i) % 3,
         })
         .collect();
     Catalog {

@@ -21,6 +21,7 @@ multigraph_out="$(pwd)/${prefix}_multigraph.json"
 recovery_out="$(pwd)/${prefix}_recovery.json"
 compress_out="$(pwd)/${prefix}_compress.json"
 serve_out="$(pwd)/${prefix}_serve.json"
+compact_out="$(pwd)/${prefix}_compact.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -75,5 +76,13 @@ echo "# bench run ${stamp} @ ${rev}" >> "${serve_out}"
 run_target serve_load \
     cargo run --release -q -p kcore-bench --bin serve_load -- --json "${serve_out}"
 
+# Compaction dividend: durable footprint and reopen charge before vs after
+# folding buffered edits into a fresh table generation. The binary is the
+# compaction regression gate: it exits non-zero unless the compacted reopen
+# charges strictly fewer read I/Os and the data dir strictly shrinks.
+echo "# bench run ${stamp} @ ${rev}" >> "${compact_out}"
+run_target compaction \
+    cargo run --release -q -p kcore-bench --bin compaction -- --json "${compact_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out} and ${serve_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out}, ${serve_out} and ${compact_out}"

@@ -9,8 +9,11 @@
 //! kcore serve  [--budget-mb M] [--workers N] [--policy lru|scanlifo]
 //!              [--data-dir DIR] [--listen ADDR] [--max-conns N]
 //!              [--qos-mb M] [--qos-queue N] [--group-commit-us U]
+//!              [--compact-after E]
 //!              [name=graph-base ...]         serve many graphs on one budget
 //! kcore fsck   <data-dir> [--repair]         check (and repair) a durable dir
+//! kcore compact <data-dir> <name>            fold buffered edits into fresh tables
+//! kcore recompress <data-dir>                migrate a catalog's tables to v2
 //! ```
 //!
 //! All runs print the I/O and memory accounting the paper reports.
@@ -22,15 +25,23 @@
 //! `kcore serve` starts a [`CoreService`]: every named graph is opened
 //! against one process-wide pool of `--budget-mb` MiB, then commands are
 //! read line by line from stdin (`open`, `core`, `kmax`, `insert`,
-//! `delete`, `stats`, `weight`, `qos`, `graphs`, `save`, `verify`,
-//! `pool`, `evict`, `quit` — see `help`). With `--data-dir DIR` the
-//! registry is durable: every maintenance op is journaled before it is
+//! `delete`, `stats`, `weight`, `qos`, `graphs`, `save`, `compact`,
+//! `verify`, `pool`, `evict`, `quit` — see `help`). With `--data-dir DIR`
+//! the registry is durable: every maintenance op is journaled before it is
 //! applied, and restarting with the same directory restores every graph —
 //! maintained cores included — without re-decomposing (the directory's
 //! catalog then also supplies the pool budget and policy, so those flags
 //! are ignored on reopen). `--group-commit-us U` (durable mode only)
 //! batches concurrent journal fsyncs into one barrier with a `U`-µs
-//! gather window.
+//! gather window. `--compact-after E` (durable mode only) bounds every
+//! graph's update buffer: once `E` buffered edit entries accumulate the
+//! apply path folds tables + edits into a fresh table generation and
+//! truncates buffer and journal (default one million entries).
+//!
+//! `kcore compact <data-dir> <name>` runs that same generational rewrite
+//! offline, and `kcore recompress <data-dir>` migrates every catalogued
+//! graph to the delta-varint (v2) encoding through it, reporting the
+//! charged-read savings per graph.
 //!
 //! `--listen ADDR` additionally serves the same line protocol over TCP
 //! (thread per connection, at most `--max-conns` of them) while stdin
@@ -65,7 +76,7 @@ use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR]\n              [--listen ADDR] [--max-conns N] [--qos-mb M] [--qos-queue N]\n              [--group-commit-us U] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]"
+        "usage:\n  kcore build <edges.txt> <graph-base> [--compress]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR]\n              [--listen ADDR] [--max-conns N] [--qos-mb M] [--qos-queue N]\n              [--group-commit-us U] [--compact-after E] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]\n  kcore compact <data-dir> <name>\n  kcore recompress <data-dir>"
     );
     std::process::exit(2)
 }
@@ -218,6 +229,8 @@ fn main() -> graphstore::Result<()> {
         }
         "serve" => serve(&args)?,
         "fsck" => fsck_cmd(&args)?,
+        "compact" => compact_cmd(&args)?,
+        "recompress" => recompress_cmd(&args)?,
         _ => usage(),
     }
     Ok(())
@@ -250,9 +263,55 @@ fn fsck_cmd(args: &[String]) -> graphstore::Result<()> {
     Ok(())
 }
 
+/// `kcore compact <data-dir> <name>`: open the durable catalog, fold the
+/// named graph's buffered edits into a fresh generation of table files
+/// (the same commit protocol the serving path uses at its threshold),
+/// and truncate its update buffer and journal.
+fn compact_cmd(args: &[String]) -> graphstore::Result<()> {
+    let (Some(dir), Some(name)) = (args.get(1), args.get(2)) else {
+        usage()
+    };
+    let svc = CoreService::open_catalog(Path::new(dir))?;
+    let generation = svc.compact(name)?;
+    println!("compacted {name}: now generation {generation} (update buffer and journal empty)");
+    Ok(())
+}
+
+/// `kcore recompress <data-dir>`: migrate every catalogued graph to the
+/// delta-varint (v2) edge encoding in place, through the same
+/// generational rewrite `compact` uses — the catalog commit switches
+/// tables, checkpoint and format atomically per graph. Reports the edge
+/// table shrink and the equivalent full-scan charged-read savings.
+fn recompress_cmd(args: &[String]) -> graphstore::Result<()> {
+    let Some(dir) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let svc = CoreService::open_catalog(Path::new(dir))?;
+    let block = svc.pool().block_size() as u64;
+    let table = |name: &str| {
+        svc.with_graph(name, |idx| {
+            let meta = idx.graph_mut().disk().meta();
+            Ok((meta.edge_bytes, meta.version.tag()))
+        })
+    };
+    let names = svc.graph_names();
+    for name in &names {
+        let (old_bytes, old_tag) = table(name)?;
+        let generation = svc.recompress(name)?;
+        let (new_bytes, new_tag) = table(name)?;
+        println!(
+            "{name}: {old_tag} -> {new_tag} (generation {generation}); edge table {old_bytes} -> {new_bytes} B, full-scan charged reads {} -> {}",
+            old_bytes.div_ceil(block),
+            new_bytes.div_ceil(block),
+        );
+    }
+    println!("recompressed {} graph(s) in {dir}", names.len());
+    Ok(())
+}
+
 /// The value-taking flags of `kcore serve` — the single list both the
 /// flag parsers and the positional-argument scan below work from.
-const SERVE_FLAGS: [&str; 9] = [
+const SERVE_FLAGS: [&str; 10] = [
     "--budget-mb",
     "--workers",
     "--policy",
@@ -262,6 +321,7 @@ const SERVE_FLAGS: [&str; 9] = [
     "--qos-mb",
     "--qos-queue",
     "--group-commit-us",
+    "--compact-after",
 ];
 
 /// `kcore serve`: a [`CoreService`] REPL over stdin, optionally also
@@ -306,8 +366,20 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
         eprintln!("--group-commit-us requires --data-dir (there is no journal without one)");
         usage()
     }
+    // `--compact-after E` bounds each durable graph's update buffer at
+    // `E` edit entries before the apply path compacts it.
+    let compact_after = match arg_value(args, SERVE_FLAGS[9]).map(|v| v.parse::<usize>()) {
+        Some(Ok(entries)) => Some(entries),
+        Some(Err(_)) => usage(),
+        None => None,
+    };
+    if compact_after.is_some() && arg_value(args, SERVE_FLAGS[3]).is_none() {
+        eprintln!("--compact-after requires --data-dir (only durable graphs compact)");
+        usage()
+    }
     let durable_opts = kcore_suite::DurableOptions {
         group_commit,
+        compact_after_edits: compact_after.unwrap_or(kcore_suite::DEFAULT_COMPACT_AFTER_EDITS),
         ..kcore_suite::DurableOptions::default()
     };
     let svc = match arg_value(args, SERVE_FLAGS[3]) {

@@ -5,23 +5,35 @@
 //! would, but keeps going after the first problem and never mutates
 //! anything unless asked: for every catalogued graph it
 //!
-//! 1. opens the **base tables** and walks the full adjacency (header
-//!    magics, per-block CRCs and extent bounds are validated by the block
-//!    reader on the way; on top, every neighbor list must be strictly
-//!    ascending, in `0..n`, and degree-consistent with the node table);
-//! 2. reads the **checkpoint** (`<name>.ckpt`, magic + CRC) and checks its
-//!    vectors against the graph's node count;
+//! 1. opens the **current-generation tables** (the registered base for
+//!    generation 0, `<base>.g<g>` after `g` compactions) and walks the
+//!    full adjacency (header magics, per-block CRCs and extent bounds are
+//!    validated by the block reader on the way; on top, every neighbor
+//!    list must be strictly ascending, in `0..n`, and degree-consistent
+//!    with the node table);
+//! 2. reads the **checkpoint** (`<name>.ckpt`, or `<name>.g<g>.ckpt`
+//!    after compaction; magic + CRC) and checks its vectors against the
+//!    graph's node count;
 //! 3. scans the **journal** (`<name>.wal`) read-only: magic, per-record
 //!    framing CRCs, op decodability, endpoint ranges, and gap-free
-//!    sequence numbers above the checkpoint's.
+//!    sequence numbers above the checkpoint's;
+//! 4. sweeps for **generation debris**: stale `.rewrite` flush temps
+//!    beside the live tables, and off-generation table/checkpoint files —
+//!    what a compaction leaves when it crashes before its catalog commit
+//!    (next generation's files) or dies after it (the superseded
+//!    generation's).
 //!
-//! With `repair` set, the *journal tail* problems — a torn or
-//! CRC-damaged tail, an undecodable op, a sequence gap — are repaired by
-//! truncating the journal back to its longest good prefix, which makes
-//! the next [`crate::CoreService::open_catalog`] recover the checkpoint
-//! plus exactly that prefix (the "fall back to the last good checkpoint"
-//! degenerate case is a truncation to the bare header). Repair never
-//! touches base tables, checkpoints or the catalog itself: damage there
+//! With `repair` set, two classes of problem are fixed. The *journal
+//! tail* problems — a torn or CRC-damaged tail, an undecodable op, a
+//! sequence gap — are repaired by truncating the journal back to its
+//! longest good prefix, which makes the next
+//! [`crate::CoreService::open_catalog`] recover the checkpoint plus
+//! exactly that prefix (the "fall back to the last good checkpoint"
+//! degenerate case is a truncation to the bare header). *Generation
+//! debris* is repaired by deleting it: the catalog manifest is the single
+//! source of truth for which generation is live, so every off-generation
+//! file is dead weight recovery will never read. Repair never touches the
+//! live tables, the live checkpoint or the catalog itself: damage there
 //! means acknowledged state would have to be invented, and fsck refuses
 //! to guess — those findings stay unrepaired and the exit is nonzero.
 
@@ -109,8 +121,14 @@ pub fn fsck_with(dir: &Path, repair: bool, vfs: Arc<dyn Vfs>) -> Result<FsckRepo
     Ok(report)
 }
 
-fn ckpt_path(dir: &Path, name: &str) -> PathBuf {
-    dir.join(format!("{name}.ckpt"))
+/// Generation-keyed checkpoint path — must mirror the service's naming:
+/// `<name>.ckpt` for generation 0, `<name>.g<g>.ckpt` afterwards.
+fn ckpt_path(dir: &Path, name: &str, generation: u64) -> PathBuf {
+    if generation == 0 {
+        dir.join(format!("{name}.ckpt"))
+    } else {
+        dir.join(format!("{name}.g{generation}.ckpt"))
+    }
 }
 
 fn wal_path(dir: &Path, name: &str) -> PathBuf {
@@ -128,9 +146,9 @@ fn check_graph(
     let name = entry.name.as_str();
     let counter = IoCounter::with_vfs(block_size, Arc::clone(vfs));
 
-    // 1. Base tables: headers validate on open, blocks on read; the walk
-    //    adds the structural invariants a CRC cannot see.
-    let num_nodes = match DiskGraph::open(&entry.base, counter.clone()) {
+    // 1. Current-generation tables: headers validate on open, blocks on
+    //    read; the walk adds the structural invariants a CRC cannot see.
+    let num_nodes = match DiskGraph::open(&entry.table_base(), counter.clone()) {
         Ok(mut disk) => {
             if disk.format_version() != entry.format {
                 report.push(
@@ -155,7 +173,7 @@ fn check_graph(
     };
 
     // 2. Checkpoint: magic + CRC inside StateCheckpoint::read; shape here.
-    let ck_seq = match StateCheckpoint::read(&ckpt_path(dir, name), &counter) {
+    let ck_seq = match StateCheckpoint::read(&ckpt_path(dir, name, entry.generation), &counter) {
         Ok(ck) => {
             if let Some(n) = num_nodes {
                 if ck.cores.len() != n as usize || ck.cnt.len() != n as usize {
@@ -195,6 +213,69 @@ fn check_graph(
         vfs,
         report,
     );
+
+    // 4. Generation debris: files no manifest points at.
+    check_generation_debris(dir, entry, repair, vfs, report);
+}
+
+/// Sweep for files a crashed or interrupted compaction/flush left behind:
+/// stale `.rewrite` temps beside the live tables, tables of generations
+/// other than the catalogued one (the user-owned generation-0 base is
+/// legitimate and never flagged), and checkpoints keyed to a generation
+/// other than the catalogued one. All are dead — recovery reads only the
+/// manifest's generation — so repair deletes them.
+fn check_generation_debris(
+    dir: &Path,
+    entry: &graphstore::CatalogEntry,
+    repair: bool,
+    vfs: &Arc<dyn Vfs>,
+    report: &mut FsckReport,
+) {
+    let name = entry.name.as_str();
+    let live = graphstore::GraphPaths::from_base(&entry.table_base());
+    let temps = graphstore::rewrite_temp_paths(&live);
+    for path in [&temps.nodes, &temps.edges] {
+        if path.exists() {
+            let repaired = repair && vfs.remove_file(path).is_ok();
+            report.push(
+                Some(name),
+                format!("stale rewrite temp {}", path.display()),
+                repaired,
+            );
+        }
+    }
+    // A compaction crash can strand the next generation's files (died
+    // before the commit) or the previous generation's (died after, before
+    // the unlinks); unlink failures can strand older ones. Probe every
+    // generation up to one past the live one.
+    for g in 0..=entry.generation + 1 {
+        if g == entry.generation {
+            continue;
+        }
+        if g > 0 {
+            let paths =
+                graphstore::GraphPaths::from_base(&graphstore::generation_base(&entry.base, g));
+            for path in [&paths.nodes, &paths.edges] {
+                if path.exists() {
+                    let repaired = repair && vfs.remove_file(path).is_ok();
+                    report.push(
+                        Some(name),
+                        format!("orphaned generation-{g} table {}", path.display()),
+                        repaired,
+                    );
+                }
+            }
+        }
+        let ck = ckpt_path(dir, name, g);
+        if ck.exists() {
+            let repaired = repair && vfs.remove_file(&ck).is_ok();
+            report.push(
+                Some(name),
+                format!("orphaned generation-{g} checkpoint {}", ck.display()),
+                repaired,
+            );
+        }
+    }
 }
 
 /// Full adjacency walk: every list strictly ascending, in range, and
@@ -405,6 +486,57 @@ mod tests {
 
         // Clean after repair, and the directory still opens.
         assert!(fsck(&data, false).unwrap().clean());
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.kmax("g").unwrap(), 3);
+    }
+
+    #[test]
+    fn compacted_directory_reports_clean() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        let svc = CoreService::open_catalog(&data).unwrap();
+        svc.insert_edge("g", 2, 3).unwrap_err(); // present already — no-op
+        assert_eq!(svc.compact("g").unwrap(), 1);
+        drop(svc);
+        let report = fsck(&data, false).unwrap();
+        assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn generation_debris_is_found_and_swept() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.compact("g").unwrap(), 1);
+        drop(svc);
+        // Plant what a crashed compaction would leave: next-generation
+        // tables, an off-generation checkpoint, and a stale rewrite temp.
+        std::fs::write(tmp.path().join("g.g2.nodes"), b"junk").unwrap();
+        std::fs::write(tmp.path().join("g.g2.edges"), b"junk").unwrap();
+        std::fs::write(data.join("g.ckpt"), b"junk").unwrap();
+        std::fs::write(tmp.path().join("g.g1.nodes.rewrite.nodes"), b"junk").unwrap();
+
+        let report = fsck(&data, false).unwrap();
+        assert_eq!(report.unrepaired(), 4, "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("stale rewrite temp")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("orphaned generation-2 table")));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.problem.contains("orphaned generation-0 checkpoint")));
+
+        let report = fsck(&data, true).unwrap();
+        assert_eq!(report.unrepaired(), 0, "{:?}", report.findings);
+        assert!(fsck(&data, false).unwrap().clean());
+        assert!(!tmp.path().join("g.g2.nodes").exists());
+        assert!(!data.join("g.ckpt").exists());
+        // The live generation still recovers.
         let svc = CoreService::open_catalog(&data).unwrap();
         assert_eq!(svc.kmax("g").unwrap(), 3);
     }

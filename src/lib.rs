@@ -61,7 +61,7 @@ pub mod fsck;
 
 pub use fsck::{fsck, FsckFinding, FsckReport};
 pub use server::{Server, ServerOptions};
-pub use service::{CoreService, DurableOptions};
+pub use service::{CoreService, DurableOptions, DEFAULT_COMPACT_AFTER_EDITS};
 
 use std::path::Path;
 

@@ -6,8 +6,8 @@
 //!
 //! One request line in, one (occasionally several) reply lines out — the
 //! same commands the stdin REPL accepts (`open`, `core`, `kmax`, `insert`,
-//! `delete`, `stats`, `weight`, `qos`, `graphs`, `save`, `verify`, `pool`,
-//! `evict`, `quit`, `help`). Failures never end a session: every error is
+//! `delete`, `stats`, `weight`, `qos`, `graphs`, `save`, `compact`,
+//! `verify`, `pool`, `evict`, `quit`, `help`). Failures never end a session: every error is
 //! one structured `err <kind>: <detail>` line (kinds: `io`, `corrupt`,
 //! `range`, `usage`, `limit`, `overloaded`, `quarantined`), so a scripted
 //! client can match on the prefix and carry on. [`dispatch`](crate::server::dispatch) is the whole
@@ -277,7 +277,7 @@ pub fn dispatch(svc: &CoreService, line: &str) -> Response {
             "commands: open <name> <base> | core <name> <v> | kmax <name> | \
              insert <name> <u> <v> | delete <name> <u> <v> | stats <name> | \
              verify <name> | weight <name> <w> | qos | graphs | save [<name>] | \
-             pool | list | evict <name> | quit"
+             compact <name> | pool | list | evict <name> | quit"
                 .to_string(),
         ),
         ["open", name, base] => Response::say(open_report(svc, name, Path::new(base))),
@@ -363,6 +363,10 @@ pub fn dispatch(svc: &CoreService, line: &str) -> Response {
         }
         ["save"] => Response::result(svc.save_all().map(|()| "saved all graphs".to_string())),
         ["save", name] => Response::result(svc.save(name).map(|()| format!("saved {name}"))),
+        ["compact", name] => Response::result(
+            svc.compact(name)
+                .map(|generation| format!("compacted {name}: now generation {generation}")),
+        ),
         ["verify", name] => Response::result(svc.verify(name).map(|ok| {
             if ok {
                 format!("{name}: certificate holds (Theorem 4.1 fixpoint)")

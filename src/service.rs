@@ -37,10 +37,17 @@
 //! apply → checkpoint once `checkpoint_every` ops accumulate → truncate the
 //! journal); recovery loads the checkpoint in one sequential scan and
 //! replays the journal tail through the very same [`CoreIndex::apply`]
-//! dispatch. Durable graphs never rewrite their base tables: the tables
-//! stay immutable while edits accumulate in the (checkpointed) update
-//! buffer, which is what makes recovery exact at any kill point. The full
-//! crash-window analysis lives in ARCHITECTURE.md ("Durability").
+//! dispatch. Durable graphs never rewrite their tables *in place*: a
+//! table file is immutable from creation to deletion while edits
+//! accumulate in the (checkpointed) update buffer, which is what makes
+//! recovery exact at any kill point. What bounds that accumulation is
+//! **generational compaction** ([`CoreService::compact`], triggered
+//! automatically at [`DurableOptions::compact_after_edits`]): tables plus
+//! buffered edits are rewritten into a fresh generation of files and the
+//! catalog manifest's bumped generation number is the single commit
+//! point, after which buffer and journal are truncated. The full
+//! crash-window analysis lives in ARCHITECTURE.md ("Durability" and
+//! "Compaction").
 //!
 //! ## Failure containment
 //!
@@ -73,10 +80,18 @@ use semicore::{CoreState, MaintainOp, MaintainStats, ScanExecutor};
 
 use crate::CoreIndex;
 
-/// Update-buffer capacity for durable graphs: effectively unbounded, so the
-/// base tables are never rewritten behind the checkpoint protocol's back
-/// (see the module docs — table immutability is what makes recovery exact).
+/// Update-buffer capacity for durable graphs: self-flush is disabled (a
+/// buffer-triggered flush would rewrite the base tables behind the
+/// checkpoint protocol's back and double-apply edits on recovery). The
+/// *actual* memory bound comes from the service instead: once a graph's
+/// pending edits reach [`DurableOptions::compact_after_edits`] the apply
+/// path runs a generational compaction, which rewrites the tables
+/// *through* the commit protocol and empties the buffer.
 const DURABLE_BUFFER_CAPACITY: usize = usize::MAX;
+
+/// Default [`DurableOptions::compact_after_edits`]: one million buffered
+/// edit entries (~16 MiB of buffer) before the apply path compacts.
+pub const DEFAULT_COMPACT_AFTER_EDITS: usize = 1 << 20;
 
 /// Durability knobs for [`CoreService::create_durable_with`] /
 /// [`CoreService::open_catalog_with`].
@@ -94,6 +109,15 @@ pub struct DurableOptions {
     /// either way — an op whose success was reported is durable — only
     /// unacknowledged in-flight ops ride a wider crash window.
     pub group_commit: Option<GroupCommitOptions>,
+    /// Compact a graph once its update buffer holds this many edit
+    /// entries (an undirected edge op buffers two entries, one per
+    /// endpoint). This is the durable path's **memory bound**: without
+    /// it the buffer — and with it every checkpoint and every recovery
+    /// replay — grows without limit, because durable graphs never
+    /// self-flush. Each buffered entry costs a few tens of bytes
+    /// (hash-map node + `u32` id), so the per-graph buffer ceiling is
+    /// `O(compact_after_edits)`. Clamped to at least 2 (one edge op).
+    pub compact_after_edits: usize,
 }
 
 impl Default for DurableOptions {
@@ -101,6 +125,7 @@ impl Default for DurableOptions {
         DurableOptions {
             checkpoint_every: 64,
             group_commit: None,
+            compact_after_edits: DEFAULT_COMPACT_AFTER_EDITS,
         }
     }
 }
@@ -173,6 +198,9 @@ struct Served {
 struct Durable {
     dir: PathBuf,
     checkpoint_every: u64,
+    /// Compaction threshold in buffered edit entries (see
+    /// [`DurableOptions::compact_after_edits`]).
+    compact_after_edits: usize,
     /// `Some` wraps every journal in a [`GroupCommitWal`] at create/open.
     group_commit: Option<GroupCommitOptions>,
     entries: Mutex<HashMap<String, DurableEntry>>,
@@ -194,10 +222,29 @@ struct DurableEntry {
     charge_bytes: u64,
     checkpoint_seq: u64,
     format: FormatVersion,
+    /// Table generation: 0 reads the registered base verbatim, g > 0
+    /// reads `<base>.g<g>` (see [`graphstore::generation_base`]).
+    generation: u64,
 }
 
-fn ckpt_path(dir: &Path, name: &str) -> PathBuf {
-    dir.join(format!("{name}.ckpt"))
+/// Checkpoint path for a graph at a given table generation. Generation 0
+/// keeps the historical `<name>.ckpt` name (so pre-generation catalogs
+/// recover unchanged); generation `g > 0` uses `<name>.g<g>.ckpt`.
+///
+/// Keying the checkpoint by generation is what makes the catalog rewrite
+/// the *single* commit point of a compaction: the bumped manifest entry
+/// atomically switches both the tables **and** the checkpoint that
+/// describes them. A shared checkpoint path could not be ordered safely —
+/// written before the catalog commit, a crash between the two would pair
+/// the old tables with an empty-edits checkpoint (edits lost); written
+/// after, a crash would pair the new tables (edits baked in) with the old
+/// checkpoint (edits re-applied twice).
+fn ckpt_path(dir: &Path, name: &str, generation: u64) -> PathBuf {
+    if generation == 0 {
+        dir.join(format!("{name}.ckpt"))
+    } else {
+        dir.join(format!("{name}.g{generation}.ckpt"))
+    }
 }
 
 fn wal_path(dir: &Path, name: &str) -> PathBuf {
@@ -443,6 +490,7 @@ impl CoreService {
             durable: Some(Durable {
                 dir: dir.to_path_buf(),
                 checkpoint_every: opts.checkpoint_every.max(1),
+                compact_after_edits: opts.compact_after_edits.max(2),
                 group_commit: opts.group_commit,
                 entries: Mutex::new(HashMap::new()),
             }),
@@ -495,6 +543,7 @@ impl CoreService {
             durable: Some(Durable {
                 dir: dir.to_path_buf(),
                 checkpoint_every: opts.checkpoint_every.max(1),
+                compact_after_edits: opts.compact_after_edits.max(2),
                 group_commit: opts.group_commit,
                 entries: Mutex::new(HashMap::new()),
             }),
@@ -653,6 +702,7 @@ impl CoreService {
                         charge_bytes,
                         checkpoint_seq: 0,
                         format,
+                        generation: 0,
                     },
                 );
                 self.rewrite_catalog()
@@ -662,7 +712,7 @@ impl CoreService {
                 // catalog will not restore.
                 self.registry().remove(name);
                 lock_meta(&d.entries).remove(name);
-                let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name));
+                let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name, 0));
                 let _ = self.vfs.remove_file(&wal_path(&d.dir, name));
                 return Err(e);
             }
@@ -702,12 +752,23 @@ impl CoreService {
             .map(|_| ())
             .ok_or_else(|| not_serving(name))?;
         if let Some(d) = &self.durable {
-            lock_meta(&d.entries).remove(name);
+            let entry = lock_meta(&d.entries).remove(name);
             self.rewrite_catalog()?;
             // Sidecars of an uncatalogued graph are dead weight; failures
             // here are harmless (recovery never reads uncatalogued files).
-            let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name));
+            let generation = entry.as_ref().map_or(0, |e| e.generation);
+            let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name, generation));
             let _ = self.vfs.remove_file(&wal_path(&d.dir, name));
+            // Generation > 0 tables are service-created (compaction
+            // output); unlike the user's registered base they go too.
+            if let Some(e) = entry.filter(|e| e.generation > 0) {
+                let paths = graphstore::GraphPaths::from_base(&graphstore::generation_base(
+                    &e.base,
+                    e.generation,
+                ));
+                let _ = self.vfs.remove_file(&paths.nodes);
+                let _ = self.vfs.remove_file(&paths.edges);
+            }
         }
         Ok(())
     }
@@ -798,7 +859,7 @@ impl CoreService {
         let _permit = self.admit(name)?;
         let (handle, quarantine) = self.served(name)?;
         let mut served = lock_served(name, &handle, &quarantine)?;
-        let res = self.apply_locked(name, &mut served, op);
+        let res = self.apply_locked(name, &mut served, op, &quarantine);
         // Under group commit the fsync barrier is crossed *after* the
         // graph lock is gone: the next applier can validate, journal and
         // apply while this op's batch is being synced — that overlap is
@@ -845,6 +906,7 @@ impl CoreService {
         name: &str,
         served: &mut Served,
         op: MaintainOp,
+        quarantine: &Mutex<Option<String>>,
     ) -> Result<(MaintainStats, DurabilityTicket)> {
         Self::validate_op(served, op)?;
         let seq = served.seq + 1;
@@ -894,6 +956,7 @@ impl CoreService {
                 // explicit [`CoreService::save`].
                 let _ = self.checkpoint_locked(name, served);
             }
+            self.maybe_compact_locked(name, served, quarantine);
         }
         Ok((stats, ticket))
     }
@@ -915,7 +978,7 @@ impl CoreService {
         let _permit = self.admit(name)?;
         let (handle, quarantine) = self.served(name)?;
         let mut served = lock_served(name, &handle, &quarantine)?;
-        let (res, ticket) = self.apply_batch_locked(name, &mut served, ops);
+        let (res, ticket) = self.apply_batch_locked(name, &mut served, ops, &quarantine);
         drop(served);
         let res = match ticket {
             Some((group, lsn)) => match (group.wait_durable(lsn, false), res) {
@@ -943,6 +1006,7 @@ impl CoreService {
         name: &str,
         served: &mut Served,
         ops: &[MaintainOp],
+        quarantine: &Mutex<Option<String>>,
     ) -> (Result<Vec<MaintainStats>>, DurabilityTicket) {
         let mut all = Vec::with_capacity(ops.len());
         let mut last_lsn = None;
@@ -1023,6 +1087,7 @@ impl CoreService {
                     // Best-effort, exactly like the single-op path.
                     let _ = self.checkpoint_locked(name, served);
                 }
+                self.maybe_compact_locked(name, served, quarantine);
             }
         }
         (outcome.map(|()| all), ticket)
@@ -1071,6 +1136,182 @@ impl CoreService {
         Ok(())
     }
 
+    /// Compact the named graph **now**, regardless of the
+    /// [`DurableOptions::compact_after_edits`] threshold: rewrite its
+    /// current tables plus every buffered edit into a fresh *generation*
+    /// of table files (same encoding), commit the bumped generation in
+    /// the catalog manifest, then truncate the update buffer and the
+    /// journal. Afterwards the graph's checkpoint carries an empty edit
+    /// list, so recovery is one sequential table scan with nothing to
+    /// replay. Returns the new generation number.
+    ///
+    /// Errors on a non-durable service. A compaction that fails with an
+    /// I/O or corruption error **quarantines** the graph: unlike a
+    /// best-effort threshold checkpoint it may have died anywhere inside
+    /// the multi-file commit protocol, and re-opening from the committed
+    /// manifest is the safe way back (it recovers exactly the pre- or
+    /// post-compaction state, never a third).
+    pub fn compact(&self, name: &str) -> Result<u64> {
+        self.compact_with(name, None)
+    }
+
+    /// [`CoreService::compact`] that additionally migrates the graph to
+    /// the delta-varint edge encoding (format v2): the new generation's
+    /// tables are written compressed whatever the current encoding, and
+    /// the catalog entry's format switches at the same commit point as
+    /// its generation. Existing v2 graphs just compact. Returns the new
+    /// generation number.
+    pub fn recompress(&self, name: &str) -> Result<u64> {
+        self.compact_with(name, Some(FormatVersion::V2))
+    }
+
+    fn compact_with(&self, name: &str, format: Option<FormatVersion>) -> Result<u64> {
+        if self.durable.is_none() {
+            return Err(graphstore::Error::InvalidArgument(
+                "service has no data directory; nothing to compact".into(),
+            ));
+        }
+        let _permit = self.admit(name)?;
+        let (handle, quarantine) = self.served(name)?;
+        let mut served = lock_served(name, &handle, &quarantine)?;
+        let res = self.compact_locked_with(name, &mut served, format);
+        if let Err(e) = &res {
+            if should_quarantine(e) {
+                set_quarantine(&quarantine, &format!("compaction failed: {e}"));
+            }
+        }
+        res
+    }
+
+    /// The named graph's current table generation (0 until its first
+    /// compaction). Errors on a non-durable service or an unknown name.
+    pub fn generation(&self, name: &str) -> Result<u64> {
+        let Some(d) = &self.durable else {
+            return Err(graphstore::Error::InvalidArgument(
+                "service has no data directory; graphs have no generations".into(),
+            ));
+        };
+        lock_meta(&d.entries)
+            .get(name)
+            .map(|e| e.generation)
+            .ok_or_else(|| not_serving(name))
+    }
+
+    /// Threshold-triggered compaction on the apply path. The triggering
+    /// op is journaled, applied and about to be acknowledged — its fate
+    /// must not ride on the compaction — so the error is swallowed here;
+    /// but a compaction that failed mid-protocol may have left the
+    /// on-disk artefacts between states, so the graph is sealed
+    /// (quarantined) and the committed manifest decides on re-open.
+    fn maybe_compact_locked(
+        &self,
+        name: &str,
+        served: &mut Served,
+        quarantine: &Mutex<Option<String>>,
+    ) {
+        let Some(d) = &self.durable else {
+            return;
+        };
+        if served.index.graph_mut().pending_edits() < d.compact_after_edits {
+            return;
+        }
+        if let Err(e) = self.compact_locked_with(name, served, None) {
+            if should_quarantine(&e) {
+                set_quarantine(quarantine, &format!("compaction failed: {e}"));
+            }
+        }
+    }
+
+    /// The generational compaction protocol, with the graph lock held.
+    /// Sync-point order (each a crash window the torture suite walks):
+    ///
+    /// 1. rewrite base ∪ buffered edits into `<base>.g<G>` tables — the
+    ///    generation suffix *is* the temp name until the catalog points
+    ///    at it (3 sync events in the table writer);
+    /// 2. write the new generation's checkpoint (`served.seq`, **empty**
+    ///    edits — they are baked into the new tables) at its
+    ///    generation-keyed path, leaving the old checkpoint untouched
+    ///    (3 sync events, atomic replace);
+    /// 3. rewrite the catalog manifest with the bumped generation — THE
+    ///    commit point: one rename atomically switches which tables and
+    ///    which checkpoint recovery reads (3 sync events);
+    /// 4. truncate the journal — safe on either side of a crash, every
+    ///    journaled record is `<= served.seq` and the committed
+    ///    checkpoint sits exactly at `served.seq`, so recovery skips
+    ///    them by sequence number whether or not the truncate landed;
+    /// 5. swap the live index onto the new tables and drop the old
+    ///    generation's files (plain unlinks: no sync points, no new
+    ///    crash windows; failures leave orphans for fsck to sweep). The
+    ///    registered generation-0 base is the user's file and is never
+    ///    deleted; compaction output (g > 0) is service-owned.
+    fn compact_locked_with(
+        &self,
+        name: &str,
+        served: &mut Served,
+        format_override: Option<FormatVersion>,
+    ) -> Result<u64> {
+        let Some(d) = &self.durable else {
+            return Err(graphstore::Error::InvalidArgument(
+                "compaction on a service with no data directory".into(),
+            ));
+        };
+        let (base, old_gen, charge_bytes, old_format) = {
+            let guard = lock_meta(&d.entries);
+            let e = guard.get(name).ok_or_else(|| not_serving(name))?;
+            (e.base.clone(), e.generation, e.charge_bytes, e.format)
+        };
+        let format = format_override.unwrap_or(old_format);
+        let new_gen = old_gen + 1;
+        let new_base = graphstore::generation_base(&base, new_gen);
+        served.index.graph_mut().rewrite_to(&new_base, format)?;
+        let counter = served.index.graph_mut().disk().counter().clone();
+        let state = served.index.maintained_state().clone();
+        StateCheckpoint::write_parts(
+            &ckpt_path(&d.dir, name, new_gen),
+            &counter,
+            served.seq,
+            &state.core,
+            &state.cnt,
+            &[],
+        )?;
+        {
+            let mut guard = lock_meta(&d.entries);
+            if let Some(e) = guard.get_mut(name) {
+                e.generation = new_gen;
+                e.checkpoint_seq = served.seq;
+                e.format = format;
+            }
+        }
+        if let Err(e) = self.rewrite_catalog() {
+            // Both generations' files exist on disk, so whichever
+            // manifest actually survived is self-consistent; the
+            // in-memory entry just must match what a re-open would pick
+            // if the old manifest won.
+            if let Some(en) = lock_meta(&d.entries).get_mut(name) {
+                en.generation = old_gen;
+                en.format = old_format;
+            }
+            return Err(e);
+        }
+        if let Some(wal) = served.wal.as_mut() {
+            wal.truncate()?;
+        }
+        served.ck_seq = served.seq;
+        let disk = DiskGraph::open_pooled(&new_base, counter, &self.pool, charge_bytes)?;
+        served.index = CoreIndex::restore(disk, DURABLE_BUFFER_CAPACITY, state)?;
+        if let Some(slot) = self.registry().get_mut(name) {
+            slot.format = format;
+        }
+        if old_gen > 0 {
+            let paths =
+                graphstore::GraphPaths::from_base(&graphstore::generation_base(&base, old_gen));
+            let _ = self.vfs.remove_file(&paths.nodes);
+            let _ = self.vfs.remove_file(&paths.edges);
+        }
+        let _ = self.vfs.remove_file(&ckpt_path(&d.dir, name, old_gen));
+        Ok(new_gen)
+    }
+
     /// Cumulative I/O charged to the named graph (its own counter: charged
     /// reads are contention-independent, physical reads are not). On a
     /// recovered graph this starts at the recovery cost — checkpoint scan
@@ -1117,6 +1358,7 @@ impl CoreService {
                 charge_bytes: e.charge_bytes,
                 checkpoint_seq: e.checkpoint_seq,
                 format: e.format,
+                generation: e.generation,
             })
             .collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
@@ -1140,11 +1382,15 @@ impl CoreService {
         let Some(d) = &self.durable else {
             return Ok(());
         };
+        // The checkpoint file is keyed by the graph's current table
+        // generation (0 while the entry map has nothing yet, i.e. the
+        // seq-0 checkpoint written during publication).
+        let generation = lock_meta(&d.entries).get(name).map_or(0, |e| e.generation);
         let edits = served.index.graph_mut().pending_net_edits();
         let counter = served.index.graph_mut().disk().counter().clone();
         let state = served.index.maintained_state();
         StateCheckpoint::write_parts(
-            &ckpt_path(&d.dir, name),
+            &ckpt_path(&d.dir, name, generation),
             &counter,
             served.seq,
             &state.core,
@@ -1181,12 +1427,19 @@ impl CoreService {
             });
         }
         let counter = IoCounter::with_vfs(self.pool.block_size(), Arc::clone(&self.vfs));
-        let disk =
-            DiskGraph::open_pooled(&entry.base, counter.clone(), &self.pool, entry.charge_bytes)?;
-        // The base tables a durable graph references are immutable: finding
-        // them in a different encoding than catalogued means someone
-        // replaced them behind the catalog's back — the checkpointed state
-        // could then belong to a different graph entirely.
+        // Open the entry's *current generation* tables: the registered
+        // base for generation 0, `<base>.g<g>` after `g` compactions.
+        let disk = DiskGraph::open_pooled(
+            &entry.table_base(),
+            counter.clone(),
+            &self.pool,
+            entry.charge_bytes,
+        )?;
+        // The tables a durable graph references are immutable between
+        // compactions: finding them in a different encoding than
+        // catalogued means someone replaced them behind the catalog's
+        // back — the checkpointed state could then belong to a different
+        // graph entirely.
         if disk.format_version() != entry.format {
             return Err(graphstore::Error::Corrupt {
                 reason: format!(
@@ -1197,7 +1450,8 @@ impl CoreService {
                 ),
             });
         }
-        let ck = StateCheckpoint::read(&ckpt_path(&d.dir, &entry.name), &counter)?;
+        let ck =
+            StateCheckpoint::read(&ckpt_path(&d.dir, &entry.name, entry.generation), &counter)?;
         let mut index = CoreIndex::restore(
             disk,
             DURABLE_BUFFER_CAPACITY,
@@ -1206,14 +1460,30 @@ impl CoreService {
                 cnt: ck.cnt,
             },
         )?;
+        // A flush interrupted by a crash can leave `.rewrite` temp tables
+        // next to the graph; they are dead (the rename never happened) and
+        // would collide with the next rewrite, so sweep them on the way in.
+        index.graph_mut().clean_stale_temps()?;
         // The checkpointed update-buffer edits: graph mutations only — the
-        // restored cores/cnt already reflect them.
+        // restored cores/cnt already reflect them. The checked variants
+        // cross-validate each edit against the merged view: a checkpoint
+        // whose edits are already present in the tables (or vice versa)
+        // is a protocol violation, not a state to silently absorb.
         for (u, v, inserted) in ck.edits {
-            if inserted {
-                index.graph_mut().insert_edge(u, v)?;
+            let res = if inserted {
+                index.graph_mut().insert_edge_checked(u, v)
             } else {
-                index.graph_mut().delete_edge(u, v)?;
-            }
+                index.graph_mut().delete_edge_checked(u, v)
+            };
+            res.map_err(|e| match e {
+                graphstore::Error::InvalidArgument(msg) => graphstore::Error::Corrupt {
+                    reason: format!(
+                        "checkpointed edit for {:?} contradicts its tables: {msg}",
+                        entry.name
+                    ),
+                },
+                other => other,
+            })?;
         }
         // Replay the journal tail through the same typed-op dispatch used
         // live. Records at or below the checkpoint sequence are already in
@@ -1262,6 +1532,7 @@ impl CoreService {
                 charge_bytes: entry.charge_bytes,
                 checkpoint_seq: ck.seq,
                 format: entry.format,
+                generation: entry.generation,
             },
         );
         Ok(())
@@ -1480,7 +1751,7 @@ mod tests {
             ScanExecutor::Sequential,
             DurableOptions {
                 checkpoint_every: 2,
-                group_commit: None,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1495,6 +1766,137 @@ mod tests {
         let svc = CoreService::open_catalog(&data).unwrap();
         assert_eq!(svc.cores("g").unwrap(), vec![1, 1, 1, 1, 1, 0]);
         assert!(svc.verify("g").unwrap());
+    }
+
+    #[test]
+    fn explicit_compact_commits_a_new_generation_and_survives_restart() {
+        let dir = TempDir::new("svc-compact").unwrap();
+        let data = dir.path().join("data");
+        let base = dir.path().join("g");
+        {
+            let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+            svc.create("g", &base, triangle_plus_tail(), 5).unwrap();
+            svc.insert_edge("g", 1, 3).unwrap();
+            svc.insert_edge("g", 3, 4).unwrap();
+            let cores_before = svc.cores("g").unwrap();
+            assert_eq!(svc.generation("g").unwrap(), 0);
+
+            assert_eq!(svc.compact("g").unwrap(), 1);
+            assert_eq!(svc.generation("g").unwrap(), 1);
+            // New generation tables + checkpoint, old checkpoint gone,
+            // journal truncated to its header, buffer empty.
+            assert!(dir.path().join("g.g1.nodes").exists());
+            assert!(dir.path().join("g.g1.edges").exists());
+            assert!(data.join("g.g1.ckpt").exists());
+            assert!(!data.join("g.ckpt").exists());
+            assert_eq!(std::fs::metadata(data.join("g.wal")).unwrap().len(), 8);
+            let pending = svc
+                .with_graph("g", |idx| Ok(idx.graph_mut().pending_edits()))
+                .unwrap();
+            assert_eq!(pending, 0, "compaction must empty the update buffer");
+            // The user's registered base is never deleted.
+            assert!(base.with_extension("nodes").exists());
+            // State is preserved bit-for-bit and keeps serving.
+            assert_eq!(svc.cores("g").unwrap(), cores_before);
+            assert!(svc.verify("g").unwrap());
+            svc.insert_edge("g", 0, 3).unwrap();
+
+            // A second compaction supersedes (and removes) the first.
+            assert_eq!(svc.compact("g").unwrap(), 2);
+            assert!(!dir.path().join("g.g1.nodes").exists());
+            assert!(!data.join("g.g1.ckpt").exists());
+            assert!(dir.path().join("g.g2.nodes").exists());
+        }
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.generation("g").unwrap(), 2);
+        assert_eq!(svc.kmax("g").unwrap(), 3, "0-1-2-3 is a K4 after (0,3)");
+        assert!(svc.verify("g").unwrap());
+        // Compacted graphs keep taking durable updates.
+        svc.delete_edge("g", 0, 3).unwrap();
+        assert!(svc.verify("g").unwrap());
+    }
+
+    #[test]
+    fn compaction_threshold_bounds_buffer_and_journal_on_the_apply_path() {
+        let dir = TempDir::new("svc-compact").unwrap();
+        let data = dir.path().join("data");
+        let svc = CoreService::create_durable_with(
+            &data,
+            DEFAULT_BLOCK_SIZE,
+            1 << 20,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+            DurableOptions {
+                // Checkpoints alone would let the buffer grow without
+                // bound; the compaction threshold is the memory bound.
+                checkpoint_every: 1000,
+                compact_after_edits: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        svc.create("g", &dir.path().join("g"), [(0u32, 1u32)], 8)
+            .unwrap();
+        for (u, v) in [(1u32, 2u32), (2, 3), (3, 4), (4, 5), (5, 6)] {
+            svc.insert_edge("g", u, v).unwrap();
+            let pending = svc
+                .with_graph("g", |idx| Ok(idx.graph_mut().pending_edits()))
+                .unwrap();
+            assert!(
+                pending < 4,
+                "apply path must compact at the threshold (pending = {pending})"
+            );
+        }
+        assert!(
+            svc.generation("g").unwrap() >= 2,
+            "five ops over a 2-op threshold compact more than once"
+        );
+        drop(svc);
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.cores("g").unwrap(), vec![1, 1, 1, 1, 1, 1, 1, 0]);
+        assert!(svc.verify("g").unwrap());
+    }
+
+    #[test]
+    fn recompress_migrates_a_v1_graph_to_v2_at_the_commit_point() {
+        let dir = TempDir::new("svc-recompress").unwrap();
+        let data = dir.path().join("data");
+        // A graph big enough that delta-varint actually shrinks the table.
+        let edges: Vec<(u32, u32)> = (0..300u32).map(|v| (v, v + 1)).collect();
+        {
+            let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+            svc.create("g", &dir.path().join("g"), edges, 301).unwrap();
+            assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V1);
+            let cores = svc.cores("g").unwrap();
+
+            assert_eq!(svc.recompress("g").unwrap(), 1);
+            assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V2);
+            assert_eq!(svc.cores("g").unwrap(), cores);
+            assert!(svc.verify("g").unwrap());
+            // The compressed generation's edge table is strictly smaller
+            // than the raw-u32 original.
+            let v1_len = std::fs::metadata(dir.path().join("g.edges")).unwrap().len();
+            let v2_len = std::fs::metadata(dir.path().join("g.g1.edges"))
+                .unwrap()
+                .len();
+            assert!(v2_len < v1_len, "v2 {v2_len} B !< v1 {v1_len} B");
+        }
+        // The migrated format survives a restart (catalog + tables agree).
+        let svc = CoreService::open_catalog(&data).unwrap();
+        assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V2);
+        assert!(svc.verify("g").unwrap());
+        svc.insert_edge("g", 0, 2).unwrap();
+        assert!(svc.verify("g").unwrap());
+    }
+
+    #[test]
+    fn compact_without_data_dir_is_an_error() {
+        let dir = TempDir::new("svc").unwrap();
+        let svc = CoreService::new(1 << 20).unwrap();
+        svc.create("a", &dir.path().join("a"), triangle_plus_tail(), 4)
+            .unwrap();
+        assert!(svc.compact("a").is_err());
+        assert!(svc.generation("a").is_err());
     }
 
     #[test]

@@ -293,6 +293,7 @@ fn group_commit_soak_recovers_final_state_bit_identically() {
                 group_commit: Some(GroupCommitOptions {
                     max_delay: Duration::from_micros(200),
                 }),
+                ..Default::default()
             },
         )
         .unwrap(),

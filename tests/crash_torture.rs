@@ -164,6 +164,7 @@ fn run_scenario(vfs: Arc<dyn Vfs>, data: &Path, bases: &Path, sc: &Scenario) -> 
     let opts = DurableOptions {
         checkpoint_every: 3,
         group_commit: None,
+        ..Default::default()
     };
     let svc = match CoreService::create_durable_with_vfs(
         data,
@@ -310,6 +311,7 @@ fn quarantine_isolates_tenant_and_fsck_catches_bit_rot() {
         DurableOptions {
             checkpoint_every: 8,
             group_commit: None,
+            ..Default::default()
         },
         Arc::clone(&fault) as Arc<dyn Vfs>,
     )
@@ -466,6 +468,7 @@ fn run_gc_stream(
         group_commit: Some(GroupCommitOptions {
             max_delay: Duration::ZERO,
         }),
+        ..Default::default()
     };
     let svc = match CoreService::create_durable_with_vfs(
         data,
@@ -490,6 +493,213 @@ fn run_gc_stream(
         .map(|batch| svc.apply_batch(GC, batch).is_ok())
         .collect();
     (true, acked)
+}
+
+// ---------------------------------------------------------------------------
+// Compaction crash stream: a single tenant driven with a tiny
+// `compact_after_edits` so the apply path folds tables + buffered edits
+// into fresh generations several times mid-stream. Crash-stopping before
+// every sync point of that run must recover exactly the acked prefix (or
+// prefix plus the in-flight op) — compaction is state-transparent, so
+// "pre-compaction" and "post-compaction" worlds serve identical cores and
+// the two-state invariant is unchanged. Unlike the plain matrix, a crash
+// between a generation's table renames and the catalog commit legitimately
+// strands debris (orphaned `.gN` tables / checkpoints, stale `.rewrite`
+// temps); fsck must find it all, `--repair` must sweep it, and the swept
+// directory must check out clean and keep serving.
+// ---------------------------------------------------------------------------
+
+const CP: &str = "cg";
+const CP_NODES: u32 = 30;
+
+/// Base graph plus a toggle script long enough to drive several
+/// generations at `compact_after_edits: 4` (two buffer entries per op).
+fn cp_stream() -> (Vec<(u32, u32)>, Vec<MaintainOp>) {
+    let base = normalized(graphgen::gnm(CP_NODES, 70, 77));
+    let mut set: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+    let mut ops = Vec::new();
+    for round in 0..8 {
+        if round % 3 == 2 {
+            let e = *set.iter().nth(set.len() / 2).unwrap();
+            set.remove(&e);
+            ops.push(MaintainOp::Delete(e.0, e.1));
+        } else {
+            let e = fresh_edges(&set, CP_NODES, 1)[0];
+            set.insert(e);
+            ops.push(MaintainOp::Insert(e.0, e.1));
+        }
+    }
+    (base, ops)
+}
+
+/// Core numbers after `base` plus `ops`, by the in-memory oracle.
+fn cp_world(base: &[(u32, u32)], ops: &[MaintainOp]) -> Vec<u32> {
+    let mut set: BTreeSet<(u32, u32)> = base.iter().copied().collect();
+    for op in ops {
+        match *op {
+            MaintainOp::Insert(u, v) => {
+                set.insert((u, v));
+            }
+            MaintainOp::Delete(u, v) => {
+                set.remove(&(u, v));
+            }
+        }
+    }
+    oracle_cores(&MemGraph::from_edges(set, CP_NODES))
+}
+
+/// Drive the stream one op at a time with compaction armed to fire every
+/// couple of ops. Returns whether the graph was created, and which ops
+/// acked.
+fn run_cp_stream(
+    vfs: Arc<dyn Vfs>,
+    data: &Path,
+    bases: &Path,
+    base: &[(u32, u32)],
+    ops: &[MaintainOp],
+) -> (bool, Vec<bool>) {
+    let opts = DurableOptions {
+        checkpoint_every: 100,
+        group_commit: None,
+        compact_after_edits: 4,
+    };
+    let svc = match CoreService::create_durable_with_vfs(
+        data,
+        DEFAULT_BLOCK_SIZE,
+        BUDGET,
+        EvictionPolicy::ScanLifo,
+        ScanExecutor::Sequential,
+        opts,
+        vfs,
+    ) {
+        Ok(svc) => svc,
+        Err(_) => return (false, vec![false; ops.len()]),
+    };
+    if svc
+        .create(CP, &bases.join(CP), base.iter().copied(), CP_NODES)
+        .is_err()
+    {
+        return (true, vec![false; ops.len()]);
+    }
+    let acked = ops
+        .iter()
+        .map(|op| match *op {
+            MaintainOp::Insert(u, v) => svc.insert_edge(CP, u, v).is_ok(),
+            MaintainOp::Delete(u, v) => svc.delete_edge(CP, u, v).is_ok(),
+        })
+        .collect();
+    (true, acked)
+}
+
+#[test]
+fn compaction_crash_points_recover_pre_or_post_state_and_fsck_sweeps_debris() {
+    let (base, ops) = cp_stream();
+
+    // Count pass: fault-free, numbering every sync point, and proving the
+    // threshold actually drove multiple generations.
+    let dir = TempDir::new("compact-count").unwrap();
+    let (data, bases) = (dir.path().join("data"), dir.path().join("bases"));
+    std::fs::create_dir_all(&bases).unwrap();
+    let fault = FaultVfs::new(FaultPlan::default());
+    let (created, acked) = run_cp_stream(
+        Arc::clone(&fault) as Arc<dyn Vfs>,
+        &data,
+        &bases,
+        &base,
+        &ops,
+    );
+    assert!(
+        created && acked.iter().all(|&a| a),
+        "fault-free run must ack"
+    );
+    let total = fault.sync_events();
+    assert!(
+        (20..=300).contains(&total),
+        "sync-point count {total} outside the expected band"
+    );
+    let reopened = CoreService::open_catalog(&data).unwrap();
+    assert!(
+        reopened.generation(CP).unwrap() >= 2,
+        "threshold 4 over {} ops must compact more than once",
+        ops.len()
+    );
+    assert_eq!(
+        reopened.cores(CP).unwrap(),
+        cp_world(&base, &ops),
+        "clean-run recovery"
+    );
+    drop(reopened);
+
+    for k in 1..=total {
+        let dir = TempDir::new("compact-crash").unwrap();
+        let (data, bases) = (dir.path().join("data"), dir.path().join("bases"));
+        std::fs::create_dir_all(&bases).unwrap();
+        let fault = FaultVfs::new(FaultPlan {
+            crash_before_sync: Some(k),
+            ..FaultPlan::default()
+        });
+        let (created, acked) = run_cp_stream(
+            Arc::clone(&fault) as Arc<dyn Vfs>,
+            &data,
+            &bases,
+            &base,
+            &ops,
+        );
+        assert!(fault.crashed(), "crash point {k} never fired");
+
+        let j = acked.iter().position(|&a| !a).unwrap_or(ops.len());
+        assert!(
+            acked[j..].iter().all(|&a| !a),
+            "crash {k}: acks not a prefix: {acked:?}"
+        );
+
+        match CoreService::open_catalog(&data) {
+            Err(e) => assert!(
+                !created,
+                "crash {k}: reopen failed though create_durable acked: {e}"
+            ),
+            Ok(svc) => {
+                if !svc.graph_names().iter().any(|n| n == CP) {
+                    assert_eq!(j, 0, "crash {k}: acked ops on an unrecovered graph");
+                    continue;
+                }
+                assert!(svc.verify(CP).unwrap(), "crash {k}: certificate");
+                let got = svc.cores(CP).unwrap();
+                let old = cp_world(&base, &ops[..j]);
+                let new = cp_world(&base, &ops[..(j + 1).min(ops.len())]);
+                assert!(
+                    got == old || got == new,
+                    "crash {k} (op {j} in flight) recovered a third state:\n  \
+                     got {got:?}\n  old {old:?}\n  new {new:?}"
+                );
+                drop(svc);
+
+                // A crash inside a compaction's pre-commit window strands
+                // orphaned generation files; recovery itself never touches
+                // them (the manifest is the source of truth), so fsck must
+                // find them, --repair must delete every one, and the swept
+                // directory must then be clean.
+                let report = kcore_suite::fsck(&data, true).unwrap();
+                assert!(
+                    report.findings.iter().all(|f| f.repaired),
+                    "crash {k}: unrepairable debris: {:?}",
+                    report.findings
+                );
+                let report = kcore_suite::fsck(&data, false).unwrap();
+                assert!(
+                    report.clean(),
+                    "crash {k}: fsck after repair: {:?}",
+                    report.findings
+                );
+
+                // The sweep removed only debris: the directory still
+                // recovers and serves the same world.
+                let svc = CoreService::open_catalog(&data).unwrap();
+                assert_eq!(svc.cores(CP).unwrap(), got, "crash {k}: post-sweep state");
+                assert!(svc.verify(CP).unwrap(), "crash {k}: post-sweep certificate");
+            }
+        }
+    }
 }
 
 #[test]

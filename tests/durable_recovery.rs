@@ -57,6 +57,7 @@ fn durable_service(data: &Path, policy: EvictionPolicy, checkpoint_every: u64) -
         DurableOptions {
             checkpoint_every,
             group_commit: None,
+            ..Default::default()
         },
     )
     .unwrap()

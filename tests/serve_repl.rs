@@ -201,6 +201,7 @@ fn tcp_connection_tripping_quarantine_does_not_disturb_the_other() {
             DurableOptions {
                 checkpoint_every: 8,
                 group_commit: None,
+                ..Default::default()
             },
             Arc::clone(&fault) as Arc<dyn Vfs>,
         )
