@@ -35,9 +35,10 @@ pub struct EmCoreOptions {
     pub memory_budget: u64,
     /// Record encoding of the partition files.
     /// [`graphstore::FormatVersion::V2`] stores neighbour runs as delta-gap
-    /// varints, shrinking every charged partition load and rewrite of the
-    /// round loop; v1 (the default) keeps the raw `u32` layout the original
-    /// measurements used.
+    /// varints and [`graphstore::FormatVersion::V3`] as stream-vbyte groups
+    /// (vectorized decode), shrinking every charged partition load and
+    /// rewrite of the round loop; v1 (the default) keeps the raw `u32`
+    /// layout the original measurements used.
     pub partition_format: graphstore::FormatVersion,
 }
 

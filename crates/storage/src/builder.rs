@@ -123,6 +123,7 @@ impl DiskGraphWriter {
         match self.version {
             FormatVersion::V1 => crate::codec::encode_u32_run(nbrs, &mut self.encode_buf),
             FormatVersion::V2 => crate::codec::encode_gap_run(nbrs, &mut self.encode_buf),
+            FormatVersion::V3 => crate::codec::encode_group_run(nbrs, &mut self.encode_buf),
         }
         self.edge_writer.write_all(&self.encode_buf)?;
         self.node_entries
@@ -147,6 +148,7 @@ impl DiskGraphWriter {
         let meta = match self.version {
             FormatVersion::V1 => format::GraphMeta::v1(self.num_nodes, self.degree_sum),
             FormatVersion::V2 => format::GraphMeta::v2(self.num_nodes, self.degree_sum, edge_bytes),
+            FormatVersion::V3 => format::GraphMeta::v3(self.num_nodes, self.degree_sum, edge_bytes),
         };
         let mut w = BlockWriter::create(&self.paths.nodes, self.counter.clone())?;
         w.write_all(&format::encode_node_header(&meta))?;

@@ -230,6 +230,9 @@ impl GapDecoder {
 /// invalid.
 pub fn decode_gap_run(bytes: &[u8], count: usize, out: &mut Vec<u32>) -> Result<usize> {
     let mut dec = GapDecoder::new(count);
+    // One reservation up front: the hot decode paths must never re-grow
+    // the output push by push.
+    out.reserve(count);
     let used = dec.feed(bytes, out)?;
     if !dec.is_done() {
         return Err(Error::corrupt(format!(
@@ -238,6 +241,519 @@ pub fn decode_gap_run(bytes: &[u8], count: usize, out: &mut Vec<u32>) -> Result<
         )));
     }
     Ok(used)
+}
+
+// ---------------------------------------------------------------------------
+// Format v3: stream-vbyte group runs.
+// ---------------------------------------------------------------------------
+
+/// Stored byte length per 2-bit group code (format v3): `{0, 1, 2, 4}`.
+/// The 0-length code makes consecutive ids (gap 1) free, and skipping the
+/// 3-byte length keeps every quad decodable with one table-driven shuffle.
+const GROUP_LENS: [usize; 4] = [0, 1, 2, 4];
+
+/// Maximum encoded bytes one id can take in a v3 group run: a quarter
+/// control byte (rounds up to 1) plus up to 4 data bytes.
+pub const MAX_GROUP_BYTES_PER_ID: usize = 5;
+
+/// Number of control bytes a `count`-id group run starts with (2-bit codes,
+/// four per byte). Also the run's minimum possible encoded length — every
+/// data length can be zero but the control region cannot.
+#[inline]
+pub fn group_ctrl_len(count: usize) -> usize {
+    count.div_ceil(4)
+}
+
+/// Total data bytes of one quad, by control byte — shared by the scalar and
+/// SIMD quad paths to advance the input cursor.
+static QUAD_TOTAL: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        t[c] = (GROUP_LENS[c & 3]
+            + GROUP_LENS[(c >> 2) & 3]
+            + GROUP_LENS[(c >> 4) & 3]
+            + GROUP_LENS[(c >> 6) & 3]) as u8;
+        c += 1;
+    }
+    t
+};
+
+/// The 2-bit code whose stored length minimally holds `s`.
+#[inline]
+fn group_code(s: u32) -> u8 {
+    if s == 0 {
+        0
+    } else if s < 1 << 8 {
+        1
+    } else if s < 1 << 16 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Append the stream-vbyte group encoding of a **strictly ascending** `u32`
+/// run — the edge-table format-v3 wire encoding of one adjacency list (see
+/// [`crate::format`]).
+///
+/// Layout: [`group_ctrl_len`] control bytes (value *i*'s 2-bit length code
+/// at `ctrl[i / 4] >> ((i % 4) * 2)`), then the raw little-endian data
+/// bytes. The first value is stored verbatim; every later value stores
+/// `gap − 1`, so a gap of one (consecutive ids, common in clustered
+/// adjacency) takes zero data bytes and unsorted lists are unrepresentable
+/// by construction. An empty run encodes to zero bytes.
+///
+/// Debug-asserts strict sortedness; the builders validate before encoding.
+pub fn encode_group_run(values: &[u32], out: &mut Vec<u8>) {
+    if values.is_empty() {
+        return;
+    }
+    let ctrl_at = out.len();
+    out.resize(ctrl_at + group_ctrl_len(values.len()), 0);
+    let mut prev: Option<u32> = None;
+    for (i, &v) in values.iter().enumerate() {
+        let s = match prev {
+            None => v,
+            Some(p) => {
+                debug_assert!(v > p, "group run input must be strictly ascending");
+                v - p - 1
+            }
+        };
+        let code = group_code(s);
+        out[ctrl_at + i / 4] |= code << ((i % 4) * 2);
+        out.extend_from_slice(&s.to_le_bytes()[..GROUP_LENS[code as usize]]);
+        prev = Some(v);
+    }
+}
+
+/// Truncation error shared by every group-run decode path.
+fn group_truncated(count: usize, len: usize) -> Error {
+    Error::corrupt(format!(
+        "group run truncated: expected {count} ids in {len} bytes"
+    ))
+}
+
+/// SSSE3 quad decode: one `pshufb` spreads a quad's packed data bytes into
+/// four little-endian `u32` lanes, and the contiguous one-shot path also
+/// reconstructs the ids in-register (add-one, prefix sum, broadcast-prev
+/// add). Overflow needs no separate check there: an id wrapping past
+/// `u32::MAX` cannot stay strictly ascending, so the unsigned
+/// ascent comparison catches it — the scalar-vs-SIMD differential
+/// proptests pin bit-identical outputs and matching error behaviour.
+#[cfg(target_arch = "x86_64")]
+mod ssse3 {
+    use super::GROUP_LENS;
+
+    /// Per-control-byte shuffle masks: lane `l` byte `b` selects source
+    /// byte `SHUFFLE[c][l * 4 + b]`; `0x80` zero-fills the lane's high
+    /// bytes.
+    static SHUFFLE: [[u8; 16]; 256] = {
+        let mut t = [[0x80u8; 16]; 256];
+        let mut c = 0usize;
+        while c < 256 {
+            let mut src = 0u8;
+            let mut lane = 0usize;
+            while lane < 4 {
+                let len = GROUP_LENS[(c >> (lane * 2)) & 3];
+                let mut b = 0usize;
+                while b < len {
+                    t[c][lane * 4 + b] = src;
+                    src += 1;
+                    b += 1;
+                }
+                lane += 1;
+            }
+            c += 1;
+        }
+        t
+    };
+
+    /// Gather the four stored values of the quad controlled by `c` from
+    /// `data` (the quad's first data byte at `data[0]`).
+    ///
+    /// # Safety
+    /// The caller must guarantee `data.len() >= 16` and SSSE3 support.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn gather_quad(c: u8, data: &[u8]) -> [u32; 4] {
+        use std::arch::x86_64::*;
+        // SAFETY (loads/stores): loadu/storeu have no alignment demands;
+        // the 16 readable bytes are the caller's contract above.
+        let raw = _mm_loadu_si128(data.as_ptr() as *const __m128i);
+        let mask = _mm_loadu_si128(SHUFFLE[c as usize].as_ptr() as *const __m128i);
+        let gathered = _mm_shuffle_epi8(raw, mask);
+        let mut out = [0u32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, gathered);
+        out
+    }
+
+    /// One-shot contiguous decode of a whole group run, vectorised end to
+    /// end: gather, `+1` per gap (lane 0 of the first quad stores the
+    /// absolute first id, so its increment is 0), in-register inclusive
+    /// prefix sum, broadcast-prev add, then a strict unsigned ascent check
+    /// that doubles as the overflow check (a wrap mod 2³² can never ascend
+    /// past the previous id). Decoded quads land directly in `out`'s
+    /// reserved spare capacity; the ragged tail and low-slack endgame fall
+    /// through to [`super::group_tail_scalar`].
+    ///
+    /// # Safety
+    /// The caller must guarantee SSSE3 support.
+    #[target_feature(enable = "ssse3")]
+    pub(super) unsafe fn decode_contiguous(
+        bytes: &[u8],
+        count: usize,
+        out: &mut Vec<u32>,
+    ) -> super::Result<usize> {
+        use std::arch::x86_64::*;
+        if count == 0 {
+            return Ok(0);
+        }
+        let ctrl_len = super::group_ctrl_len(count);
+        if bytes.len() < ctrl_len {
+            return Err(super::group_truncated(count, bytes.len()));
+        }
+        let (ctrl, data) = bytes.split_at(ctrl_len);
+        let base = out.len();
+        out.reserve(count);
+        let mut produced = 0usize;
+        let mut p = 0usize;
+        let bias = _mm_set1_epi32(i32::MIN);
+        let mut prev = _mm_setzero_si128();
+        while count - produced >= 4 && data.len() - p >= 16 {
+            let c = ctrl[produced / 4] as usize;
+            // SAFETY: 16 readable bytes at `p` checked by the loop bound;
+            // loadu/storeu have no alignment demands.
+            let raw = _mm_loadu_si128(data.as_ptr().add(p) as *const __m128i);
+            let mask = _mm_loadu_si128(SHUFFLE[c].as_ptr() as *const __m128i);
+            let mut v = _mm_shuffle_epi8(raw, mask);
+            let ones = if produced == 0 {
+                _mm_set_epi32(1, 1, 1, 0)
+            } else {
+                _mm_set1_epi32(1)
+            };
+            v = _mm_add_epi32(v, ones);
+            v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+            v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+            v = _mm_add_epi32(v, prev);
+            // lanes(v) must strictly exceed [prev, v0, v1, v2] unsigned;
+            // the first quad's lane 0 (the absolute id) is exempt.
+            let shifted = _mm_or_si128(_mm_slli_si128(v, 4), _mm_srli_si128(prev, 12));
+            let gt = _mm_cmpgt_epi32(_mm_xor_si128(v, bias), _mm_xor_si128(shifted, bias));
+            let asc = _mm_movemask_ps(_mm_castsi128_ps(gt));
+            let asc = if produced == 0 { asc | 1 } else { asc };
+            if asc != 0xF {
+                return Err(super::Error::corrupt("adjacency id overflows u32"));
+            }
+            // SAFETY: `reserve(count)` above guarantees spare capacity for
+            // all `count` ids past `base`; on error paths the length was
+            // never raised, so `out` stays untouched.
+            _mm_storeu_si128(out.as_mut_ptr().add(base + produced) as *mut __m128i, v);
+            prev = _mm_shuffle_epi32(v, 0b1111_1111);
+            p += super::QUAD_TOTAL[c] as usize;
+            produced += 4;
+        }
+        // SAFETY: exactly `produced` ids were written past `base` above.
+        out.set_len(base + produced);
+        let prev = if produced == 0 {
+            0
+        } else {
+            out[base + produced - 1] as u64
+        };
+        super::group_tail_scalar(ctrl, data, count, produced, p, prev, out)
+    }
+}
+
+/// True when the vectorised quad gather can run on this CPU.
+#[cfg(target_arch = "x86_64")]
+fn simd_available() -> bool {
+    std::arch::is_x86_feature_detected!("ssse3")
+}
+
+/// No SIMD path is compiled for this architecture.
+#[cfg(not(target_arch = "x86_64"))]
+fn simd_available() -> bool {
+    false
+}
+
+/// Portable quad gather: four unaligned 4-byte little-endian loads masked
+/// down to each lane's stored length. Needs the same 16 bytes of slack as
+/// the SIMD path (the last lane starts at most 12 bytes in).
+#[inline]
+fn gather_quad_scalar(c: u8, data: &[u8]) -> [u32; 4] {
+    // Indexed by stored length 0/1/2/4 (3 is unreachable).
+    const MASK: [u32; 5] = [0, 0xFF, 0xFFFF, 0, 0xFFFF_FFFF];
+    let mut vals = [0u32; 4];
+    let mut p = 0usize;
+    for (lane, v) in vals.iter_mut().enumerate() {
+        let len = GROUP_LENS[((c >> (lane * 2)) & 3) as usize];
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&data[p..p + 4]);
+        *v = u32::from_le_bytes(b) & MASK[len];
+        p += len;
+    }
+    vals
+}
+
+/// Incremental decoder for one stream-vbyte group run of a known length —
+/// the format-v3 counterpart of [`GapDecoder`], with the identical
+/// [`GroupDecoder::feed`] contract: runs straddle disk blocks, chunks
+/// arrive one slice at a time, and every structural violation in raw disk
+/// bytes (truncation, an id overflowing `u32`) surfaces as a corruption
+/// [`Error`], never a panic. Unsorted runs cannot even be *expressed*: a
+/// later value stores `gap − 1`, so anything it decodes ascends strictly.
+///
+/// Decoding is two-phase: the control region (whose size is known up front
+/// from `count`) is buffered first, then data bytes are consumed four
+/// values per control byte through a table-driven quad gather — SSSE3
+/// `pshufb` when the CPU has it, unaligned-load scalar otherwise, both
+/// feeding the same delta/overflow scalar tail so their output is
+/// bit-identical.
+#[derive(Debug)]
+pub struct GroupDecoder {
+    count: usize,
+    produced: usize,
+    prev: Option<u32>,
+    /// Control region, buffered in full before any data byte is decoded.
+    ctrl: Vec<u8>,
+    /// Bytes of a stored value straddling a feed boundary.
+    partial: [u8; 4],
+    partial_have: usize,
+    /// Total bytes the straddling value needs; 0 when none is in flight.
+    partial_need: usize,
+    /// Skip the quad fast paths (the scalar-vs-SIMD differential seam).
+    force_scalar: bool,
+    /// SSSE3 detected at construction.
+    simd: bool,
+}
+
+impl GroupDecoder {
+    /// Decoder expecting exactly `count` ids, using the fastest quad path
+    /// the CPU supports.
+    pub fn new(count: usize) -> GroupDecoder {
+        GroupDecoder {
+            count,
+            produced: 0,
+            prev: None,
+            ctrl: Vec::with_capacity(group_ctrl_len(count)),
+            partial: [0; 4],
+            partial_have: 0,
+            partial_need: 0,
+            force_scalar: false,
+            simd: simd_available(),
+        }
+    }
+
+    /// A decoder pinned to the byte-at-a-time scalar path — the reference
+    /// the SIMD/quad differential tests and benches compare against.
+    pub fn new_scalar(count: usize) -> GroupDecoder {
+        GroupDecoder {
+            force_scalar: true,
+            simd: false,
+            ..GroupDecoder::new(count)
+        }
+    }
+
+    /// True once all expected ids have been produced.
+    pub fn is_done(&self) -> bool {
+        self.produced == self.count
+    }
+
+    /// Reconstruct and validate one id from its stored value — the single
+    /// scalar tail every gather path funnels through.
+    #[inline]
+    fn push_value(&mut self, s: u32, out: &mut Vec<u32>) -> Result<()> {
+        let id = match self.prev {
+            None => s as u64,
+            Some(p) => p as u64 + s as u64 + 1,
+        };
+        if id > u32::MAX as u64 {
+            return Err(Error::corrupt("adjacency id overflows u32"));
+        }
+        self.prev = Some(id as u32);
+        out.push(id as u32);
+        self.produced += 1;
+        Ok(())
+    }
+
+    /// Consume bytes from `chunk`, appending decoded ids to `out`. Returns
+    /// the number of bytes consumed — all of `chunk` unless the run
+    /// completed mid-slice. Call again with the next chunk while
+    /// [`GroupDecoder::is_done`] is false.
+    pub fn feed(&mut self, chunk: &[u8], out: &mut Vec<u32>) -> Result<usize> {
+        let mut i = 0usize;
+        // Phase 1: buffer the control region (empty runs have none).
+        let ctrl_len = group_ctrl_len(self.count);
+        if self.ctrl.len() < ctrl_len {
+            let take = (ctrl_len - self.ctrl.len()).min(chunk.len());
+            self.ctrl.extend_from_slice(&chunk[..take]);
+            i = take;
+            if self.ctrl.len() < ctrl_len {
+                return Ok(i);
+            }
+        }
+        // Finish a value left straddling the previous chunk boundary.
+        if self.partial_need > 0 {
+            let take = (self.partial_need - self.partial_have).min(chunk.len() - i);
+            self.partial[self.partial_have..self.partial_have + take]
+                .copy_from_slice(&chunk[i..i + take]);
+            self.partial_have += take;
+            i += take;
+            if self.partial_have < self.partial_need {
+                return Ok(i);
+            }
+            self.partial_need = 0;
+            let s = u32::from_le_bytes(self.partial);
+            self.push_value(s, out)?;
+        }
+        while self.produced < self.count {
+            // Quad fast path: a full aligned quad with 16 bytes of input
+            // slack (so unaligned 4-byte loads never overrun the chunk).
+            if !self.force_scalar
+                && self.produced.is_multiple_of(4)
+                && self.count - self.produced >= 4
+                && chunk.len() - i >= 16
+            {
+                let c = self.ctrl[self.produced / 4];
+                #[cfg(target_arch = "x86_64")]
+                let quad = if self.simd {
+                    // SAFETY: 16 bytes of slack checked above; `simd` is
+                    // only set when SSSE3 was detected at construction.
+                    unsafe { ssse3::gather_quad(c, &chunk[i..]) }
+                } else {
+                    gather_quad_scalar(c, &chunk[i..])
+                };
+                #[cfg(not(target_arch = "x86_64"))]
+                let quad = gather_quad_scalar(c, &chunk[i..]);
+                for s in quad {
+                    self.push_value(s, out)?;
+                }
+                i += QUAD_TOTAL[c as usize] as usize;
+                continue;
+            }
+            let code = (self.ctrl[self.produced / 4] >> ((self.produced % 4) * 2)) & 3;
+            let len = GROUP_LENS[code as usize];
+            let avail = chunk.len() - i;
+            if avail < len {
+                // Stash what is here; the next chunk completes the value.
+                self.partial = [0; 4];
+                self.partial[..avail].copy_from_slice(&chunk[i..]);
+                self.partial_have = avail;
+                self.partial_need = len;
+                return Ok(chunk.len());
+            }
+            let mut b = [0u8; 4];
+            b[..len].copy_from_slice(&chunk[i..i + len]);
+            i += len;
+            self.push_value(u32::from_le_bytes(b), out)?;
+        }
+        Ok(i)
+    }
+}
+
+/// Decode the trailing `produced..count` ids of a group run one value at a
+/// time — the shared endgame of every contiguous path, and the whole loop
+/// of the portable one. `prev` is the last id already decoded (ignored
+/// while `produced == 0`, where value 0 is stored absolute); `p` is the
+/// data-byte cursor. Returns the run's total encoded length.
+fn group_tail_scalar(
+    ctrl: &[u8],
+    data: &[u8],
+    count: usize,
+    mut produced: usize,
+    mut p: usize,
+    mut prev: u64,
+    out: &mut Vec<u32>,
+) -> Result<usize> {
+    // Indexed by stored length 0/1/2/4 (3 is unreachable).
+    const MASK: [u32; 5] = [0, 0xFF, 0xFFFF, 0, 0xFFFF_FFFF];
+    while produced < count {
+        let len = GROUP_LENS[((ctrl[produced / 4] >> ((produced % 4) * 2)) & 3) as usize];
+        let s = if data.len() - p >= 4 {
+            // Common case: enough slack for one unaligned masked load.
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&data[p..p + 4]);
+            u32::from_le_bytes(b) & MASK[len]
+        } else if data.len() - p >= len {
+            let mut b = [0u8; 4];
+            b[..len].copy_from_slice(&data[p..p + len]);
+            u32::from_le_bytes(b)
+        } else {
+            return Err(group_truncated(count, ctrl.len() + data.len()));
+        };
+        let id = if produced == 0 {
+            s as u64
+        } else {
+            prev + s as u64 + 1
+        };
+        if id > u32::MAX as u64 {
+            return Err(Error::corrupt("adjacency id overflows u32"));
+        }
+        out.push(id as u32);
+        prev = id;
+        p += len;
+        produced += 1;
+    }
+    Ok(ctrl.len() + p)
+}
+
+/// Portable contiguous decode: quad gathers through
+/// [`gather_quad_scalar`] with a widened (`u64`) delta accumulator, then
+/// the byte-careful tail. No SIMD anywhere — this is the reference half of
+/// the scalar-vs-SIMD differential.
+fn decode_contiguous_scalar(bytes: &[u8], count: usize, out: &mut Vec<u32>) -> Result<usize> {
+    if count == 0 {
+        return Ok(0);
+    }
+    let ctrl_len = group_ctrl_len(count);
+    if bytes.len() < ctrl_len {
+        return Err(group_truncated(count, bytes.len()));
+    }
+    let (ctrl, data) = bytes.split_at(ctrl_len);
+    out.reserve(count);
+    let mut produced = 0usize;
+    let mut p = 0usize;
+    let mut prev = 0u64;
+    while count - produced >= 4 && data.len() - p >= 16 {
+        let c = ctrl[produced / 4];
+        let quad = gather_quad_scalar(c, &data[p..]);
+        for (lane, s) in quad.into_iter().enumerate() {
+            let id = if produced == 0 && lane == 0 {
+                s as u64
+            } else {
+                prev + s as u64 + 1
+            };
+            if id > u32::MAX as u64 {
+                return Err(Error::corrupt("adjacency id overflows u32"));
+            }
+            out.push(id as u32);
+            prev = id;
+        }
+        p += QUAD_TOTAL[c as usize] as usize;
+        produced += 4;
+    }
+    group_tail_scalar(ctrl, data, count, produced, p, prev, out)
+}
+
+/// One-shot decode of a `count`-id group run from contiguous `bytes`
+/// (appended to `out`). Returns the encoded length consumed; errors when
+/// `bytes` ends before the run does or the encoding is structurally
+/// invalid. Dispatches to the fully vectorised SSSE3 path when the CPU has
+/// it — [`GroupDecoder`] remains the chunk-at-a-time path for runs
+/// arriving block by block from disk.
+pub fn decode_group_run(bytes: &[u8], count: usize, out: &mut Vec<u32>) -> Result<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if simd_available() {
+        // SAFETY: SSSE3 presence just checked.
+        return unsafe { ssse3::decode_contiguous(bytes, count, out) };
+    }
+    decode_contiguous_scalar(bytes, count, out)
+}
+
+/// [`decode_group_run`] pinned to the portable path (no SIMD) — the
+/// baseline half of the scalar-vs-SIMD differential tests and the decode
+/// bandwidth bench.
+pub fn decode_group_run_scalar(bytes: &[u8], count: usize, out: &mut Vec<u32>) -> Result<usize> {
+    decode_contiguous_scalar(bytes, count, out)
 }
 
 #[cfg(test)]
@@ -353,6 +869,82 @@ mod tests {
                 "cut {cut}"
             );
         }
+    }
+
+    #[test]
+    fn group_run_round_trips() {
+        for values in [
+            vec![],
+            vec![0],
+            vec![u32::MAX],
+            vec![0, u32::MAX],
+            vec![5, 6, 7, 8, 9],
+            vec![5, 6, 7, 1000, 1_000_000],
+            (0..1000).map(|i| i * 3).collect(),
+        ] {
+            let mut bytes = Vec::new();
+            encode_group_run(&values, &mut bytes);
+            assert!(bytes.len() >= group_ctrl_len(values.len()));
+            assert!(bytes.len() <= group_ctrl_len(values.len()) + 4 * values.len());
+            for decode in [decode_group_run, decode_group_run_scalar] {
+                let mut back = Vec::new();
+                let used = decode(&bytes, values.len(), &mut back).unwrap();
+                assert_eq!(used, bytes.len());
+                assert_eq!(back, values);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_ids_cost_zero_data_bytes() {
+        // gap − 1 == 0 for every later value: only the first id's data
+        // byte plus the control region remain.
+        let values: Vec<u32> = (10..10 + 64).collect();
+        let mut bytes = Vec::new();
+        encode_group_run(&values, &mut bytes);
+        assert_eq!(bytes.len(), group_ctrl_len(64) + 1);
+    }
+
+    #[test]
+    fn group_decoder_survives_split_feeds() {
+        let values = vec![3u32, 130, 131, 70_000, 70_001, 4_000_000_000];
+        let mut bytes = Vec::new();
+        encode_group_run(&values, &mut bytes);
+        // Feed one byte at a time — the block-boundary worst case.
+        let mut dec = GroupDecoder::new(values.len());
+        let mut out = Vec::new();
+        for b in &bytes {
+            assert!(!dec.is_done());
+            assert_eq!(dec.feed(std::slice::from_ref(b), &mut out).unwrap(), 1);
+        }
+        assert!(dec.is_done());
+        assert_eq!(out, values);
+    }
+
+    #[test]
+    fn truncated_group_run_is_corrupt() {
+        let mut bytes = Vec::new();
+        encode_group_run(&[1, 200, 70_000, 70_001, 70_002], &mut bytes);
+        for cut in 0..bytes.len() {
+            let mut out = Vec::new();
+            assert!(
+                decode_group_run(&bytes[..cut], 5, &mut out)
+                    .unwrap_err()
+                    .is_corrupt(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn group_overflow_is_corrupt() {
+        // First value u32::MAX (code 3), then a zero-length stored value:
+        // id = MAX + 0 + 1 overflows u32.
+        let bytes = [0b0000_0011u8, 0xFF, 0xFF, 0xFF, 0xFF];
+        let mut out = Vec::new();
+        assert!(decode_group_run(&bytes, 2, &mut out)
+            .unwrap_err()
+            .is_corrupt());
     }
 
     #[test]

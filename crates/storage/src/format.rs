@@ -15,8 +15,8 @@
 //!
 //! ## Format versions
 //!
-//! Two edge-table encodings exist, negotiated by the version field of the
-//! node-table header (v1 files keep opening unchanged):
+//! Three edge-table encodings exist, negotiated by the version field of the
+//! node-table header (older files keep opening unchanged):
 //!
 //! * **v1** ([`FormatVersion::V1`]): raw little-endian `u32` ids, 4 bytes per
 //!   neighbour. Node header is 32 bytes; the edge-table length is derived
@@ -28,6 +28,17 @@
 //!   is proportionally fewer `read_ios` on every edge-table path. The node
 //!   header grows to 40 bytes to record the (now data-dependent) edge-table
 //!   payload length; node *entries* are unchanged (byte offset + degree).
+//! * **v3** ([`FormatVersion::V3`]): stream-vbyte groups — the same delta
+//!   model as v2 but with control and data bytes separated per list:
+//!   `ceil(degree / 4)` control bytes (one 2-bit length code per value,
+//!   packed four per byte) followed by the raw little-endian payload
+//!   ([`crate::codec::encode_group_run`]). Because the lengths are not
+//!   interleaved with the data, a decoder processes four values per control
+//!   byte with table-driven gathers (SSSE3 `pshufb` when available, an
+//!   unaligned-load scalar quad otherwise) instead of v2's byte-at-a-time
+//!   branchy loop. Later values store `gap − 1`, so consecutive ids cost
+//!   zero data bytes. Header layout is identical to v2 (40 bytes, recorded
+//!   payload length); only the envelope check and the edge magic differ.
 
 use std::path::{Path, PathBuf};
 
@@ -40,11 +51,14 @@ pub const NODE_MAGIC: &[u8; 8] = b"KCORNOD1";
 pub const EDGE_MAGIC: &[u8; 8] = b"KCOREDG1";
 /// Magic bytes opening a v2 (delta-varint) edge table file.
 pub const EDGE_MAGIC_V2: &[u8; 8] = b"KCOREDG2";
+/// Magic bytes opening a v3 (stream-vbyte group) edge table file.
+pub const EDGE_MAGIC_V3: &[u8; 8] = b"KCOREDG3";
 
 /// Size of the v1 node-table header in bytes.
 pub const NODE_HEADER_LEN_V1: u64 = 32;
 /// Size of the v2 node-table header in bytes (v1 plus the edge-table
-/// payload length, which varint encoding makes data-dependent).
+/// payload length, which varint encoding makes data-dependent). The v3
+/// header shares this layout and length.
 pub const NODE_HEADER_LEN_V2: u64 = 40;
 /// The largest node-table header across versions — what an opener reads
 /// before it knows the version.
@@ -62,6 +76,9 @@ pub enum FormatVersion {
     V1,
     /// Delta-gap LEB128 varints (first id absolute, then gaps).
     V2,
+    /// Stream-vbyte groups (2-bit length codes packed four per control
+    /// byte, then raw little-endian data; later values store `gap − 1`).
+    V3,
 }
 
 impl FormatVersion {
@@ -70,6 +87,7 @@ impl FormatVersion {
         match self {
             FormatVersion::V1 => 1,
             FormatVersion::V2 => 2,
+            FormatVersion::V3 => 3,
         }
     }
 
@@ -78,8 +96,9 @@ impl FormatVersion {
         match v {
             1 => Ok(FormatVersion::V1),
             2 => Ok(FormatVersion::V2),
+            3 => Ok(FormatVersion::V3),
             other => Err(Error::corrupt(format!(
-                "unsupported format version {other} (expected 1 or 2)"
+                "unsupported format version {other} (expected 1, 2 or 3)"
             ))),
         }
     }
@@ -89,14 +108,17 @@ impl FormatVersion {
         match self {
             FormatVersion::V1 => EDGE_MAGIC,
             FormatVersion::V2 => EDGE_MAGIC_V2,
+            FormatVersion::V3 => EDGE_MAGIC_V3,
         }
     }
 
-    /// Short human-readable tag (`"v1"` / `"v2"`), as the CLI reports it.
+    /// Short human-readable tag (`"v1"` / `"v2"` / `"v3"`), as the CLI
+    /// reports it.
     pub fn tag(self) -> &'static str {
         match self {
             FormatVersion::V1 => "v1",
             FormatVersion::V2 => "v2",
+            FormatVersion::V3 => "v3",
         }
     }
 }
@@ -111,8 +133,8 @@ pub struct GraphMeta {
     /// Edge-table encoding.
     pub version: FormatVersion,
     /// Edge-table payload length in bytes (excluding its 8-byte header).
-    /// For v1 this is always `4 · degree_sum`; for v2 it is data-dependent
-    /// and recorded in the header.
+    /// For v1 this is always `4 · degree_sum`; for v2/v3 it is
+    /// data-dependent and recorded in the header.
     pub edge_bytes: u64,
 }
 
@@ -138,6 +160,17 @@ impl GraphMeta {
         }
     }
 
+    /// Metadata of a v3 (stream-vbyte group) graph whose encoded adjacency
+    /// lists total `edge_bytes` bytes.
+    pub fn v3(num_nodes: u32, degree_sum: u64, edge_bytes: u64) -> GraphMeta {
+        GraphMeta {
+            num_nodes,
+            degree_sum,
+            version: FormatVersion::V3,
+            edge_bytes,
+        }
+    }
+
     /// Number of undirected edges `m`.
     pub fn num_edges(&self) -> u64 {
         self.degree_sum / 2
@@ -147,7 +180,7 @@ impl GraphMeta {
     pub fn node_header_len(&self) -> u64 {
         match self.version {
             FormatVersion::V1 => NODE_HEADER_LEN_V1,
-            FormatVersion::V2 => NODE_HEADER_LEN_V2,
+            FormatVersion::V2 | FormatVersion::V3 => NODE_HEADER_LEN_V2,
         }
     }
 
@@ -167,7 +200,7 @@ impl GraphMeta {
     }
 }
 
-/// Encode the node-table header (32 bytes for v1, 40 for v2).
+/// Encode the node-table header (32 bytes for v1, 40 for v2/v3).
 pub fn encode_node_header(meta: &GraphMeta) -> Vec<u8> {
     let mut h = vec![0u8; meta.node_header_len() as usize];
     h[0..8].copy_from_slice(NODE_MAGIC);
@@ -175,7 +208,7 @@ pub fn encode_node_header(meta: &GraphMeta) -> Vec<u8> {
     // h[12..16] reserved, zero.
     codec::put_u64(&mut h, 16, meta.num_nodes as u64);
     codec::put_u64(&mut h, 24, meta.degree_sum);
-    if meta.version == FormatVersion::V2 {
+    if meta.version != FormatVersion::V1 {
         codec::put_u64(&mut h, 32, meta.edge_bytes);
     }
     h
@@ -218,6 +251,21 @@ pub fn decode_node_header(h: &[u8]) -> Result<GraphMeta> {
                 )));
             }
             Ok(GraphMeta::v2(n as u32, degree_sum, edge_bytes))
+        }
+        FormatVersion::V3 => {
+            let edge_bytes = codec::try_get_u64(h, 32, "edge table payload length")?;
+            // Every id costs at least a quarter control byte (per-list
+            // ceil sums are only larger) and at most 1 control share + 4
+            // data bytes; a payload outside that envelope cannot be a
+            // well-formed v3 edge table.
+            if edge_bytes < degree_sum.div_ceil(4)
+                || edge_bytes > codec::MAX_GROUP_BYTES_PER_ID as u64 * degree_sum
+            {
+                return Err(Error::corrupt(format!(
+                    "v3 edge payload of {edge_bytes} B impossible for degree sum {degree_sum}"
+                )));
+            }
+            Ok(GraphMeta::v3(n as u32, degree_sum, edge_bytes))
         }
     }
 }
@@ -310,7 +358,7 @@ mod tests {
         // A crafted header whose degree sum implies an edge-table extent
         // past u64 must decode to a corruption error; unchecked length
         // arithmetic would overflow (a panic in debug builds).
-        for version in [1u32, 2] {
+        for version in [1u32, 2, 3] {
             let mut h = encode_node_header(&GraphMeta::v2(3, 6, 9));
             codec::put_u32(&mut h, 8, version);
             codec::put_u64(&mut h, 24, u64::MAX / 2);
@@ -325,6 +373,26 @@ mod tests {
         assert!(decode_node_header(&h).unwrap_err().is_corrupt());
         // More than five bytes per id is impossible.
         let h = encode_node_header(&GraphMeta::v2(10, 30, 151));
+        assert!(decode_node_header(&h).unwrap_err().is_corrupt());
+    }
+
+    #[test]
+    fn header_round_trip_v3() {
+        let meta = GraphMeta::v3(12345, 99_999, 80_000);
+        let h = encode_node_header(&meta);
+        assert_eq!(h.len() as u64, NODE_HEADER_LEN_V2);
+        assert_eq!(decode_node_header(&h).unwrap(), meta);
+    }
+
+    #[test]
+    fn v3_payload_envelope_enforced() {
+        // Fewer than a quarter byte per id is impossible (30 ids need at
+        // least 8 control bytes even when every data length is zero).
+        let h = encode_node_header(&GraphMeta::v3(10, 30, 7));
+        assert!(decode_node_header(&h).unwrap_err().is_corrupt());
+        assert!(decode_node_header(&encode_node_header(&GraphMeta::v3(10, 30, 8))).is_ok());
+        // More than five bytes per id is impossible.
+        let h = encode_node_header(&GraphMeta::v3(10, 30, 151));
         assert!(decode_node_header(&h).unwrap_err().is_corrupt());
     }
 
@@ -353,11 +421,18 @@ mod tests {
     fn version_tags_and_magic() {
         assert_eq!(FormatVersion::V1.tag(), "v1");
         assert_eq!(FormatVersion::V2.tag(), "v2");
+        assert_eq!(FormatVersion::V3.tag(), "v3");
         assert_eq!(FormatVersion::from_u32(2).unwrap(), FormatVersion::V2);
+        assert_eq!(FormatVersion::from_u32(3).unwrap(), FormatVersion::V3);
         assert!(FormatVersion::from_u32(0).is_err());
+        assert!(FormatVersion::from_u32(4).is_err());
         assert_ne!(
             FormatVersion::V1.edge_magic(),
             FormatVersion::V2.edge_magic()
+        );
+        assert_ne!(
+            FormatVersion::V2.edge_magic(),
+            FormatVersion::V3.edge_magic()
         );
     }
 

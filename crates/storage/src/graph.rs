@@ -401,12 +401,14 @@ impl DiskGraph {
             .read_exact_at(self.meta.node_entry_offset(v), &mut e)?;
         let (offset, degree) = format::decode_node_entry(&e);
         // Lower bound of the run's extent: 4 bytes per id raw, at least one
-        // byte per varint. The v2 decoder enforces the exact end itself.
-        let min_bytes_per_id: u128 = match self.meta.version {
-            FormatVersion::V1 => 4,
-            FormatVersion::V2 => 1,
+        // byte per varint, at least the control region for v3 groups. The
+        // v2/v3 decoders enforce the exact end themselves.
+        let min_bytes: u128 = match self.meta.version {
+            FormatVersion::V1 => 4 * degree as u128,
+            FormatVersion::V2 => degree as u128,
+            FormatVersion::V3 => (degree as u128).div_ceil(4),
         };
-        let end = offset as u128 + min_bytes_per_id * degree as u128;
+        let end = offset as u128 + min_bytes;
         if offset < format::EDGE_HEADER_LEN || end > self.meta.edge_file_len() as u128 {
             return Err(Error::corrupt(format!(
                 "node {v} entry points outside the edge table (offset {offset}, degree {degree})"
@@ -434,6 +436,11 @@ impl DiskGraph {
                     .read_gap_run(offset, degree as usize, buf)?;
                 validate_sorted_run(v, self.meta.num_nodes, buf)
             }
+            FormatVersion::V3 => {
+                self.edge_reader
+                    .read_group_run(offset, degree as usize, buf)?;
+                validate_sorted_run(v, self.meta.num_nodes, buf)
+            }
         }
     }
 
@@ -445,8 +452,8 @@ impl DiskGraph {
     /// copied at all. The frame handle is taken with the pool lock released
     /// before `f` runs, so parallel shard scans (see
     /// [`DiskGraph::try_clone`]) never serialize on each other's visit
-    /// closures. Otherwise — and always for v2 graphs, whose varint runs
-    /// have no in-place representation — the run is decoded into an
+    /// closures. Otherwise — and always for v2/v3 graphs, whose encoded
+    /// runs have no in-place representation — the run is decoded into an
     /// internal per-handle scratch buffer that is reused across calls, so
     /// no hot loop allocates. Charged identically to
     /// [`DiskGraph::adjacency`].
@@ -456,12 +463,21 @@ impl DiskGraph {
             return Ok(f(&[]));
         }
         let n = self.meta.num_nodes;
-        if self.meta.version == FormatVersion::V2 {
+        if self.meta.version != FormatVersion::V1 {
             // Decode-into-scratch: the cached path decodes straight from
             // pool frames (no byte copy), the uncached path streams through
             // the reader's reusable chunk buffer.
-            self.edge_reader
-                .read_gap_run(offset, degree as usize, &mut self.adj_scratch)?;
+            match self.meta.version {
+                FormatVersion::V2 => {
+                    self.edge_reader
+                        .read_gap_run(offset, degree as usize, &mut self.adj_scratch)?
+                }
+                _ => self.edge_reader.read_group_run(
+                    offset,
+                    degree as usize,
+                    &mut self.adj_scratch,
+                )?,
+            };
             validate_sorted_run(v, n, &self.adj_scratch)?;
             return Ok(f(&self.adj_scratch));
         }
@@ -515,6 +531,18 @@ impl DiskGraph {
         self.edge_reader.invalidate();
     }
 
+    /// Enable (or disable) background readahead pipelining on both table
+    /// readers: while a sequential scan decodes the current read-ahead
+    /// window, a worker thread fetches the next one (see
+    /// [`BlockReader::set_readahead`](crate::io::BlockReader::set_readahead)).
+    /// Physical pipelining only — every charged counter is bit-identical
+    /// with readahead on or off, which the format-v3 differential suite
+    /// asserts. Off by default; clones do not inherit it.
+    pub fn set_readahead(&mut self, enabled: bool) -> Result<()> {
+        self.node_reader.set_readahead(enabled)?;
+        self.edge_reader.set_readahead(enabled)
+    }
+
     /// Re-open the file pair in place (after a rewrite replaced the files).
     pub(crate) fn reopen(&mut self) -> Result<()> {
         if let Some(b) = self.binding.as_ref() {
@@ -550,9 +578,10 @@ fn read_meta(reader: &mut BlockReader) -> Result<GraphMeta> {
     format::decode_node_header(&header[..want])
 }
 
-/// Check a run the v2 decoder produced: the decoder already enforces strict
-/// ascent structurally (zero gaps are corrupt), so only the range of the
-/// maximum — the last element — needs checking.
+/// Check a run the v2/v3 decoders produced: both enforce strict ascent
+/// structurally (a zero gap is corrupt in v2; v3 stores `gap − 1`, making
+/// unsorted lists unrepresentable), so only the range of the maximum — the
+/// last element — needs checking. No re-walk of the run.
 fn validate_sorted_run(v: u32, num_nodes: u32, run: &[u32]) -> Result<()> {
     if let Some(&last) = run.last() {
         if last >= num_nodes {

@@ -35,9 +35,9 @@
 //! issues (see [`crate::vfs`]).
 
 use std::fs::File;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::cache::BlockCache;
 use crate::error::{Error, Result};
@@ -238,9 +238,14 @@ pub struct BlockReader {
     /// already paid for when fetched); safe because graph files are
     /// immutable while open ([`BlockReader::invalidate`] clears it).
     memo: Option<(u64, Arc<Vec<u8>>)>,
-    /// Reusable chunk buffer for [`BlockReader::read_gap_run`]'s uncached
-    /// path, so varint decodes allocate nothing per call.
+    /// Reusable chunk buffer for the encoded-run readers' uncached path,
+    /// so v2/v3 decodes allocate nothing per call.
     gap_scratch: Vec<u8>,
+    /// Where this reader's file lives, when it was opened by path — what
+    /// [`BlockReader::set_readahead`] needs to open its second handle.
+    path: Option<PathBuf>,
+    /// Background window prefetcher, when readahead is enabled.
+    prefetch: Option<Prefetcher>,
 }
 
 impl BlockReader {
@@ -255,7 +260,9 @@ impl BlockReader {
     /// and charge I/O to `counter`.
     pub fn open(path: &Path, counter: Arc<IoCounter>) -> Result<Self> {
         let file = counter.vfs().open_read(path)?;
-        Self::from_vfs_file(file, counter)
+        let mut reader = Self::from_vfs_file(file, counter)?;
+        reader.path = Some(path.to_path_buf());
+        Ok(reader)
     }
 
     fn from_vfs_file(mut file: Box<dyn VfsFile>, counter: Arc<IoCounter>) -> Result<Self> {
@@ -272,6 +279,8 @@ impl BlockReader {
             charge: None,
             memo: None,
             gap_scratch: Vec::new(),
+            path: None,
+            prefetch: None,
         })
     }
 
@@ -337,6 +346,45 @@ impl BlockReader {
     /// True when this reader serves blocks from a shared cache pool.
     pub fn is_cached(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Enable (or disable) background readahead pipelining: while the
+    /// consumer decodes the current read-ahead window, a worker thread
+    /// fetches the next window through a second handle on the same file.
+    ///
+    /// Readahead is *physical* pipelining only. Windows are measurement
+    /// apparatus (see the module docs): every charged counter — `read_ios`,
+    /// `physical_reads`, `read_bytes`, `seeks` — is computed at the
+    /// block-accounting layer, never at window refills, so the counters are
+    /// bit-identical with readahead on or off (the v3 differential suite
+    /// pins this). The second handle opens through the counter's [`Vfs`],
+    /// so fault injection still controls every byte; it is **off by
+    /// default** because a background reader would race FaultVfs's
+    /// deterministic operation schedules.
+    ///
+    /// Errors with [`Error::InvalidArgument`] on readers not opened by
+    /// path (the worker needs to open its own handle).
+    pub fn set_readahead(&mut self, enabled: bool) -> Result<()> {
+        if !enabled {
+            self.prefetch = None;
+            return Ok(());
+        }
+        if self.prefetch.is_some() {
+            return Ok(());
+        }
+        let Some(path) = self.path.as_ref() else {
+            return Err(Error::InvalidArgument(
+                "readahead requires a reader opened by path".into(),
+            ));
+        };
+        let file = self.counter.vfs().open_read(path)?;
+        self.prefetch = Some(Prefetcher::spawn(file)?);
+        Ok(())
+    }
+
+    /// True when background readahead is active.
+    pub fn readahead(&self) -> bool {
+        self.prefetch.is_some()
     }
 
     /// Length of the underlying file in bytes.
@@ -440,10 +488,20 @@ impl BlockReader {
         let window_start = &mut self.window_start;
         let file = self.file.as_mut();
         let file_len = self.file_len;
+        let prefetch = self.prefetch.as_ref();
         let (data, missed) = {
             let mut cache = lock_cache(pool);
             cache.get_or_load(*file_id, block, block_len, |buf| {
-                fill_from_window(window, window_start, file, file_len, b, block_start, buf)
+                fill_from_window(
+                    window,
+                    window_start,
+                    file,
+                    file_len,
+                    b,
+                    block_start,
+                    buf,
+                    prefetch,
+                )
             })?
         };
         match self.charge.as_ref() {
@@ -538,8 +596,52 @@ impl BlockReader {
         Ok(Some((data, from)))
     }
 
-    /// Decode a `count`-id delta-gap varint run starting at byte `offset`,
-    /// appending the ids to `out` (cleared first). Returns the encoded
+    /// Decode a `count`-id delta-gap varint (format v2) run starting at
+    /// byte `offset`, appending the ids to `out` (cleared first). Returns
+    /// the encoded length in bytes.
+    pub(crate) fn read_gap_run(
+        &mut self,
+        offset: u64,
+        count: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<u64> {
+        // Every id takes at least one varint byte: that is the cheap
+        // lower-bound range check before any I/O.
+        self.read_encoded_run(
+            crate::codec::GapDecoder::new(count),
+            offset,
+            count,
+            count,
+            out,
+        )
+    }
+
+    /// Decode a `count`-id stream-vbyte group (format v3) run starting at
+    /// byte `offset`, appending the ids to `out` (cleared first). Returns
+    /// the encoded length in bytes. Charging is identical to
+    /// [`BlockReader::read_gap_run`] — the decoder changes, the pricing
+    /// does not.
+    pub(crate) fn read_group_run(
+        &mut self,
+        offset: u64,
+        count: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<u64> {
+        // A v3 run is at least its control region long, even when every
+        // data length is zero.
+        self.read_encoded_run(
+            crate::codec::GroupDecoder::new(count),
+            offset,
+            count,
+            crate::codec::group_ctrl_len(count),
+            out,
+        )
+    }
+
+    /// Decode a `count`-id encoded run (any [`RunDecoder`]) starting at
+    /// byte `offset`, appending the ids to `out` (cleared first).
+    /// `min_len` is the run's format-guaranteed minimum encoded length,
+    /// used for a cheap range check before any I/O. Returns the encoded
     /// length in bytes — the run's extent is data-dependent, so the read
     /// proceeds block by block until the decoder is satisfied.
     ///
@@ -551,26 +653,25 @@ impl BlockReader {
     /// `prev_end` lands on the run's true end so the next contiguous list
     /// pays no seek. No block beyond the one holding the run's last byte
     /// is ever touched.
-    pub(crate) fn read_gap_run(
+    fn read_encoded_run<D: RunDecoder>(
         &mut self,
+        mut dec: D,
         offset: u64,
         count: usize,
+        min_len: usize,
         out: &mut Vec<u32>,
     ) -> Result<u64> {
         out.clear();
         if count == 0 {
             return Ok(0);
         }
-        // Every id takes at least one byte: cheap lower-bound validation
-        // before any I/O.
-        self.check_range(offset, count)?;
+        self.check_range(offset, min_len)?;
         out.reserve(count);
         let b = self.counter.block_size() as u64;
-        let mut dec = crate::codec::GapDecoder::new(count);
         let mut pos = offset;
         let truncated = || {
             Error::corrupt(format!(
-                "gap run of {count} ids at offset {offset} truncated by end of file"
+                "encoded run of {count} ids at offset {offset} truncated by end of file"
             ))
         };
         if self.cache.is_some() {
@@ -635,6 +736,7 @@ impl BlockReader {
             self.file_len,
             self.counter.block_size() as u64,
             pos,
+            self.prefetch.as_ref(),
         )
     }
 
@@ -656,6 +758,161 @@ impl BlockReader {
         }
         if let Some((ghost, file_id)) = self.charge.as_ref() {
             lock_cache(ghost).invalidate_file(*file_id);
+        }
+    }
+}
+
+/// The incremental decoder contract shared by the v2
+/// ([`crate::codec::GapDecoder`]) and v3 ([`crate::codec::GroupDecoder`])
+/// adjacency codecs, so [`BlockReader`] drives every encoded-run format
+/// through one block-charging loop with identical pricing.
+trait RunDecoder {
+    /// True once all expected ids have been produced.
+    fn is_done(&self) -> bool;
+    /// Consume bytes from `chunk`, appending decoded ids to `out`;
+    /// returns bytes consumed.
+    fn feed(&mut self, chunk: &[u8], out: &mut Vec<u32>) -> Result<usize>;
+}
+
+impl RunDecoder for crate::codec::GapDecoder {
+    fn is_done(&self) -> bool {
+        crate::codec::GapDecoder::is_done(self)
+    }
+    fn feed(&mut self, chunk: &[u8], out: &mut Vec<u32>) -> Result<usize> {
+        crate::codec::GapDecoder::feed(self, chunk, out)
+    }
+}
+
+impl RunDecoder for crate::codec::GroupDecoder {
+    fn is_done(&self) -> bool {
+        crate::codec::GroupDecoder::is_done(self)
+    }
+    fn feed(&mut self, chunk: &[u8], out: &mut Vec<u32>) -> Result<usize> {
+        crate::codec::GroupDecoder::feed(self, chunk, out)
+    }
+}
+
+/// Single-slot handoff between a [`BlockReader`] and its readahead worker.
+struct PrefetchSlot {
+    state: Mutex<PrefetchState>,
+    ready: Condvar,
+}
+
+/// What the readahead worker is doing, keyed by window start offset.
+enum PrefetchState {
+    Idle,
+    InFlight(u64),
+    Ready(u64, Vec<u8>),
+}
+
+/// Opt-in background readahead (see [`BlockReader::set_readahead`]): a
+/// worker thread owning a second [`VfsFile`] handle fetches the *next*
+/// read-ahead window while the consumer decodes the current one. Windows
+/// are measurement apparatus — nothing here touches a counter — so charged
+/// I/O is bit-identical with or without a prefetcher attached. Any miss
+/// (wrong offset, worker error, worker death) silently degrades to the
+/// synchronous read path.
+struct Prefetcher {
+    /// `(window start, window len, recycled buffer)` — the consumer hands
+    /// its outgoing window back so the worker never allocates in steady
+    /// state.
+    tx: Option<std::sync::mpsc::Sender<(u64, usize, Vec<u8>)>>,
+    slot: Arc<PrefetchSlot>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Prefetcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Prefetcher")
+    }
+}
+
+impl Prefetcher {
+    /// Start a worker thread reading windows from `file`.
+    fn spawn(mut file: Box<dyn VfsFile>) -> Result<Prefetcher> {
+        let slot = Arc::new(PrefetchSlot {
+            state: Mutex::new(PrefetchState::Idle),
+            ready: Condvar::new(),
+        });
+        let (tx, rx) = std::sync::mpsc::channel::<(u64, usize, Vec<u8>)>();
+        let worker_slot = Arc::clone(&slot);
+        let worker = std::thread::Builder::new()
+            .name("kcore-readahead".into())
+            .spawn(move || {
+                while let Ok((start, len, mut buf)) = rx.recv() {
+                    buf.resize(len, 0);
+                    let ok = file.read_exact_at(start, &mut buf).is_ok();
+                    let mut st = worker_slot.state.lock().unwrap_or_else(|p| p.into_inner());
+                    // Publish only while this is still the wanted window —
+                    // a newer request or a consumer give-up supersedes it.
+                    if matches!(*st, PrefetchState::InFlight(s) if s == start) {
+                        *st = if ok {
+                            PrefetchState::Ready(start, buf)
+                        } else {
+                            PrefetchState::Idle
+                        };
+                        worker_slot.ready.notify_all();
+                    }
+                }
+            })
+            .map_err(Error::Io)?;
+        Ok(Prefetcher {
+            tx: Some(tx),
+            slot,
+            worker: Some(worker),
+        })
+    }
+
+    /// Ask the worker to fetch `[start, start + len)` next. `recycle` is a
+    /// no-longer-needed buffer (typically the window just replaced) the
+    /// worker reads into instead of allocating.
+    fn request(&self, start: u64, len: usize, recycle: Vec<u8>) {
+        if len == 0 {
+            return;
+        }
+        let mut st = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
+        if matches!(*st, PrefetchState::InFlight(s) if s == start)
+            || matches!(&*st, PrefetchState::Ready(s, _) if *s == start)
+        {
+            return;
+        }
+        *st = PrefetchState::InFlight(start);
+        if let Some(tx) = self.tx.as_ref() {
+            if tx.send((start, len, recycle)).is_err() {
+                // Worker died; synchronous reads take over from here.
+                *st = PrefetchState::Idle;
+            }
+        }
+    }
+
+    /// Claim a previously requested window. Waits only while *this exact*
+    /// window is in flight; anything else returns `None` and the caller
+    /// reads synchronously (a stale in-flight fetch is discarded by the
+    /// publish check above).
+    fn take(&self, start: u64, len: usize) -> Option<Vec<u8>> {
+        let mut st = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match std::mem::replace(&mut *st, PrefetchState::Idle) {
+                PrefetchState::Ready(s, buf) if s == start && buf.len() == len => {
+                    return Some(buf);
+                }
+                PrefetchState::Ready(..) => return None,
+                PrefetchState::InFlight(s) if s == start => {
+                    *st = PrefetchState::InFlight(s);
+                    st = self.slot.ready.wait(st).unwrap_or_else(|p| p.into_inner());
+                }
+                PrefetchState::InFlight(_) | PrefetchState::Idle => return None,
+            }
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker's recv loop.
+        self.tx = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
         }
     }
 }
@@ -682,7 +939,10 @@ pub(crate) fn sync_parent_dir(vfs: &dyn Vfs, path: &std::path::Path) -> Result<(
 
 /// Refill `window` with a read-ahead span starting at the block containing
 /// `pos` (free function so cache-load closures can borrow reader fields
-/// disjointly).
+/// disjointly). With a prefetcher attached, a window the worker already
+/// fetched is claimed without touching the file, and the *next* window's
+/// fetch is kicked off before returning — the pipelining overlap.
+#[allow(clippy::too_many_arguments)]
 fn fill_window_at(
     window: &mut Vec<u8>,
     window_start: &mut u64,
@@ -690,20 +950,34 @@ fn fill_window_at(
     file_len: u64,
     block_size: u64,
     pos: u64,
+    prefetch: Option<&Prefetcher>,
 ) -> Result<()> {
     let start = (pos / block_size) * block_size;
     let want = (block_size as usize) * READAHEAD_BLOCKS;
     let avail = (file_len - start) as usize;
     let len = want.min(avail);
-    window.resize(len, 0);
-    file.read_exact_at(start, window)?;
+    let mut recycle = Vec::new();
+    match prefetch.and_then(|p| p.take(start, len)) {
+        Some(buf) => recycle = std::mem::replace(window, buf),
+        None => {
+            window.resize(len, 0);
+            file.read_exact_at(start, window)?;
+        }
+    }
     *window_start = start;
+    if let Some(p) = prefetch {
+        let next = start + len as u64;
+        if next < file_len {
+            p.request(next, want.min((file_len - next) as usize), recycle);
+        }
+    }
     Ok(())
 }
 
 /// Copy the block at `block_start` into `buf`, serving from (and refilling)
 /// the read-ahead window so cold sequential misses cost one large physical
 /// read per `READAHEAD_BLOCKS`, not one syscall per block.
+#[allow(clippy::too_many_arguments)]
 fn fill_from_window(
     window: &mut Vec<u8>,
     window_start: &mut u64,
@@ -712,6 +986,7 @@ fn fill_from_window(
     block_size: u64,
     block_start: u64,
     buf: &mut [u8],
+    prefetch: Option<&Prefetcher>,
 ) -> Result<()> {
     let end = block_start + buf.len() as u64;
     if block_start < *window_start || end > *window_start + window.len() as u64 {
@@ -722,6 +997,7 @@ fn fill_from_window(
             file_len,
             block_size,
             block_start,
+            prefetch,
         )?;
     }
     let from = (block_start - *window_start) as usize;
@@ -940,5 +1216,48 @@ mod tests {
         assert_eq!(d.read_bytes, 60);
         assert_eq!(d.seeks, 2);
         assert_eq!(d.total_ios(), 5);
+    }
+
+    #[test]
+    fn readahead_is_byte_identical_and_charge_invisible() {
+        // ~600 KB spans several read-ahead windows, so the prefetch worker
+        // actually pipelines handoffs rather than serving one window.
+        let (_dir, path) = temp_file_with(600_000);
+        let (c_sync, c_ra) = (IoCounter::new(512), IoCounter::new(512));
+        let mut sync = BlockReader::open(&path, c_sync.clone()).unwrap();
+        let mut ra = BlockReader::open(&path, c_ra.clone()).unwrap();
+        assert!(!ra.readahead());
+        ra.set_readahead(true).unwrap();
+        assert!(ra.readahead());
+        // Enabling twice is a no-op; so is disabling and re-enabling.
+        ra.set_readahead(true).unwrap();
+
+        let (mut a, mut b) = (vec![0u8; 700], vec![0u8; 700]);
+        let mut off = 0u64;
+        while off < 600_000 {
+            let take = 700.min(600_000 - off as usize);
+            sync.read_exact_at(off, &mut a[..take]).unwrap();
+            ra.read_exact_at(off, &mut b[..take]).unwrap();
+            assert_eq!(a[..take], b[..take], "divergence at offset {off}");
+            off += take as u64;
+        }
+        // Every charged counter — including physical reads and seeks — is
+        // identical: the pipeline moves fetches, it never changes pricing.
+        assert_eq!(c_sync.snapshot(), c_ra.snapshot());
+
+        ra.set_readahead(false).unwrap();
+        assert!(!ra.readahead());
+        ra.read_exact_at(0, &mut a[..16]).unwrap();
+    }
+
+    #[test]
+    fn readahead_needs_a_path_opened_reader() {
+        let (_dir, path) = temp_file_with(1000);
+        let counter = IoCounter::new(512);
+        let mut r = BlockReader::new(File::open(&path).unwrap(), counter).unwrap();
+        let err = r.set_readahead(true).unwrap_err();
+        assert!(err.to_string().contains("readahead"), "{err}");
+        // Disabling an absent prefetcher is still fine.
+        r.set_readahead(false).unwrap();
     }
 }

@@ -218,7 +218,7 @@ impl PartitionStore {
             let v = codec::try_get_u32(&bytes, at, "partition node id")?;
             let deg = codec::try_get_u32(&bytes, at + 4, "partition degree")? as usize;
             at += 8;
-            let mut nbrs = Vec::new();
+            let mut nbrs = Vec::with_capacity(deg);
             match self.format {
                 FormatVersion::V1 => {
                     if bytes.len() < at + deg * 4 {
@@ -229,6 +229,9 @@ impl PartitionStore {
                 }
                 FormatVersion::V2 => {
                     at += codec::decode_gap_run(&bytes[at..], deg, &mut nbrs)?;
+                }
+                FormatVersion::V3 => {
+                    at += codec::decode_group_run(&bytes[at..], deg, &mut nbrs)?;
                 }
             }
             if v < meta.start || v >= meta.end {
@@ -283,13 +286,16 @@ impl PartitionStore {
 }
 
 /// Byte length record `(v, nbrs)` will occupy under `format`, using
-/// `scratch` to hold a throwaway encoding on the v2 path.
+/// `scratch` to hold a throwaway encoding on the v2/v3 paths.
 fn encoded_record_len(format: FormatVersion, nbrs: &[u32], scratch: &mut Vec<u8>) -> u64 {
     match format {
         FormatVersion::V1 => 8 + 4 * nbrs.len() as u64,
-        FormatVersion::V2 => {
+        FormatVersion::V2 | FormatVersion::V3 => {
             scratch.clear();
-            codec::encode_gap_run(nbrs, scratch);
+            match format {
+                FormatVersion::V2 => codec::encode_gap_run(nbrs, scratch),
+                _ => codec::encode_group_run(nbrs, scratch),
+            }
             8 + scratch.len() as u64
         }
     }
@@ -330,6 +336,7 @@ fn write_partition_at(
         match format {
             FormatVersion::V1 => codec::encode_u32_run(nbrs, &mut rec),
             FormatVersion::V2 => codec::encode_gap_run(nbrs, &mut rec),
+            FormatVersion::V3 => codec::encode_group_run(nbrs, &mut rec),
         }
         w.write_all(&rec)?;
     }

@@ -1,0 +1,254 @@
+//! Storage-level format-v3 coverage: byte-identical reads vs v1 across the
+//! cached/uncached/pooled open paths, flush-preserved encoding, partition
+//! stores and catalog entries carrying the format, and — pinning the
+//! skipped-revalidation design — corrupt v2/v3 runs still surfacing as
+//! corruption even though `validate_sorted_run` only range-checks the last
+//! element (structural sortedness is the codecs' job: a zero gap is corrupt
+//! in v2, and v3 stores `gap − 1`, making descent unrepresentable).
+
+use std::sync::Arc;
+
+use graphstore::{
+    write_mem_graph_with, BufferedGraph, Catalog, CatalogEntry, DiskGraph, FormatVersion,
+    GraphPaths, IoCounter, MemGraph, PartitionStore, SharedPool, TempDir, DEFAULT_BLOCK_SIZE,
+};
+
+/// Clustered lists (consecutive ids — v3's zero-byte code) interleaved with
+/// wide gaps, spanning several 512 B blocks.
+fn chunky_graph(n: u32) -> MemGraph {
+    let edges = (0..n).flat_map(|i| {
+        [
+            (i, (i + 1) % n),
+            (i, (i + 2) % n),
+            (i, (i + 3) % n),
+            (i, (i * 13 + 3) % n),
+            (i, (i + n / 2) % n),
+        ]
+    });
+    MemGraph::from_edges(edges, n)
+}
+
+fn write_v3(dir: &TempDir, g: &MemGraph, name: &str) -> std::path::PathBuf {
+    let base = dir.path().join(name);
+    write_mem_graph_with(
+        &base,
+        g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V3,
+    )
+    .unwrap();
+    base
+}
+
+#[test]
+fn v3_reads_are_bit_identical_across_open_paths() {
+    let g = chunky_graph(700);
+    let dir = TempDir::new("fmt3").unwrap();
+    let b1 = dir.path().join("v1");
+    write_mem_graph_with(
+        &b1,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V1,
+    )
+    .unwrap();
+    let b3 = write_v3(&dir, &g, "v3");
+
+    let block = 512usize;
+    let pool = SharedPool::new(block, 64 * block as u64).unwrap();
+    let mut opens: Vec<(&str, DiskGraph)> = vec![
+        (
+            "uncached",
+            DiskGraph::open(&b3, IoCounter::new(block)).unwrap(),
+        ),
+        (
+            "cached",
+            DiskGraph::open_with_cache(&b3, IoCounter::new(block), 16 * block as u64).unwrap(),
+        ),
+        (
+            "pooled",
+            DiskGraph::open_pooled(&b3, IoCounter::new(block), &pool, 16 * block as u64).unwrap(),
+        ),
+    ];
+    let mut reference = DiskGraph::open(&b1, IoCounter::new(block)).unwrap();
+
+    let mut want = Vec::new();
+    let mut got = Vec::new();
+    for v in 0..g.num_nodes() {
+        reference.adjacency(v, &mut want).unwrap();
+        assert_eq!(want.as_slice(), g.neighbors(v));
+        for (label, dg) in opens.iter_mut() {
+            assert_eq!(dg.format_version(), FormatVersion::V3);
+            dg.adjacency(v, &mut got).unwrap();
+            assert_eq!(got, want, "{label} node {v}");
+            let borrowed: Vec<u32> = dg.with_adjacency(v, |nbrs| nbrs.to_vec()).unwrap();
+            assert_eq!(borrowed, want, "{label} borrowed node {v}");
+        }
+    }
+    for (_, dg) in &mut opens {
+        assert_eq!(dg.read_degrees().unwrap(), g.degrees());
+    }
+}
+
+#[test]
+fn buffered_flush_preserves_v3_encoding() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt3").unwrap();
+    let base = write_v3(&dir, &g, "g3");
+    let disk = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    let mut bg = BufferedGraph::new(disk, 4); // tiny capacity: force flushes
+    bg.insert_edge(0, 9).unwrap();
+    bg.delete_edge(0, 1).unwrap();
+    bg.insert_edge(2, 17).unwrap();
+    assert!(bg.flushes() > 0, "capacity 4 must have flushed");
+    assert_eq!(bg.disk().format_version(), FormatVersion::V3);
+
+    let mut reopened = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    assert_eq!(reopened.format_version(), FormatVersion::V3);
+    let nbrs: Vec<u32> = reopened.with_adjacency(0, |n| n.to_vec()).unwrap();
+    assert!(nbrs.contains(&9) && !nbrs.contains(&1));
+}
+
+#[test]
+fn truncated_v3_edge_table_is_corrupt() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt3").unwrap();
+    let base = write_v3(&dir, &g, "g3");
+    let paths = GraphPaths::from_base(&base);
+    let len = std::fs::metadata(&paths.edges).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&paths.edges)
+        .unwrap()
+        .set_len(len - 3)
+        .unwrap();
+    assert!(DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE))
+        .unwrap_err()
+        .is_corrupt());
+}
+
+/// The satellite pinning test for the skipped full-revalidation pass:
+/// `validate_sorted_run` is a constant-time last-element range check, so
+/// *structural* damage must be caught by the codecs themselves. A v3
+/// control byte stamped `0xFF` claims four 4-byte gaps, which runs the
+/// node's data cursor past its payload — truncation, surfaced as corrupt.
+#[test]
+fn garbage_in_v3_run_surfaces_as_error_not_panic() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt3").unwrap();
+    let base = write_v3(&dir, &g, "g3");
+    let paths = GraphPaths::from_base(&base);
+    let mut bytes = std::fs::read(&paths.edges).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 16).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b = 0xFF;
+    }
+    std::fs::write(&paths.edges, &bytes).unwrap();
+    let mut dg = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    let mut buf = Vec::new();
+    let mut saw_error = false;
+    for v in 0..dg.num_nodes() {
+        if dg.adjacency(v, &mut buf).is_err() {
+            saw_error = true;
+            break;
+        }
+    }
+    assert!(saw_error, "corrupted group runs must surface as an error");
+}
+
+/// The v2 half of the same pin: a zeroed varint mid-payload decodes as a
+/// zero gap — a duplicate neighbour — which the gap decoder rejects even
+/// though no full sortedness sweep runs over the decoded list.
+#[test]
+fn zero_gap_in_v2_run_surfaces_as_error_not_panic() {
+    let g = chunky_graph(300);
+    let dir = TempDir::new("fmt3").unwrap();
+    let base = dir.path().join("g2");
+    write_mem_graph_with(
+        &base,
+        &g,
+        IoCounter::new(DEFAULT_BLOCK_SIZE),
+        FormatVersion::V2,
+    )
+    .unwrap();
+    let paths = GraphPaths::from_base(&base);
+    let mut bytes = std::fs::read(&paths.edges).unwrap();
+    let mid = bytes.len() / 2;
+    let end = (mid + 16).min(bytes.len());
+    for b in &mut bytes[mid..end] {
+        *b = 0x00;
+    }
+    std::fs::write(&paths.edges, &bytes).unwrap();
+    let mut dg = DiskGraph::open(&base, IoCounter::new(DEFAULT_BLOCK_SIZE)).unwrap();
+    let mut buf = Vec::new();
+    let mut saw_error = false;
+    for v in 0..dg.num_nodes() {
+        if dg.adjacency(v, &mut buf).is_err() {
+            saw_error = true;
+            break;
+        }
+    }
+    assert!(saw_error, "zero gaps must surface as an error");
+}
+
+#[test]
+fn partition_store_round_trips_and_rewrites_v3() {
+    let g = chunky_graph(400);
+    let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
+    let mut source = g.clone();
+    let mut store = PartitionStore::build_with_format(
+        &mut source,
+        2048,
+        Arc::clone(&counter),
+        FormatVersion::V3,
+    )
+    .unwrap();
+    assert_eq!(store.format(), FormatVersion::V3);
+    assert!(store.len() > 1, "2 KiB target must split 400 nodes");
+
+    let mut seen = 0u32;
+    for i in 0..store.len() {
+        let part = store.load(i).unwrap();
+        for (v, nbrs) in &part.entries {
+            assert_eq!(nbrs.as_slice(), g.neighbors(*v), "node {v}");
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, g.num_nodes());
+
+    // Rewrite partition 0 with shrunk lists; it must reload in v3 intact.
+    let part = store.load(0).unwrap();
+    let rewritten: Vec<(u32, Vec<u32>)> = part
+        .entries
+        .iter()
+        .map(|(v, nbrs)| (*v, nbrs.iter().copied().skip(1).collect()))
+        .collect();
+    store.rewrite(0, &rewritten).unwrap();
+    let reloaded = store.load(0).unwrap();
+    assert_eq!(reloaded.entries, rewritten.as_slice());
+}
+
+#[test]
+fn catalog_round_trips_a_v3_entry() {
+    let dir = TempDir::new("fmt3-cat").unwrap();
+    let catalog = Catalog {
+        block_size: 4096,
+        budget_bytes: 1 << 20,
+        policy: graphstore::EvictionPolicy::ScanLifo,
+        entries: vec![CatalogEntry {
+            name: "gamma".into(),
+            base: dir.path().join("gamma"),
+            charge_bytes: 9_999,
+            checkpoint_seq: 3,
+            format: FormatVersion::V3,
+            generation: 1,
+        }],
+    };
+    catalog.write(dir.path()).unwrap();
+    let back = Catalog::read(dir.path()).unwrap();
+    assert_eq!(back.entries.len(), 1);
+    assert_eq!(back.entries[0].format, FormatVersion::V3);
+    assert_eq!(back.entries[0].name, "gamma");
+    assert_eq!(back.entries[0].generation, 1);
+}

@@ -22,6 +22,7 @@ recovery_out="$(pwd)/${prefix}_recovery.json"
 compress_out="$(pwd)/${prefix}_compress.json"
 serve_out="$(pwd)/${prefix}_serve.json"
 compact_out="$(pwd)/${prefix}_compact.json"
+decode_out="$(pwd)/${prefix}_decode.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -84,5 +85,14 @@ echo "# bench run ${stamp} @ ${rev}" >> "${compact_out}"
 run_target compaction \
     cargo run --release -q -p kcore-bench --bin compaction -- --json "${compact_out}"
 
+# Decode bandwidth: v2 varint vs v3 stream-vbyte in-memory decode rates and
+# the readahead-pipelined full scan. The binary is the v3 regression gate:
+# it exits non-zero if the dispatched v3 decoder falls below 2x the v2
+# scalar rate, if readahead changes any charged counter, or (with >= 2
+# cores) if the readahead scan is slower than the synchronous one.
+echo "# bench run ${stamp} @ ${rev}" >> "${decode_out}"
+run_target decode \
+    cargo run --release -q -p kcore-bench --bin decode_bw -- --json "${decode_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out}, ${serve_out} and ${compact_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out}, ${serve_out}, ${compact_out} and ${decode_out}"

