@@ -52,6 +52,25 @@ pub enum Error {
         /// What sent the graph into quarantine.
         reason: String,
     },
+    /// The named graph is serving in degraded read-only mode: a disk-full
+    /// condition (or another recoverable durability failure) stopped the
+    /// journal and checkpoint writers, so mutations are refused while
+    /// queries keep serving the last committed state. Unlike
+    /// [`Error::Quarantined`] the in-memory state is still trusted; the
+    /// graph auto-promotes back to read-write once space returns.
+    ReadOnly {
+        /// Name of the degraded graph.
+        graph: String,
+        /// Why mutations are refused.
+        reason: String,
+    },
+    /// The operation exceeded its per-op deadline and was cancelled at a
+    /// safe point. No maintained state was mutated; the admission claim is
+    /// released. A retry (or a raised `--op-timeout-ms`) may succeed.
+    Timeout {
+        /// What ran out of time.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -70,6 +89,10 @@ impl fmt::Display for Error {
             Error::Quarantined { graph, reason } => {
                 write!(f, "graph {graph:?} is quarantined: {reason}")
             }
+            Error::ReadOnly { graph, reason } => {
+                write!(f, "graph {graph:?} is read-only: {reason}")
+            }
+            Error::Timeout { reason } => write!(f, "operation timed out: {reason}"),
         }
     }
 }
@@ -112,6 +135,25 @@ impl Error {
     pub fn is_overloaded(&self) -> bool {
         matches!(self, Error::Overloaded { .. })
     }
+
+    /// True when the error reports a graph serving in degraded read-only
+    /// mode.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Error::ReadOnly { .. })
+    }
+
+    /// True when the error reports a per-op deadline expiry.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Error::Timeout { .. })
+    }
+
+    /// True when the root cause is the filesystem running out of space
+    /// (`ENOSPC`/`EDQUOT`, surfaced as [`std::io::ErrorKind::StorageFull`]).
+    /// The serving layer uses this to choose degraded read-only mode over
+    /// quarantine: a full disk damages nothing, it only stops writers.
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, Error::Io(e) if e.kind() == std::io::ErrorKind::StorageFull)
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +189,33 @@ mod tests {
             "tenant \"t\" overloaded: admission queue full"
         );
         assert!(e.is_overloaded() && !e.is_quarantined());
+    }
+
+    #[test]
+    fn degraded_and_timeout_variants_classify() {
+        let e = Error::ReadOnly {
+            graph: "g".into(),
+            reason: "disk full".into(),
+        };
+        assert_eq!(e.to_string(), "graph \"g\" is read-only: disk full");
+        assert!(e.is_read_only() && !e.is_quarantined());
+
+        let e = Error::Timeout {
+            reason: "per-op deadline of 5 ms exceeded".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "operation timed out: per-op deadline of 5 ms exceeded"
+        );
+        assert!(e.is_timeout() && !e.is_read_only());
+
+        let full = Error::Io(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            "injected disk full (ENOSPC)",
+        ));
+        assert!(full.is_disk_full());
+        let other = Error::Io(std::io::Error::other("boom"));
+        assert!(!other.is_disk_full());
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use std::fs::File;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::cache::BlockCache;
@@ -69,6 +69,13 @@ pub struct IoCounter {
     read_bytes: AtomicU64,
     write_bytes: AtomicU64,
     seeks: AtomicU64,
+    /// Fast-path gate for the cooperative per-op deadline: readers check
+    /// this relaxed flag on every request and only take the `deadline`
+    /// lock when it is set, so an unarmed counter pays one atomic load.
+    deadline_armed: AtomicBool,
+    /// The armed deadline (absolute expiry, original budget for the error
+    /// message). Set by the serving layer around each operation.
+    deadline: Mutex<Option<(std::time::Instant, std::time::Duration)>>,
 }
 
 impl IoCounter {
@@ -91,7 +98,54 @@ impl IoCounter {
             read_bytes: AtomicU64::new(0),
             write_bytes: AtomicU64::new(0),
             seeks: AtomicU64::new(0),
+            deadline_armed: AtomicBool::new(false),
+            deadline: Mutex::new(None),
         })
+    }
+
+    /// Arm (or, with `None`, clear) a cooperative deadline: every block
+    /// read through this counter calls [`IoCounter::check_deadline`], so
+    /// a long scan cancels at its next read once `expires_at` passes. The
+    /// `budget` is echoed in the timeout error message.
+    pub fn set_deadline(&self, d: Option<(std::time::Instant, std::time::Duration)>) {
+        let mut slot = self.deadline.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = d;
+        self.deadline_armed.store(d.is_some(), Ordering::Release);
+    }
+
+    /// Temporarily stop deadline checks without forgetting the armed
+    /// deadline — used around non-cancellable sections (a maintenance op
+    /// mid-mutation must run to completion or the state is torn).
+    pub fn pause_deadline(&self) {
+        self.deadline_armed.store(false, Ordering::Release);
+    }
+
+    /// Re-enable checks against the deadline armed before
+    /// [`IoCounter::pause_deadline`]. A no-op when none is armed.
+    pub fn resume_deadline(&self) {
+        let armed = self
+            .deadline
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some();
+        self.deadline_armed.store(armed, Ordering::Release);
+    }
+
+    /// Fail with [`Error::Timeout`] once the armed deadline has passed.
+    /// Free (one relaxed load) when no deadline is armed.
+    pub fn check_deadline(&self) -> Result<()> {
+        if !self.deadline_armed.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let slot = self.deadline.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((expires_at, budget)) = *slot {
+            if std::time::Instant::now() >= expires_at {
+                return Err(Error::Timeout {
+                    reason: format!("per-op deadline of {} ms exceeded", budget.as_millis()),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The filesystem seam this counter routes opens through.
@@ -419,6 +473,7 @@ impl BlockReader {
         if out.is_empty() {
             return Ok(());
         }
+        self.counter.check_deadline()?;
         let end = self.check_range(offset, out.len())?;
         if self.cache.is_some() {
             return self.read_cached(offset, end, out);
@@ -665,6 +720,7 @@ impl BlockReader {
         if count == 0 {
             return Ok(0);
         }
+        self.counter.check_deadline()?;
         self.check_range(offset, min_len)?;
         out.reserve(count);
         let b = self.counter.block_size() as u64;

@@ -443,6 +443,142 @@ impl VfsFile for FaultFile {
     }
 }
 
+/// A read-bandwidth-limited [`Vfs`] wrapper: every byte delivered by
+/// [`VfsFile::read_exact_at`] or [`Vfs::read`] drains a shared token
+/// bucket refilled at `bytes_per_sec`, and a caller that outruns the
+/// bucket sleeps off its debt before the next read proceeds. This is the
+/// integrity scrubber's read path: scrub traffic is pinned below a
+/// bandwidth ceiling so it cannot starve foreground queries of disk,
+/// while writes (repairs) pass through unthrottled.
+///
+/// The bucket allows a burst of up to one second's budget, carries debt
+/// (a single oversized read completes, then pays for itself), and a rate
+/// of `u64::MAX` disables throttling entirely.
+#[derive(Debug)]
+pub struct ThrottledVfs {
+    inner: Arc<dyn Vfs>,
+    bucket: Arc<Mutex<TokenBucket>>,
+}
+
+#[derive(Debug)]
+struct TokenBucket {
+    /// Refill rate in bytes per second; `f64` for sub-byte carry.
+    rate: f64,
+    /// Current balance in bytes. Negative = debt to sleep off.
+    tokens: f64,
+    last_refill: std::time::Instant,
+    throttled_bytes: u64,
+}
+
+impl ThrottledVfs {
+    /// Wrap `inner`, limiting read bandwidth to `bytes_per_sec`.
+    pub fn new(inner: Arc<dyn Vfs>, bytes_per_sec: u64) -> Arc<ThrottledVfs> {
+        Arc::new(ThrottledVfs {
+            inner,
+            bucket: Arc::new(Mutex::new(TokenBucket {
+                rate: bytes_per_sec as f64,
+                tokens: bytes_per_sec as f64,
+                last_refill: std::time::Instant::now(),
+                throttled_bytes: 0,
+            })),
+        })
+    }
+
+    /// Total bytes that have drained the bucket since creation.
+    pub fn throttled_bytes(&self) -> u64 {
+        self.bucket
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .throttled_bytes
+    }
+}
+
+/// Drain `n` bytes from the bucket, sleeping off any debt *outside* the
+/// lock so concurrent readers are paced, not serialized.
+fn acquire(bucket: &Arc<Mutex<TokenBucket>>, n: u64) {
+    let wait = {
+        let mut b = bucket.lock().unwrap_or_else(|p| p.into_inner());
+        if b.rate >= u64::MAX as f64 {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let refill = now.duration_since(b.last_refill).as_secs_f64() * b.rate;
+        // Burst capacity: at most one second's budget banks up.
+        b.tokens = (b.tokens + refill).min(b.rate);
+        b.last_refill = now;
+        b.tokens -= n as f64;
+        b.throttled_bytes += n;
+        if b.tokens < 0.0 {
+            std::time::Duration::from_secs_f64(-b.tokens / b.rate)
+        } else {
+            return;
+        }
+    };
+    std::thread::sleep(wait);
+}
+
+impl Vfs for ThrottledVfs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(ThrottledFile {
+            inner: self.inner.open_read(path)?,
+            bucket: Arc::clone(&self.bucket),
+        }))
+    }
+    fn open_read_write(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(ThrottledFile {
+            inner: self.inner.open_read_write(path)?,
+            bucket: Arc::clone(&self.bucket),
+        }))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        // Writes pass through unthrottled; only reads are paced.
+        self.inner.create(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        self.inner.sync_parent_dir(path)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let bytes = self.inner.read(path)?;
+        acquire(&self.bucket, bytes.len() as u64);
+        Ok(bytes)
+    }
+}
+
+/// A rate-limited read handle produced by [`ThrottledVfs`].
+#[derive(Debug)]
+struct ThrottledFile {
+    inner: Box<dyn VfsFile>,
+    bucket: Arc<Mutex<TokenBucket>>,
+}
+
+impl VfsFile for ThrottledFile {
+    fn read_exact_at(&mut self, offset: u64, out: &mut [u8]) -> io::Result<()> {
+        acquire(&self.bucket, out.len() as u64);
+        self.inner.read_exact_at(offset, out)
+    }
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.inner.write_all(data)
+    }
+    fn seek_to(&mut self, offset: u64) -> io::Result<()> {
+        self.inner.seek_to(offset)
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.inner.set_len(len)
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.inner.sync_all()
+    }
+    fn len(&mut self) -> io::Result<u64> {
+        self.inner.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +716,40 @@ mod tests {
         assert_eq!(vfs.sync_events(), 0);
         assert!(f.sync_all().is_err());
         f.sync_all().unwrap();
+    }
+
+    #[test]
+    fn throttled_vfs_paces_reads_and_counts_bytes() {
+        let (_d, path) = setup();
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        // 8 KiB/s with a 8 KiB burst: the first 8 KiB is free, the next
+        // 4 KiB must wait ~half a second.
+        let vfs = ThrottledVfs::new(StdVfs::arc(), 8 * 1024);
+        let mut f = vfs.open_read(&path).unwrap();
+        let mut buf = vec![0u8; 4096];
+        let start = std::time::Instant::now();
+        f.read_exact_at(0, &mut buf).unwrap();
+        f.read_exact_at(0, &mut buf).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_millis(200));
+        f.read_exact_at(0, &mut buf).unwrap();
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(400),
+            "third read should have slept off ~0.5s of bucket debt"
+        );
+        assert_eq!(vfs.throttled_bytes(), 3 * 4096);
+        assert_eq!(buf, vec![7u8; 4096]);
+    }
+
+    #[test]
+    fn throttled_vfs_max_rate_is_a_passthrough() {
+        let (_d, path) = setup();
+        std::fs::write(&path, vec![1u8; 64 * 1024]).unwrap();
+        let vfs = ThrottledVfs::new(StdVfs::arc(), u64::MAX);
+        let start = std::time::Instant::now();
+        for _ in 0..64 {
+            assert_eq!(vfs.read(&path).unwrap().len(), 64 * 1024);
+        }
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
     }
 
     #[test]

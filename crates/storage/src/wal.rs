@@ -415,6 +415,16 @@ impl GroupCommitWal {
         relock(&self.append).wal.rollback_to(mark)
     }
 
+    /// Immediate barrier over everything submitted so far: block until
+    /// every record written at the time of the call is durable, without
+    /// the gather delay. The server's drain path calls this before
+    /// closing sockets so no acknowledged op rides on an unissued
+    /// barrier.
+    pub fn flush(&self) -> Result<()> {
+        let target = relock(&self.progress).written_lsn;
+        self.wait_durable(target, false)
+    }
+
     /// Block until every record up to `lsn` is durable — acknowledged by a
     /// completed fsync barrier or absorbed into a checkpoint. With
     /// `gather`, a thread elected leader waits the configured `max_delay`

@@ -23,6 +23,7 @@ compress_out="$(pwd)/${prefix}_compress.json"
 serve_out="$(pwd)/${prefix}_serve.json"
 compact_out="$(pwd)/${prefix}_compact.json"
 decode_out="$(pwd)/${prefix}_decode.json"
+scrub_out="$(pwd)/${prefix}_scrub.json"
 
 stamp=$(date -u +"%Y-%m-%dT%H:%M:%SZ")
 rev=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
@@ -94,5 +95,14 @@ echo "# bench run ${stamp} @ ${rev}" >> "${decode_out}"
 run_target decode \
     cargo run --release -q -p kcore-bench --bin decode_bw -- --json "${decode_out}"
 
+# Scrub overhead: the background integrity scrubber's tax on tenant
+# latency. The binary is the self-heal regression gate: it exits non-zero
+# if scrub-on p99 op latency exceeds 1.10x the scrub-off p99, or if
+# scrubbing changes the tenant's charged reads at all (the scrubber must
+# be invisible to the cost model).
+echo "# bench run ${stamp} @ ${rev}" >> "${scrub_out}"
+run_target scrub_overhead \
+    cargo run --release -q -p kcore-bench --bin scrub_overhead -- --json "${scrub_out}"
+
 echo
-echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out}, ${serve_out}, ${compact_out} and ${decode_out}"
+echo "results appended to ${criterion_out}, ${cache_out}, ${threads_out}, ${multigraph_out}, ${recovery_out}, ${compress_out}, ${serve_out}, ${compact_out}, ${decode_out} and ${scrub_out}"

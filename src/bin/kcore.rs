@@ -9,7 +9,8 @@
 //! kcore serve  [--budget-mb M] [--workers N] [--policy lru|scanlifo]
 //!              [--data-dir DIR] [--listen ADDR] [--max-conns N]
 //!              [--qos-mb M] [--qos-queue N] [--group-commit-us U]
-//!              [--compact-after E]
+//!              [--compact-after E] [--scrub-interval S]
+//!              [--repair-retries R] [--op-timeout-ms T]
 //!              [name=graph-base ...]         serve many graphs on one budget
 //! kcore fsck   <data-dir> [--repair]         check (and repair) a durable dir
 //! kcore compact <data-dir> <name>            fold buffered edits into fresh tables
@@ -53,9 +54,21 @@
 //!
 //! The REPL never dies on a failed command: every error is reported as one
 //! structured `err <kind>: <detail>` line (kinds: `io`, `corrupt`,
-//! `quarantined`, `range`, `usage`, `limit`, `overloaded`) and the
-//! session keeps reading, so a scripted driver can match on the prefix
-//! and carry on.
+//! `quarantined`, `readonly`, `timeout`, `range`, `usage`, `limit`,
+//! `overloaded`) and the session keeps reading, so a scripted driver can
+//! match on the prefix and carry on.
+//!
+//! `kcore serve` also runs the **self-heal supervisor**: quarantined
+//! graphs are repaired online (`--repair-retries R` attempts with
+//! exponential backoff, then sticky quarantine), graphs degraded to
+//! read-only by a full disk are probed and promoted back automatically,
+//! and with `--scrub-interval S` each healthy graph's durable artefacts
+//! are re-walked through the fsck invariants every `S` seconds at a
+//! throttled read rate, feeding findings into the same quarantine →
+//! repair pipeline. `--op-timeout-ms T` bounds each query's charged-read
+//! phase; over-deadline ops return `err timeout:` without quarantining.
+//! The `health`, `scrub` and `repair` REPL verbs drive the same machinery
+//! manually.
 //!
 //! `kcore fsck` walks a durable data directory offline: catalog, base
 //! tables (full adjacency walk), checkpoints and journals. `--repair`
@@ -77,7 +90,7 @@ use kcore_suite::CoreService;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  kcore build <edges.txt> <graph-base> [--compress[=v2|v3]]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR]\n              [--listen ADDR] [--max-conns N] [--qos-mb M] [--qos-queue N]\n              [--group-commit-us U] [--compact-after E] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]\n  kcore compact <data-dir> <name>\n  kcore recompress <data-dir> [--to v1|v2|v3]"
+        "usage:\n  kcore build <edges.txt> <graph-base> [--compress[=v2|v3]]\n  kcore decompose <graph-base> [--algo star|plus|basic|emcore] [--workers N] [--cache-mb M] [--out cores.txt]\n  kcore query <graph-base> --k <K>\n  kcore stats <graph-base>\n  kcore serve [--budget-mb M] [--workers N] [--policy lru|scanlifo] [--data-dir DIR]\n              [--listen ADDR] [--max-conns N] [--qos-mb M] [--qos-queue N]\n              [--group-commit-us U] [--compact-after E] [--scrub-interval S]\n              [--repair-retries R] [--op-timeout-ms T] [name=graph-base ...]\n  kcore fsck <data-dir> [--repair]\n  kcore compact <data-dir> <name>\n  kcore recompress <data-dir> [--to v1|v2|v3]"
     );
     std::process::exit(2)
 }
@@ -347,7 +360,7 @@ fn recompress_cmd(args: &[String]) -> graphstore::Result<()> {
 
 /// The value-taking flags of `kcore serve` — the single list both the
 /// flag parsers and the positional-argument scan below work from.
-const SERVE_FLAGS: [&str; 10] = [
+const SERVE_FLAGS: [&str; 13] = [
     "--budget-mb",
     "--workers",
     "--policy",
@@ -358,6 +371,9 @@ const SERVE_FLAGS: [&str; 10] = [
     "--qos-queue",
     "--group-commit-us",
     "--compact-after",
+    "--scrub-interval",
+    "--repair-retries",
+    "--op-timeout-ms",
 ];
 
 /// `kcore serve`: a [`CoreService`] REPL over stdin, optionally also
@@ -487,6 +503,46 @@ fn serve(args: &[String]) -> graphstore::Result<()> {
         }
         (None, None) => {}
     }
+
+    // `--op-timeout-ms T` bounds every query's charged-read phase: an op
+    // over its deadline comes back as one `err timeout:` line (and never
+    // quarantines — a slow graph is not a broken graph).
+    match arg_value(args, SERVE_FLAGS[12]).map(|v| v.parse::<u64>()) {
+        Some(Ok(ms)) => {
+            svc.set_op_timeout(Some(Duration::from_millis(ms)));
+            println!("per-op deadline: {ms} ms");
+        }
+        Some(Err(_)) => usage(),
+        None => {}
+    }
+
+    // Self-healing: `--scrub-interval S` walks each healthy graph's
+    // durable artefacts through the fsck invariants every `S` seconds;
+    // `--repair-retries R` bounds automatic online repairs per quarantine
+    // episode. The supervisor always runs under `serve` — quarantined
+    // graphs get repaired and read-only graphs re-probed even with the
+    // scrubber off.
+    let scrub_interval = match arg_value(args, SERVE_FLAGS[10]).map(|v| v.parse::<u64>()) {
+        Some(Ok(secs)) => Some(Duration::from_secs(secs)),
+        Some(Err(_)) => usage(),
+        None => None,
+    };
+    if scrub_interval.is_some() && arg_value(args, SERVE_FLAGS[3]).is_none() {
+        eprintln!("--scrub-interval requires --data-dir (the scrubber walks durable artefacts)");
+        usage()
+    }
+    let repair_retries = match arg_value(args, SERVE_FLAGS[11]).map(|v| v.parse::<u32>()) {
+        Some(Ok(n)) => Some(n),
+        Some(Err(_)) => usage(),
+        None => None,
+    };
+    let heal_opts = kcore_suite::SelfHealOptions {
+        scrub_interval,
+        repair_retries: repair_retries
+            .unwrap_or(kcore_suite::SelfHealOptions::default().repair_retries),
+        ..kcore_suite::SelfHealOptions::default()
+    };
+    let _self_heal = kcore_suite::start_self_heal(&svc, heal_opts);
 
     // Positional `name=base` specs pre-open graphs before the REPL starts.
     let mut i = 1usize;

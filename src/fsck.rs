@@ -121,6 +121,38 @@ pub fn fsck_with(dir: &Path, repair: bool, vfs: Arc<dyn Vfs>) -> Result<FsckRepo
     Ok(report)
 }
 
+/// Check (and with `repair`, tail-repair) a **single catalogued graph** —
+/// the library entry point the serving layer's repair supervisor drives.
+/// Identical validation to [`fsck`], scoped to `name`; errors with
+/// [`graphstore::Error::InvalidArgument`] when `name` is not in the
+/// catalog.
+pub fn fsck_graph(dir: &Path, name: &str, repair: bool) -> Result<FsckReport> {
+    fsck_graph_with(dir, name, repair, StdVfs::arc())
+}
+
+/// [`fsck_graph`] through an explicit filesystem seam.
+pub fn fsck_graph_with(
+    dir: &Path,
+    name: &str,
+    repair: bool,
+    vfs: Arc<dyn Vfs>,
+) -> Result<FsckReport> {
+    let catalog = Catalog::read_with(dir, vfs.as_ref())?;
+    let entry = catalog
+        .entries
+        .iter()
+        .find(|e| e.name == name)
+        .ok_or_else(|| {
+            graphstore::Error::InvalidArgument(format!("graph {name:?} is not in the catalog"))
+        })?;
+    let mut report = FsckReport {
+        graphs_checked: 1,
+        ..FsckReport::default()
+    };
+    check_graph(dir, entry, catalog.block_size, repair, &vfs, &mut report);
+    Ok(report)
+}
+
 /// Generation-keyed checkpoint path — must mirror the service's naming:
 /// `<name>.ckpt` for generation 0, `<name>.g<g>.ckpt` afterwards.
 fn ckpt_path(dir: &Path, name: &str, generation: u64) -> PathBuf {
@@ -135,6 +167,15 @@ fn wal_path(dir: &Path, name: &str) -> PathBuf {
     dir.join(format!("{name}.wal"))
 }
 
+/// What the table/checkpoint phases learned about a graph — the context
+/// the journal phase validates records against. `None` fields mean the
+/// corresponding artifact was unreadable (already reported).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GraphProbe {
+    pub(crate) num_nodes: Option<u32>,
+    pub(crate) ck_seq: Option<u64>,
+}
+
 fn check_graph(
     dir: &Path,
     entry: &graphstore::CatalogEntry,
@@ -143,6 +184,22 @@ fn check_graph(
     vfs: &Arc<dyn Vfs>,
     report: &mut FsckReport,
 ) {
+    let probe = check_tables_and_checkpoint(dir, entry, block_size, vfs, report);
+    check_journal(dir, entry, probe, block_size, repair, vfs, report);
+    check_generation_debris(dir, entry, repair, vfs, report);
+}
+
+/// Phases 1–2: walk the current-generation tables and validate the
+/// checkpoint. Read-only — the online scrubber runs this without the
+/// graph's lock (tables and checkpoints are immutable between
+/// compactions, and a checkpoint replace is an atomic rename).
+pub(crate) fn check_tables_and_checkpoint(
+    dir: &Path,
+    entry: &graphstore::CatalogEntry,
+    block_size: usize,
+    vfs: &Arc<dyn Vfs>,
+    report: &mut FsckReport,
+) -> GraphProbe {
     let name = entry.name.as_str();
     let counter = IoCounter::with_vfs(block_size, Arc::clone(vfs));
 
@@ -202,20 +259,33 @@ fn check_graph(
         }
     };
 
-    // 3. Journal: read-only scan, then record-level validation.
+    GraphProbe { num_nodes, ck_seq }
+}
+
+/// Phase 3: read-only scan and record-level validation of the journal
+/// (with `repair`, truncation back to the longest good prefix). The
+/// online scrubber runs this *holding the graph's lock* — a live append
+/// mid-scan would otherwise read as a torn tail.
+pub(crate) fn check_journal(
+    dir: &Path,
+    entry: &graphstore::CatalogEntry,
+    probe: GraphProbe,
+    block_size: usize,
+    repair: bool,
+    vfs: &Arc<dyn Vfs>,
+    report: &mut FsckReport,
+) {
+    let counter = IoCounter::with_vfs(block_size, Arc::clone(vfs));
     check_wal(
-        &wal_path(dir, name),
-        name,
-        num_nodes,
-        ck_seq,
+        &wal_path(dir, entry.name.as_str()),
+        entry.name.as_str(),
+        probe.num_nodes,
+        probe.ck_seq,
         &counter,
         repair,
         vfs,
         report,
     );
-
-    // 4. Generation debris: files no manifest points at.
-    check_generation_debris(dir, entry, repair, vfs, report);
 }
 
 /// Sweep for files a crashed or interrupted compaction/flush left behind:
@@ -224,7 +294,7 @@ fn check_graph(
 /// legitimate and never flagged), and checkpoints keyed to a generation
 /// other than the catalogued one. All are dead — recovery reads only the
 /// manifest's generation — so repair deletes them.
-fn check_generation_debris(
+pub(crate) fn check_generation_debris(
     dir: &Path,
     entry: &graphstore::CatalogEntry,
     repair: bool,
@@ -488,6 +558,34 @@ mod tests {
         assert!(fsck(&data, false).unwrap().clean());
         let svc = CoreService::open_catalog(&data).unwrap();
         assert_eq!(svc.kmax("g").unwrap(), 3);
+    }
+
+    #[test]
+    fn single_graph_fsck_scopes_to_the_named_graph() {
+        let tmp = TempDir::new("fsck").unwrap();
+        let data = seeded_dir(&tmp);
+        // A second, healthy graph beside the damaged one.
+        let svc = CoreService::open_catalog(&data).unwrap();
+        svc.create("h", &tmp.path().join("h"), vec![(0u32, 1u32), (1, 2)], 3)
+            .unwrap();
+        drop(svc);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(data.join("g.wal"))
+            .unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        drop(f);
+
+        // The healthy graph reports clean; the damaged one is found and
+        // repaired without touching anything else.
+        assert!(fsck_graph(&data, "h", false).unwrap().clean());
+        let report = fsck_graph(&data, "g", false).unwrap();
+        assert_eq!(report.graphs_checked, 1);
+        assert_eq!(report.unrepaired(), 1, "{:?}", report.findings);
+        let report = fsck_graph(&data, "g", true).unwrap();
+        assert_eq!(report.unrepaired(), 0, "{:?}", report.findings);
+        assert!(fsck(&data, false).unwrap().clean());
+        assert!(fsck_graph(&data, "nope", false).is_err());
     }
 
     #[test]

@@ -59,9 +59,12 @@ pub mod server;
 #[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod fsck;
 
-pub use fsck::{fsck, FsckFinding, FsckReport};
+pub use fsck::{fsck, fsck_graph, fsck_graph_with, FsckFinding, FsckReport};
 pub use server::{Server, ServerOptions};
-pub use service::{CoreService, DurableOptions, DEFAULT_COMPACT_AFTER_EDITS};
+pub use service::{
+    start_self_heal, CoreService, DurableOptions, HealthReport, HealthStatus, SelfHealHandle,
+    SelfHealOptions, DEFAULT_COMPACT_AFTER_EDITS, DEFAULT_SCRUB_RATE,
+};
 
 use std::path::Path;
 

@@ -7,9 +7,11 @@
 //! One request line in, one (occasionally several) reply lines out — the
 //! same commands the stdin REPL accepts (`open`, `core`, `kmax`, `insert`,
 //! `delete`, `stats`, `weight`, `qos`, `graphs`, `save`, `compact`,
-//! `verify`, `pool`, `evict`, `quit`, `help`). Failures never end a session: every error is
+//! `verify`, `health`, `scrub`, `repair`, `pool`, `evict`, `quit`,
+//! `help`). Failures never end a session: every error is
 //! one structured `err <kind>: <detail>` line (kinds: `io`, `corrupt`,
-//! `range`, `usage`, `limit`, `overloaded`, `quarantined`), so a scripted
+//! `range`, `usage`, `limit`, `overloaded`, `quarantined`, `readonly`,
+//! `timeout`), so a scripted
 //! client can match on the prefix and carry on. [`dispatch`](crate::server::dispatch) is the whole
 //! protocol; the stdin REPL and every TCP connection call it.
 //!
@@ -34,14 +36,17 @@
 //!   and drop the connection.
 //!
 //! `quit` ends that connection only; [`Server::shutdown`] (or dropping the
-//! server) stops accepting and lets in-flight connections finish their
-//! current command.
+//! server) is a **graceful drain**: it stops accepting, joins every
+//! connection thread (each finishes its in-flight command and writes the
+//! reply first), then flushes pending group-commit journal barriers
+//! ([`CoreService::flush_journals`]) so no acknowledged op is lost to the
+//! process exiting between the ack and its batch's fsync.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use graphstore::Result;
@@ -77,9 +82,11 @@ impl Default for ServerOptions {
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
+    svc: Arc<CoreService>,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
     accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl Server {
@@ -90,16 +97,21 @@ impl Server {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let active = Arc::new(AtomicUsize::new(0));
+        let conns = Arc::new(Mutex::new(Vec::new()));
         let accept = {
+            let svc = Arc::clone(&svc);
             let shutdown = Arc::clone(&shutdown);
             let active = Arc::clone(&active);
-            std::thread::spawn(move || accept_loop(listener, svc, opts, shutdown, active))
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(listener, svc, opts, shutdown, active, conns))
         };
         Ok(Server {
             addr,
+            svc,
             shutdown,
             active,
             accept: Some(accept),
+            conns,
         })
     }
 
@@ -113,9 +125,11 @@ impl Server {
         self.active.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and release the port. Connection threads notice the
-    /// flag within one read tick and exit; their in-flight command
-    /// finishes normally first.
+    /// Graceful drain: stop accepting, let every in-flight command finish
+    /// (connection threads notice the flag within one read tick; their
+    /// current command always completes and its reply is written), then
+    /// flush pending group-commit journal barriers so every acknowledged
+    /// op is durable before the port is released.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The accept loop sits in a blocking accept(); a throwaway
@@ -124,6 +138,16 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        let drained = match self.conns.lock() {
+            Ok(mut conns) => std::mem::take(&mut *conns),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        for conn in drained {
+            let _ = conn.join();
+        }
+        // Every reply already written has now left dispatch; make the ops
+        // behind them durable before the caller tears the process down.
+        self.svc.flush_journals();
     }
 }
 
@@ -139,6 +163,7 @@ fn accept_loop(
     opts: ServerOptions,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 ) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
@@ -154,11 +179,17 @@ fn accept_loop(
         let guard = ConnGuard::new(Arc::clone(&active));
         let svc = Arc::clone(&svc);
         let opts = opts.clone();
-        let shutdown = Arc::clone(&shutdown);
-        std::thread::spawn(move || {
+        let shutdown_flag = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
             let _guard = guard;
-            serve_connection(stream, &svc, &opts, &shutdown);
+            serve_connection(stream, &svc, &opts, &shutdown_flag);
         });
+        if let Ok(mut conns) = conns.lock() {
+            // Sweep finished threads so a long-lived server does not
+            // accumulate one dead handle per past connection.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
     }
 }
 
@@ -276,7 +307,8 @@ pub fn dispatch(svc: &CoreService, line: &str) -> Response {
         ["help"] => Response::say(
             "commands: open <name> <base> | core <name> <v> | kmax <name> | \
              insert <name> <u> <v> | delete <name> <u> <v> | stats <name> | \
-             verify <name> | weight <name> <w> | qos | graphs | save [<name>] | \
+             verify <name> | health <name> | scrub <name> | repair <name> | \
+             weight <name> <w> | qos | graphs | save [<name>] | \
              compact <name> | pool | list | evict <name> | quit"
                 .to_string(),
         ),
@@ -375,8 +407,64 @@ pub fn dispatch(svc: &CoreService, line: &str) -> Response {
             }
         })),
         ["evict", name] => Response::result(svc.evict(name).map(|()| format!("evicted {name}"))),
+        ["health", name] => health_report(svc, name),
+        ["scrub", name] => Response::result(svc.scrub(name).map(|report| {
+            let bad = report.unrepaired();
+            if bad == 0 {
+                format!("scrub {name}: clean")
+            } else {
+                let problems: Vec<String> = report
+                    .findings
+                    .iter()
+                    .filter(|f| !f.repaired)
+                    .map(|f| f.problem.clone())
+                    .collect();
+                format!(
+                    "scrub {name}: {bad} problem(s) found, graph quarantined: {}",
+                    problems.join("; ")
+                )
+            }
+        })),
+        ["repair", name] => Response::result(
+            svc.repair(name)
+                .map(|()| format!("repaired {name}: certificate verified, graph re-admitted")),
+        ),
         _ => Response::say("err usage: unrecognised command (try 'help')".to_string()),
     }
+}
+
+/// Render one graph's health as a single machine-matchable line: the
+/// status tag first, then the bounded reason chain (oldest surviving
+/// first) and the repair log — the full causal chain, not only the first
+/// failure, without breaking the one-reply-line protocol.
+fn health_report(svc: &CoreService, name: &str) -> Response {
+    let report = match svc.health(name) {
+        Ok(r) => r,
+        Err(e) => return Response::say(err_line(&e)),
+    };
+    let mut line = format!("health {name}: {}", report.status.tag());
+    if report.repair_attempts > 0 {
+        line.push_str(&format!(
+            ", {} repair attempt(s) this episode",
+            report.repair_attempts
+        ));
+    }
+    if report.sticky {
+        line.push_str(", sticky (automatic repair exhausted)");
+    }
+    if report.dropped_reasons > 0 {
+        line.push_str(&format!(
+            " ({} older reason(s) dropped; root cause kept)",
+            report.dropped_reasons
+        ));
+    }
+    for reason in &report.reasons {
+        line.push_str(&format!(" | reason: {reason}"));
+    }
+    for entry in &report.repair_log {
+        line.push_str(&format!(" | repair: {entry}"));
+    }
+    Response::say(line)
 }
 
 /// Open `base` as `name` on the service, reporting the outcome either way.
@@ -410,6 +498,8 @@ pub fn err_line(e: &graphstore::Error) -> String {
         graphstore::Error::TooLarge(_) => "limit",
         graphstore::Error::Overloaded { .. } => "overloaded",
         graphstore::Error::Quarantined { .. } => "quarantined",
+        graphstore::Error::ReadOnly { .. } => "readonly",
+        graphstore::Error::Timeout { .. } => "timeout",
     };
     format!("err {kind}: {e}")
 }

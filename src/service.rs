@@ -49,35 +49,60 @@
 //! crash-window analysis lives in ARCHITECTURE.md ("Durability" and
 //! "Compaction").
 //!
-//! ## Failure containment
+//! ## Failure containment and self-healing
 //!
 //! The service is multi-tenant, so one graph's failure must never take the
 //! others down. Every fallible path returns a typed
 //! [`graphstore::Error`] — nothing in this module panics on I/O failure —
-//! and a graph whose operation fails with an I/O or corruption error (or
-//! whose mutex is poisoned by a panicking thread) is **quarantined**: its
-//! slot stays in the registry but every further operation is rejected with
-//! [`graphstore::Error::Quarantined`], while all other graphs keep
-//! serving. Quarantine is deliberately sticky — after a mid-mutation
-//! failure the in-memory cores/`cnt` can no longer be trusted, and the
-//! on-disk journal/checkpoint protocol is exactly what makes that safe:
+//! and each served graph carries a four-state health machine
+//! ([`HealthStatus`]):
+//!
+//! * **Healthy → Quarantined**: an operation failing with an I/O or
+//!   corruption error (or a mutex poisoned by a panicking thread) seals
+//!   the graph — its slot stays in the registry but every further
+//!   operation is rejected with [`graphstore::Error::Quarantined`], while
+//!   all other graphs keep serving. After a mid-mutation failure the
+//!   in-memory cores/`cnt` can no longer be trusted; the on-disk
+//!   journal/checkpoint protocol is what makes recovery safe.
+//! * **Healthy → ReadOnly**: a *disk-full* failure on the journal or
+//!   checkpoint writers damages nothing — it only stops writers — so the
+//!   graph degrades instead of sealing: queries keep serving the last
+//!   committed state, mutations are refused with
+//!   [`graphstore::Error::ReadOnly`], and the graph is promoted back once
+//!   a probe ([`CoreService::probe_read_only`]) proves space returned.
+//! * **Quarantined → Repairing → Healthy**: [`CoreService::repair`]
+//!   rebuilds a quarantined graph *online* — fsck tail-repair of its
+//!   durable artefacts, the same recovery path a restart uses, and the
+//!   Theorem 4.1 fixpoint certificate as the re-admission gate — without
+//!   disturbing any other tenant.
+//!
+//! The [`start_self_heal`] supervisor automates all three transitions
+//! (bounded repair retries with exponential backoff, read-only probing,
+//! and a rate-limited background scrub through the fsck invariants);
+//! every reason along the way is kept in a bounded per-graph history so
+//! [`CoreService::health`] can show the full causal chain.
 //! [`CoreService::evict`] (which bypasses quarantine) followed by a
-//! re-open recovers the last acknowledged state from disk. All file I/O
-//! flows through a [`graphstore::Vfs`], so the crash-point torture tests
-//! inject faults here without touching production code paths.
+//! re-open remains the manual big hammer. All file I/O flows through a
+//! [`graphstore::Vfs`], so the crash-point torture tests inject faults
+//! here without touching production code paths.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use graphstore::{
     working_set_charge_budget, AdmissionController, AdmissionPermit, Catalog, CatalogEntry,
     DiskGraph, EvictionPolicy, FormatVersion, GroupCommitOptions, GroupCommitWal, IoCounter,
-    IoSnapshot, QosConfig, Result, SharedPool, StateCheckpoint, StdVfs, Vfs, Wal,
+    IoSnapshot, QosConfig, Result, SharedPool, StateCheckpoint, StdVfs, ThrottledVfs, Vfs, Wal,
     DEFAULT_BLOCK_SIZE,
 };
 use semicore::{CoreState, MaintainOp, MaintainStats, ScanExecutor};
 
+use crate::fsck::{
+    check_generation_debris, check_journal, check_tables_and_checkpoint, FsckReport,
+};
 use crate::CoreIndex;
 
 /// Update-buffer capacity for durable graphs: self-flush is disabled (a
@@ -322,6 +347,144 @@ pub struct CoreService {
     /// entry point takes a permit sized by the graph's working set before
     /// touching its lock.
     qos: Mutex<Option<Arc<AdmissionController>>>,
+    /// Per-operation deadline (`None` runs unlimited). Installed by
+    /// [`CoreService::set_op_timeout`]; armed on the graph's I/O counter
+    /// for the cancellable stretch of each operation.
+    op_timeout: Mutex<Option<Duration>>,
+}
+
+/// Bound on a graph's degradation-reason history: enough to show a causal
+/// chain (first failure → scrub finding → failed repairs) without letting
+/// a crash-looping graph grow it without limit.
+const MAX_HEALTH_REASONS: usize = 8;
+
+/// Bound on a graph's repair/promotion event log.
+const MAX_REPAIR_LOG: usize = 16;
+
+/// Default physical-read pacing of the online scrubber, bytes per second.
+pub const DEFAULT_SCRUB_RATE: u64 = 8 << 20;
+
+/// Serving state of one graph (see the module docs, "Failure containment
+/// and self-healing").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Serving reads and writes.
+    Healthy,
+    /// Serving the last committed state read-only: a recoverable
+    /// durability failure (a full disk) stopped the journal and
+    /// checkpoint writers. Mutations are refused with
+    /// [`graphstore::Error::ReadOnly`]; the supervisor probes for space
+    /// and promotes the graph back automatically.
+    ReadOnly,
+    /// An online repair is rebuilding the graph from its durable state;
+    /// operations are refused until it finishes.
+    Repairing,
+    /// Untrusted after an I/O failure, corruption or a panicked
+    /// operation; every operation is refused with
+    /// [`graphstore::Error::Quarantined`] until the repair supervisor (or
+    /// an explicit [`CoreService::repair`]) brings the graph back, or
+    /// [`CoreService::evict`] clears the slot.
+    Quarantined,
+}
+
+impl HealthStatus {
+    /// Stable lowercase tag (`healthy`, `read-only`, `repairing`,
+    /// `quarantined`) used by the wire protocol's `health` verb.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::ReadOnly => "read-only",
+            HealthStatus::Repairing => "repairing",
+            HealthStatus::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Mutable health record of one served graph. Lives behind its own mutex,
+/// shared out of the registry slot, so a failing operation can update it
+/// after the registry lock is gone.
+#[derive(Debug)]
+struct HealthState {
+    status: HealthStatus,
+    /// Causal chain of degradations, oldest first (bounded; see
+    /// [`HealthState::push_reason`]).
+    reasons: Vec<String>,
+    /// How many reasons the bound dropped from the middle of the chain.
+    dropped_reasons: u64,
+    /// Failed repair attempts since the graph was last healthy.
+    repair_attempts: u32,
+    /// Set by the supervisor once its retries are spent; sticky graphs
+    /// are left alone by the supervisor (a manual [`CoreService::repair`]
+    /// still works and clears the flag on success).
+    sticky: bool,
+    /// Supervisor backoff: no automatic repair before this instant.
+    next_attempt_at: Option<Instant>,
+    /// Bounded log of repair/promotion events, oldest first.
+    repair_log: Vec<String>,
+}
+
+impl HealthState {
+    fn new() -> HealthState {
+        HealthState {
+            status: HealthStatus::Healthy,
+            reasons: Vec::new(),
+            dropped_reasons: 0,
+            repair_attempts: 0,
+            sticky: false,
+            next_attempt_at: None,
+            repair_log: Vec::new(),
+        }
+    }
+
+    /// Append to the reason chain. Every distinct failure is kept — not
+    /// just the first — bounded by dropping the *second* entry when full,
+    /// so the root cause and the freshest failures both survive. An exact
+    /// repeat of the newest reason (a retry loop hitting one failure) is
+    /// recorded once.
+    fn push_reason(&mut self, reason: &str) {
+        if self.reasons.last().is_some_and(|last| last == reason) {
+            return;
+        }
+        if self.reasons.len() >= MAX_HEALTH_REASONS {
+            self.reasons.remove(1);
+            self.dropped_reasons += 1;
+        }
+        self.reasons.push(reason.to_string());
+    }
+
+    fn push_log(&mut self, line: String) {
+        if self.repair_log.len() >= MAX_REPAIR_LOG {
+            self.repair_log.remove(0);
+        }
+        self.repair_log.push(line);
+    }
+
+    fn last_reason(&self) -> String {
+        self.reasons
+            .last()
+            .cloned()
+            .unwrap_or_else(|| "unrecorded failure".to_string())
+    }
+}
+
+/// Point-in-time snapshot of one graph's health, as returned by
+/// [`CoreService::health`] (and rendered by the server's `health` verb).
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Current serving state.
+    pub status: HealthStatus,
+    /// Causal chain of degradation reasons, oldest first (bounded — see
+    /// `dropped_reasons`).
+    pub reasons: Vec<String>,
+    /// Reasons the bound dropped from the middle of the chain.
+    pub dropped_reasons: u64,
+    /// Failed repair attempts since the graph was last healthy.
+    pub repair_attempts: u32,
+    /// True once the supervisor exhausted its retries; the graph stays
+    /// quarantined until repaired manually or evicted.
+    pub sticky: bool,
+    /// Repair/promotion event log, oldest first (bounded).
+    pub repair_log: Vec<String>,
 }
 
 /// Registry slot: the graph's lock plus metadata readable without it.
@@ -335,48 +498,110 @@ struct Slot {
     /// The graph's charge budget — also the working-set size its
     /// operations are admitted at when QoS is enabled.
     charge_bytes: u64,
-    /// `Some(reason)` once the graph is quarantined. Shared (not inline in
-    /// the slot) so a failing operation can trip it after the registry
-    /// lock has been released, without re-entering the registry.
-    quarantine: Arc<Mutex<Option<String>>>,
+    /// Registered base path of the graph's generation-0 tables — what a
+    /// repair of a *non-durable* graph re-opens and re-decomposes.
+    base: PathBuf,
+    /// The graph's health record. Shared (not inline in the slot) so a
+    /// failing operation can update it after the registry lock has been
+    /// released, without re-entering the registry.
+    health: Arc<Mutex<HealthState>>,
 }
 
 impl Slot {
-    fn new(handle: Arc<Mutex<Served>>, format: FormatVersion, charge_bytes: u64) -> Slot {
+    fn new(
+        handle: Arc<Mutex<Served>>,
+        format: FormatVersion,
+        charge_bytes: u64,
+        base: &Path,
+    ) -> Slot {
         Slot {
             handle,
             format,
             charge_bytes,
-            quarantine: Arc::new(Mutex::new(None)),
+            base: base.to_path_buf(),
+            health: Arc::new(Mutex::new(HealthState::new())),
         }
     }
 }
 
 /// Lock a metadata mutex, recovering from poison. Safe for the registry,
-/// quarantine and catalog-entry maps: they hold plain lookup data that is
+/// health and catalog-entry maps: they hold plain lookup data that is
 /// updated in single assignments, so a panicking holder cannot leave them
 /// half-written the way a mid-maintenance graph can be.
 fn lock_meta<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Record a quarantine reason (first failure wins).
-fn set_quarantine(q: &Mutex<Option<String>>, reason: &str) {
-    let mut slot = lock_meta(q);
-    if slot.is_none() {
-        *slot = Some(reason.to_string());
+/// Record a failure and escalate the graph to quarantine. Every reason is
+/// kept in the bounded chain — not just the first — so the `health` verb
+/// and the repair log can show the full causal history.
+fn set_quarantine(health: &Mutex<HealthState>, reason: &str) {
+    let mut h = lock_meta(health);
+    h.push_reason(reason);
+    h.status = HealthStatus::Quarantined;
+}
+
+/// Record a recoverable durability failure and degrade the graph to
+/// read-only. Never *downgrades* a quarantine or an in-flight repair:
+/// a full disk hit while a graph is already sealed must not re-admit
+/// queries against untrusted state.
+fn set_read_only(health: &Mutex<HealthState>, reason: &str) {
+    let mut h = lock_meta(health);
+    h.push_reason(reason);
+    if matches!(h.status, HealthStatus::Healthy | HealthStatus::ReadOnly) {
+        h.status = HealthStatus::ReadOnly;
     }
 }
 
-/// Should this error quarantine the graph it came from? I/O failures and
-/// corruption mean the backing storage (or the state rebuilt from it) can
-/// no longer be trusted; argument and range errors are the caller's fault
-/// and leave the graph untouched.
-fn should_quarantine(e: &graphstore::Error) -> bool {
-    matches!(
+/// Route an operation failure into the health machine: disk-full degrades
+/// to read-only (a full disk damages nothing, it only stops writers), any
+/// other I/O failure or corruption quarantines (the in-memory state can
+/// no longer be trusted), and validation/range/timeout errors leave the
+/// graph untouched — they are the caller's fault, or a deadline expiring
+/// at a safe point.
+fn fail_graph(health: &Mutex<HealthState>, e: &graphstore::Error, what: &str) {
+    if e.is_disk_full() {
+        set_read_only(health, &format!("{what}: {e}"));
+    } else if matches!(
         e,
         graphstore::Error::Io(_) | graphstore::Error::Corrupt { .. }
-    )
+    ) {
+        set_quarantine(health, &format!("{what}: {e}"));
+    }
+}
+
+/// Route a compaction failure: before the catalog commit point nothing
+/// has switched, so a full disk only degrades the graph to read-only (the
+/// old generation keeps serving, new-generation debris is swept by fsck);
+/// after the commit — or on any non-space failure — the artefacts may sit
+/// between states, so the graph is sealed and the committed manifest
+/// decides on re-open.
+fn compact_failure(health: &Mutex<HealthState>, e: &graphstore::Error, committed: bool) {
+    if !committed && e.is_disk_full() {
+        set_read_only(
+            health,
+            &format!("compaction ran out of disk space before its commit point: {e}"),
+        );
+    } else if matches!(
+        e,
+        graphstore::Error::Io(_) | graphstore::Error::Corrupt { .. }
+    ) {
+        set_quarantine(health, &format!("compaction failed: {e}"));
+    }
+}
+
+/// RAII per-op deadline on a graph's I/O counter: armed at construction,
+/// disarmed on drop whatever path the operation exits through.
+struct DeadlineGuard {
+    counter: Option<Arc<IoCounter>>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        if let Some(c) = &self.counter {
+            c.set_deadline(None);
+        }
+    }
 }
 
 impl CoreService {
@@ -424,6 +649,7 @@ impl CoreService {
             durable: None,
             vfs,
             qos: Mutex::new(None),
+            op_timeout: Mutex::new(None),
         })
     }
 
@@ -496,6 +722,7 @@ impl CoreService {
             }),
             vfs,
             qos: Mutex::new(None),
+            op_timeout: Mutex::new(None),
         };
         svc.rewrite_catalog()?;
         Ok(svc)
@@ -549,6 +776,7 @@ impl CoreService {
             }),
             vfs,
             qos: Mutex::new(None),
+            op_timeout: Mutex::new(None),
         };
         for entry in &catalog.entries {
             svc.recover_entry(entry)?;
@@ -684,7 +912,7 @@ impl CoreService {
             }
             graphs.insert(
                 name.to_string(),
-                Slot::new(Arc::clone(&handle), format, charge_bytes),
+                Slot::new(Arc::clone(&handle), format, charge_bytes, base),
             );
         }
         if let Some(d) = &self.durable {
@@ -781,33 +1009,92 @@ impl CoreService {
     /// survive a restart.
     ///
     /// A quarantined graph rejects `f` outright; an `f` that fails with an
-    /// I/O or corruption error quarantines the graph (see the module docs,
-    /// "Failure containment").
+    /// I/O or corruption error quarantines the graph, a disk-full failure
+    /// degrades it to read-only (see the module docs, "Failure containment
+    /// and self-healing"). A read-only graph still runs `f` — this is the
+    /// query path; durable mutations go through [`CoreService::apply`],
+    /// which is gated.
     pub fn with_graph<R>(
         &self,
         name: &str,
         f: impl FnOnce(&mut CoreIndex) -> Result<R>,
     ) -> Result<R> {
         let _permit = self.admit(name)?;
-        let (handle, quarantine) = self.served(name)?;
+        let (handle, health) = self.served_for(name, false)?;
         // The registry lock is released; only this graph serializes.
-        let mut served = lock_served(name, &handle, &quarantine)?;
+        let mut served = lock_served(name, &handle, &health)?;
+        let _deadline = self.arm_deadline(&mut served);
         let res = f(&mut served.index);
         if let Err(e) = &res {
-            if should_quarantine(e) {
-                set_quarantine(&quarantine, &format!("operation failed: {e}"));
-            }
+            fail_graph(&health, e, "operation failed");
         }
         res
     }
 
-    /// Why the named graph is quarantined (`None` while it is healthy).
-    /// Errors when `name` is not being served at all.
+    /// Why the named graph is quarantined (`None` while it is serving —
+    /// healthy, read-only or under repair). Kept as the stable one-line
+    /// answer; the full state machine is exposed by
+    /// [`CoreService::health`]. Errors when `name` is not being served at
+    /// all.
     pub fn quarantine_reason(&self, name: &str) -> Result<Option<String>> {
         let registry = self.registry();
         let slot = registry.get(name).ok_or_else(|| not_serving(name))?;
-        let reason = lock_meta(&slot.quarantine).clone();
-        Ok(reason)
+        let h = lock_meta(&slot.health);
+        Ok(match h.status {
+            HealthStatus::Quarantined => Some(h.last_reason()),
+            _ => None,
+        })
+    }
+
+    /// Point-in-time health snapshot of the named graph: its status, the
+    /// bounded causal chain of degradation reasons, the repair-attempt
+    /// counters and the repair log. Reads slot metadata only — never
+    /// blocks on the graph's own lock, so an operator can inspect a graph
+    /// that is wedged mid-operation.
+    pub fn health(&self, name: &str) -> Result<HealthReport> {
+        let registry = self.registry();
+        let slot = registry.get(name).ok_or_else(|| not_serving(name))?;
+        let h = lock_meta(&slot.health);
+        Ok(HealthReport {
+            status: h.status,
+            reasons: h.reasons.clone(),
+            dropped_reasons: h.dropped_reasons,
+            repair_attempts: h.repair_attempts,
+            sticky: h.sticky,
+            repair_log: h.repair_log.clone(),
+        })
+    }
+
+    /// Install (or with `None`, remove) a **per-operation deadline**:
+    /// charged block reads check it and abort the operation with
+    /// [`graphstore::Error::Timeout`] once it expires. Queries are
+    /// cancellable at any read; mutations only during their *validation*
+    /// read — once an op is journaled it always runs to completion, so a
+    /// deadline can never leave maintenance half-applied. Timeouts never
+    /// quarantine, and the admission claim is released like any other
+    /// return.
+    pub fn set_op_timeout(&self, timeout: Option<Duration>) {
+        *lock_meta(&self.op_timeout) = timeout;
+    }
+
+    /// The current per-operation deadline (`None` when unlimited).
+    pub fn op_timeout(&self) -> Option<Duration> {
+        *lock_meta(&self.op_timeout)
+    }
+
+    /// Arm the configured per-op deadline on the graph's I/O counter (a
+    /// no-op guard when no timeout is set). The graph's lock is held by
+    /// the caller, so exactly one operation owns the counter's deadline
+    /// at a time.
+    fn arm_deadline(&self, served: &mut Served) -> DeadlineGuard {
+        let Some(budget) = *lock_meta(&self.op_timeout) else {
+            return DeadlineGuard { counter: None };
+        };
+        let counter = served.index.graph_mut().disk().counter().clone();
+        counter.set_deadline(Some((Instant::now() + budget, budget)));
+        DeadlineGuard {
+            counter: Some(counter),
+        }
     }
 
     /// All core numbers of the named graph.
@@ -857,9 +1144,9 @@ impl CoreService {
     /// leave the graph serving.
     pub fn apply(&self, name: &str, op: MaintainOp) -> Result<MaintainStats> {
         let _permit = self.admit(name)?;
-        let (handle, quarantine) = self.served(name)?;
-        let mut served = lock_served(name, &handle, &quarantine)?;
-        let res = self.apply_locked(name, &mut served, op, &quarantine);
+        let (handle, health) = self.served_for(name, true)?;
+        let mut served = lock_served(name, &handle, &health)?;
+        let res = self.apply_locked(name, &mut served, op, &health);
         // Under group commit the fsync barrier is crossed *after* the
         // graph lock is gone: the next applier can validate, journal and
         // apply while this op's batch is being synced — that overlap is
@@ -867,14 +1154,23 @@ impl CoreService {
         // reports its LSN durable.
         drop(served);
         let res = match res {
-            Ok((stats, Some((group, lsn)))) => group.wait_durable(lsn, true).map(|()| stats),
+            Ok((stats, Some((group, lsn)))) => match group.wait_durable(lsn, true) {
+                Ok(()) => Ok(stats),
+                Err(e) => {
+                    // A failed barrier is never a read-only downgrade,
+                    // even on a full disk: the op is applied in memory
+                    // but its durability is unknown, so the state must
+                    // be sealed and rebuilt from the journal's durable
+                    // prefix.
+                    set_quarantine(&health, &format!("group-commit barrier failed: {e}"));
+                    return Err(e);
+                }
+            },
             Ok((stats, None)) => Ok(stats),
             Err(e) => Err(e),
         };
         if let Err(e) = &res {
-            if should_quarantine(e) {
-                set_quarantine(&quarantine, &format!("maintenance failed: {e}"));
-            }
+            fail_graph(&health, e, "maintenance failed");
         }
         res
     }
@@ -906,21 +1202,42 @@ impl CoreService {
         name: &str,
         served: &mut Served,
         op: MaintainOp,
-        quarantine: &Mutex<Option<String>>,
+        health: &Mutex<HealthState>,
     ) -> Result<(MaintainStats, DurabilityTicket)> {
-        Self::validate_op(served, op)?;
+        {
+            // The validation read is the only cancellable stretch of a
+            // mutation: nothing is journaled or applied yet, so a
+            // deadline expiry here is a clean typed rejection.
+            let _deadline = self.arm_deadline(served);
+            Self::validate_op(served, op)?;
+        }
         let seq = served.seq + 1;
         let mut journal_mark = None;
         let mut ticket = None;
         if let Some(journal) = served.wal.as_mut() {
             let payload = encode_record(seq, op);
-            journal_mark = Some(journal.mark());
-            match journal {
-                Journal::PerOp(w) => w.append(&payload)?,
-                Journal::Group(g) => {
-                    let lsn = g.submit(&payload)?;
+            let mark = journal.mark();
+            journal_mark = Some(mark);
+            let appended = match journal {
+                Journal::PerOp(w) => w.append(&payload),
+                Journal::Group(g) => g.submit(&payload).map(|lsn| {
                     ticket = Some((Arc::clone(g), lsn));
+                }),
+            };
+            if let Err(e) = appended {
+                // The journal already tried to clean its own partial
+                // record up; retry via rollback (idempotent) to *prove*
+                // it clean. Proven, a full disk is a degraded-mode
+                // condition the caller classifies; unproven, a record
+                // whose failure we report might replay after a crash —
+                // seal the graph here.
+                if journal.rollback_to(mark).is_err() {
+                    set_quarantine(
+                        health,
+                        &format!("journal append failed and its rollback failed too: {e}"),
+                    );
                 }
+                return Err(e);
             }
         }
         let stats = match served.index.apply(op) {
@@ -951,12 +1268,20 @@ impl CoreService {
                 // acknowledgement into an error (the caller would retry an
                 // op that actually happened). `ck_seq` stays put, the next
                 // op retries the checkpoint, and the journal simply grows
-                // until one succeeds; a persistent failure (e.g. a full
-                // disk) surfaces on its own through failing appends or an
-                // explicit [`CoreService::save`].
-                let _ = self.checkpoint_locked(name, served);
+                // until one succeeds. A *full disk*, though, is actionable
+                // now: degrade to read-only so later mutations get the
+                // typed refusal instead of failing their appends one by
+                // one.
+                if let Err(e) = self.checkpoint_locked(name, served) {
+                    if e.is_disk_full() {
+                        set_read_only(
+                            health,
+                            &format!("threshold checkpoint hit a full disk: {e}"),
+                        );
+                    }
+                }
             }
-            self.maybe_compact_locked(name, served, quarantine);
+            self.maybe_compact_locked(name, served, health);
         }
         Ok((stats, ticket))
     }
@@ -976,23 +1301,25 @@ impl CoreService {
     /// batch leaves it serving.
     pub fn apply_batch(&self, name: &str, ops: &[MaintainOp]) -> Result<Vec<MaintainStats>> {
         let _permit = self.admit(name)?;
-        let (handle, quarantine) = self.served(name)?;
-        let mut served = lock_served(name, &handle, &quarantine)?;
-        let (res, ticket) = self.apply_batch_locked(name, &mut served, ops, &quarantine);
+        let (handle, health) = self.served_for(name, true)?;
+        let mut served = lock_served(name, &handle, &health)?;
+        let (res, ticket) = self.apply_batch_locked(name, &mut served, ops, &health);
         drop(served);
         let res = match ticket {
             Some((group, lsn)) => match (group.wait_durable(lsn, false), res) {
                 (Ok(()), res) => res,
                 // A failed barrier outranks a validation rejection: the
-                // applied prefix cannot be promised durable any more.
-                (Err(e), _) => Err(e),
+                // applied prefix cannot be promised durable any more, so
+                // the graph is sealed whatever the in-lock outcome was.
+                (Err(e), _) => {
+                    set_quarantine(&health, &format!("group-commit barrier failed: {e}"));
+                    return Err(e);
+                }
             },
             None => res,
         };
         if let Err(e) = &res {
-            if should_quarantine(e) {
-                set_quarantine(&quarantine, &format!("maintenance failed: {e}"));
-            }
+            fail_graph(&health, e, "maintenance failed");
         }
         res
     }
@@ -1006,14 +1333,20 @@ impl CoreService {
         name: &str,
         served: &mut Served,
         ops: &[MaintainOp],
-        quarantine: &Mutex<Option<String>>,
+        health: &Mutex<HealthState>,
     ) -> (Result<Vec<MaintainStats>>, DurabilityTicket) {
         let mut all = Vec::with_capacity(ops.len());
         let mut last_lsn = None;
         let mut appended = false;
         let mut outcome: Result<()> = Ok(());
         for &op in ops {
-            if let Err(e) = Self::validate_op(served, op) {
+            let vres = {
+                // Same deadline contract as the single-op path: only the
+                // validation read of each op is cancellable.
+                let _deadline = self.arm_deadline(served);
+                Self::validate_op(served, op)
+            };
+            if let Err(e) = vres {
                 outcome = Err(e);
                 break;
             }
@@ -1022,7 +1355,8 @@ impl CoreService {
             let mut journal_err = None;
             if let Some(journal) = served.wal.as_mut() {
                 let payload = encode_record(seq, op);
-                journal_mark = Some(journal.mark());
+                let mark = journal.mark();
+                journal_mark = Some(mark);
                 match journal {
                     Journal::PerOp(w) => {
                         if let Err(e) = w.append_unsynced(&payload) {
@@ -1036,6 +1370,19 @@ impl CoreService {
                 }
                 if journal_err.is_none() {
                     appended = true;
+                } else if journal.rollback_to(mark).is_err() {
+                    // Same contract as the single-op path: an append
+                    // whose cleanup cannot be proven leaves a record
+                    // that might replay after a crash.
+                    set_quarantine(
+                        health,
+                        &format!(
+                            "journal append failed and its rollback failed too: {}",
+                            journal_err
+                                .as_ref()
+                                .map_or_else(String::new, |e| e.to_string())
+                        ),
+                    );
                 }
             }
             if let Some(e) = journal_err {
@@ -1084,10 +1431,18 @@ impl CoreService {
         if outcome.is_ok() {
             if let Some(d) = &self.durable {
                 if served.seq - served.ck_seq >= d.checkpoint_every {
-                    // Best-effort, exactly like the single-op path.
-                    let _ = self.checkpoint_locked(name, served);
+                    // Best-effort, exactly like the single-op path — but
+                    // a full disk degrades the graph to read-only.
+                    if let Err(e) = self.checkpoint_locked(name, served) {
+                        if e.is_disk_full() {
+                            set_read_only(
+                                health,
+                                &format!("threshold checkpoint hit a full disk: {e}"),
+                            );
+                        }
+                    }
                 }
-                self.maybe_compact_locked(name, served, quarantine);
+                self.maybe_compact_locked(name, served, health);
             }
         }
         (outcome.map(|()| all), ticket)
@@ -1117,13 +1472,11 @@ impl CoreService {
             ));
         }
         let _permit = self.admit(name)?;
-        let (handle, quarantine) = self.served(name)?;
-        let mut served = lock_served(name, &handle, &quarantine)?;
+        let (handle, health) = self.served_for(name, true)?;
+        let mut served = lock_served(name, &handle, &health)?;
         let res = self.checkpoint_locked(name, &mut served);
         if let Err(e) = &res {
-            if should_quarantine(e) {
-                set_quarantine(&quarantine, &format!("checkpoint failed: {e}"));
-            }
+            fail_graph(&health, e, "checkpoint failed");
         }
         res
     }
@@ -1181,13 +1534,12 @@ impl CoreService {
             ));
         }
         let _permit = self.admit(name)?;
-        let (handle, quarantine) = self.served(name)?;
-        let mut served = lock_served(name, &handle, &quarantine)?;
-        let res = self.compact_locked_with(name, &mut served, format);
+        let (handle, health) = self.served_for(name, true)?;
+        let mut served = lock_served(name, &handle, &health)?;
+        let mut committed = false;
+        let res = self.compact_locked_with(name, &mut served, format, &mut committed);
         if let Err(e) = &res {
-            if should_quarantine(e) {
-                set_quarantine(&quarantine, &format!("compaction failed: {e}"));
-            }
+            compact_failure(&health, e, committed);
         }
         res
     }
@@ -1211,23 +1563,19 @@ impl CoreService {
     /// must not ride on the compaction — so the error is swallowed here;
     /// but a compaction that failed mid-protocol may have left the
     /// on-disk artefacts between states, so the graph is sealed
-    /// (quarantined) and the committed manifest decides on re-open.
-    fn maybe_compact_locked(
-        &self,
-        name: &str,
-        served: &mut Served,
-        quarantine: &Mutex<Option<String>>,
-    ) {
+    /// (quarantined) and the committed manifest decides on re-open. The
+    /// exception is running out of disk *before* the commit point, which
+    /// only degrades the graph to read-only.
+    fn maybe_compact_locked(&self, name: &str, served: &mut Served, health: &Mutex<HealthState>) {
         let Some(d) = &self.durable else {
             return;
         };
         if served.index.graph_mut().pending_edits() < d.compact_after_edits {
             return;
         }
-        if let Err(e) = self.compact_locked_with(name, served, None) {
-            if should_quarantine(&e) {
-                set_quarantine(quarantine, &format!("compaction failed: {e}"));
-            }
+        let mut committed = false;
+        if let Err(e) = self.compact_locked_with(name, served, None, &mut committed) {
+            compact_failure(health, &e, committed);
         }
     }
 
@@ -1258,6 +1606,7 @@ impl CoreService {
         name: &str,
         served: &mut Served,
         format_override: Option<FormatVersion>,
+        committed: &mut bool,
     ) -> Result<u64> {
         let Some(d) = &self.durable else {
             return Err(graphstore::Error::InvalidArgument(
@@ -1302,6 +1651,10 @@ impl CoreService {
             }
             return Err(e);
         }
+        // The catalog rename landed: failures past this point leave the
+        // artefacts between states, which the caller's classification
+        // treats as seal-worthy whatever the error kind.
+        *committed = true;
         if let Some(wal) = served.wal.as_mut() {
             wal.truncate()?;
         }
@@ -1333,6 +1686,336 @@ impl CoreService {
     /// Check the Theorem 4.1 fixpoint certificate on the named graph.
     pub fn verify(&self, name: &str) -> Result<bool> {
         self.with_graph(name, |idx| idx.verify())
+    }
+
+    /// Attempt an **online repair** of a quarantined graph: drop its live
+    /// index, run the single-graph fsck tail-repair over its durable
+    /// artefacts ([`crate::fsck::fsck_graph`]), rebuild it through the
+    /// same recovery path a restart uses, and gate re-admission on the
+    /// Theorem 4.1 fixpoint certificate. On success the graph returns to
+    /// [`HealthStatus::Healthy`] with its repair counters (and any sticky
+    /// flag) reset; on failure it goes back to quarantine with the
+    /// failure appended to its reason chain. Other graphs keep serving
+    /// throughout.
+    ///
+    /// On a non-durable service nothing journaled survives, but the
+    /// immutable base tables do: repair re-opens and re-decomposes them.
+    ///
+    /// Errors when the graph is not quarantined (there is nothing to
+    /// repair), when a repair is already running, or when the repair
+    /// itself fails. The graph's lock is held for the duration and the
+    /// `Repairing` status refuses new operations at the gate.
+    pub fn repair(&self, name: &str) -> Result<()> {
+        let (handle, health) = self.slot_parts(name)?;
+        let attempt = {
+            let mut h = lock_meta(&health);
+            match h.status {
+                HealthStatus::Quarantined => {}
+                HealthStatus::Repairing => {
+                    return Err(graphstore::Error::InvalidArgument(format!(
+                        "a repair of {name:?} is already in progress"
+                    )));
+                }
+                status => {
+                    return Err(graphstore::Error::InvalidArgument(format!(
+                        "graph {name:?} is {}; repair applies to quarantined graphs",
+                        status.tag()
+                    )));
+                }
+            }
+            h.status = HealthStatus::Repairing;
+            let attempt = h.repair_attempts + 1;
+            h.push_log(format!("repair attempt {attempt} started"));
+            attempt
+        };
+        // A poisoned lock is exactly what repair exists for: take it
+        // through the poison and clear the flag — the old state is about
+        // to be dropped wholesale, never recovered into.
+        let mut served = match handle.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                handle.clear_poison();
+                poisoned.into_inner()
+            }
+        };
+        let res = self.repair_locked(name, &mut served);
+        drop(served);
+        let mut h = lock_meta(&health);
+        match &res {
+            Ok(()) => {
+                h.status = HealthStatus::Healthy;
+                h.repair_attempts = 0;
+                h.sticky = false;
+                h.next_attempt_at = None;
+                h.push_log(format!(
+                    "repair attempt {attempt} succeeded; graph re-admitted"
+                ));
+            }
+            Err(e) => {
+                h.status = HealthStatus::Quarantined;
+                h.repair_attempts = attempt;
+                h.push_reason(&format!("repair attempt {attempt} failed: {e}"));
+                h.push_log(format!("repair attempt {attempt} failed: {e}"));
+            }
+        }
+        res
+    }
+
+    /// The rebuild inside [`CoreService::repair`], with the graph's lock
+    /// held.
+    fn repair_locked(&self, name: &str, served: &mut Served) -> Result<()> {
+        let mut new_served = if let Some(d) = &self.durable {
+            // 1. Repair the durable artefacts — journal-tail truncation,
+            //    generation-debris sweep — through the same checks `kcore
+            //    fsck` runs offline. Damage fsck refuses to repair (live
+            //    tables, checkpoint, catalog) fails the attempt.
+            let report = crate::fsck::fsck_graph_with(&d.dir, name, true, Arc::clone(&self.vfs))?;
+            if report.unrepaired() > 0 {
+                let problems: Vec<String> = report
+                    .findings
+                    .iter()
+                    .filter(|f| !f.repaired)
+                    .map(|f| f.problem.clone())
+                    .collect();
+                return Err(graphstore::Error::Corrupt {
+                    reason: format!(
+                        "{} problem(s) fsck cannot repair: {}",
+                        problems.len(),
+                        problems.join("; ")
+                    ),
+                });
+            }
+            // 2. Rebuild from the repaired artefacts through the same
+            //    path a restart would use.
+            let entry = self.catalog_entry_snapshot(name)?;
+            self.rebuild_served(&entry)?
+        } else {
+            let (base, charge_bytes) = {
+                let registry = self.registry();
+                let slot = registry.get(name).ok_or_else(|| not_serving(name))?;
+                (slot.base.clone(), slot.charge_bytes)
+            };
+            let counter = IoCounter::with_vfs(self.pool.block_size(), Arc::clone(&self.vfs));
+            let disk = DiskGraph::open_pooled(&base, counter, &self.pool, charge_bytes)?;
+            let index =
+                CoreIndex::from_disk_graph(disk, graphstore::DEFAULT_BUFFER_CAPACITY, self.exec)?;
+            Served {
+                index,
+                wal: None,
+                seq: 0,
+                ck_seq: 0,
+            }
+        };
+        // 3. The fixpoint certificate gates re-admission: a rebuild that
+        //    recovered structurally valid but *wrong* state must not
+        //    serve.
+        if !new_served.index.verify()? {
+            return Err(graphstore::Error::Corrupt {
+                reason: "fixpoint certificate failed after rebuild".to_string(),
+            });
+        }
+        // 4. Swap. The old index — and its pool lease — drops here; the
+        //    overlap with the new lease during the rebuild is fine, the
+        //    pool keys leases by id, not path.
+        *served = new_served;
+        Ok(())
+    }
+
+    /// The in-memory catalog entry for `name`, as a [`CatalogEntry`] the
+    /// fsck/recovery helpers consume.
+    fn catalog_entry_snapshot(&self, name: &str) -> Result<CatalogEntry> {
+        let Some(d) = &self.durable else {
+            return Err(graphstore::Error::InvalidArgument(
+                "service has no data directory; no catalog entries".into(),
+            ));
+        };
+        let guard = lock_meta(&d.entries);
+        let e = guard.get(name).ok_or_else(|| not_serving(name))?;
+        Ok(CatalogEntry {
+            name: name.to_string(),
+            base: e.base.clone(),
+            charge_bytes: e.charge_bytes,
+            checkpoint_seq: e.checkpoint_seq,
+            format: e.format,
+            generation: e.generation,
+        })
+    }
+
+    /// Run the **online integrity scrubber** over the named graph without
+    /// taking it out of service: the current-generation tables and the
+    /// checkpoint are walked lock-free (they are immutable between
+    /// compactions, and a checkpoint replace is an atomic rename), then
+    /// the journal scan and generation-debris sweep run under the graph's
+    /// lock (a live append mid-scan would read as a torn tail). Physical
+    /// reads are paced by a token bucket at `bytes_per_sec`
+    /// ([`graphstore::ThrottledVfs`]); the scrub runs on a scratch I/O
+    /// counter, so the graph's own charged `read_ios` stays bit-identical
+    /// with and without scrubbing.
+    ///
+    /// Findings quarantine the graph — routing it into the repair
+    /// supervisor — and the report is returned either way. If a
+    /// compaction swaps the table generation mid-scrub, the stale
+    /// findings are discarded and an empty report returned; the next pass
+    /// rechecks the new generation. Errors on a non-durable service.
+    pub fn scrub_with_rate(&self, name: &str, bytes_per_sec: u64) -> Result<FsckReport> {
+        let Some(d) = &self.durable else {
+            return Err(graphstore::Error::InvalidArgument(
+                "service has no data directory; nothing to scrub".into(),
+            ));
+        };
+        let (handle, health) = self.slot_parts(name)?;
+        let entry = self.catalog_entry_snapshot(name)?;
+        let vfs: Arc<dyn Vfs> = if bytes_per_sec == u64::MAX {
+            Arc::clone(&self.vfs)
+        } else {
+            ThrottledVfs::new(Arc::clone(&self.vfs), bytes_per_sec)
+        };
+        let mut report = FsckReport {
+            graphs_checked: 1,
+            ..FsckReport::default()
+        };
+        let mut probe =
+            check_tables_and_checkpoint(&d.dir, &entry, self.pool.block_size(), &vfs, &mut report);
+        {
+            let served = lock_served(name, &handle, &health)?;
+            let generation_now = lock_meta(&d.entries).get(name).map(|e| e.generation);
+            if generation_now != Some(entry.generation) {
+                // A compaction swapped the tables mid-scrub: every
+                // unlocked finding is about files that are no longer
+                // live.
+                return Ok(FsckReport {
+                    graphs_checked: 1,
+                    ..FsckReport::default()
+                });
+            }
+            // The live `ck_seq` is the truth the journal must extend —
+            // the unlocked checkpoint read may predate a checkpoint that
+            // truncated the journal since.
+            probe.ck_seq = Some(served.ck_seq);
+            check_journal(
+                &d.dir,
+                &entry,
+                probe,
+                self.pool.block_size(),
+                false,
+                &vfs,
+                &mut report,
+            );
+            check_generation_debris(&d.dir, &entry, false, &vfs, &mut report);
+        }
+        if report.unrepaired() > 0 {
+            let first = report
+                .findings
+                .iter()
+                .find(|f| !f.repaired)
+                .map(|f| f.problem.clone())
+                .unwrap_or_default();
+            set_quarantine(
+                &health,
+                &format!(
+                    "scrub found {} problem(s), first: {first}",
+                    report.unrepaired()
+                ),
+            );
+        }
+        Ok(report)
+    }
+
+    /// [`CoreService::scrub_with_rate`] at [`DEFAULT_SCRUB_RATE`].
+    pub fn scrub(&self, name: &str) -> Result<FsckReport> {
+        self.scrub_with_rate(name, DEFAULT_SCRUB_RATE)
+    }
+
+    /// Probe a read-only graph for recovery by attempting a real
+    /// checkpoint — the cheapest write that proves both the checkpoint
+    /// and journal paths have space again. On success the graph is
+    /// promoted back to [`HealthStatus::Healthy`]; the checkpoint also
+    /// truncated its journal, so the next mutation starts on a clean log.
+    /// A still-full disk returns `Ok(false)` quietly; any other failure
+    /// routes through the normal quarantine classification. A graph that
+    /// is not read-only returns `Ok(false)` untouched.
+    pub fn probe_read_only(&self, name: &str) -> Result<bool> {
+        let (handle, health) = self.slot_parts(name)?;
+        if lock_meta(&health).status != HealthStatus::ReadOnly {
+            return Ok(false);
+        }
+        let mut served = lock_served(name, &handle, &health)?;
+        let res = self.checkpoint_locked(name, &mut served);
+        drop(served);
+        match res {
+            Ok(()) => {
+                let mut h = lock_meta(&health);
+                if h.status == HealthStatus::ReadOnly {
+                    h.status = HealthStatus::Healthy;
+                    h.push_log("disk space returned; promoted back to read-write".to_string());
+                }
+                Ok(true)
+            }
+            Err(e) if e.is_disk_full() => Ok(false),
+            Err(e) => {
+                set_quarantine(&health, &format!("read-only probe failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    /// Flush every served graph's journal — the drain hook the server
+    /// calls before closing sockets: group-commit records still awaiting
+    /// a barrier are fsynced now (fsync-per-op journals have nothing
+    /// pending by construction). Best-effort: a graph whose flush fails
+    /// is quarantined through the normal classification and the drain
+    /// keeps going.
+    pub fn flush_journals(&self) {
+        for name in self.graph_names() {
+            let Ok((handle, health)) = self.slot_parts(&name) else {
+                continue;
+            };
+            // Skip poisoned graphs: their journals stop at the last
+            // acknowledged op, which is exactly what recovery wants.
+            let Ok(served) = handle.lock() else { continue };
+            let pending = match &served.wal {
+                Some(Journal::Group(g)) => Some(Arc::clone(g)),
+                _ => None,
+            };
+            drop(served);
+            if let Some(g) = pending {
+                if let Err(e) = g.flush() {
+                    set_quarantine(&health, &format!("drain flush failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Supervisor poll: `(status, repair_attempts, sticky,
+    /// next_attempt_at)` of a graph, or `None` once it left the registry.
+    fn health_brief(&self, name: &str) -> Option<(HealthStatus, u32, bool, Option<Instant>)> {
+        let registry = self.registry();
+        let slot = registry.get(name)?;
+        let h = lock_meta(&slot.health);
+        Some((h.status, h.repair_attempts, h.sticky, h.next_attempt_at))
+    }
+
+    /// Mark a quarantine sticky after the supervisor exhausted its
+    /// retries, recording the escalation in the repair log.
+    fn escalate_sticky(&self, name: &str) {
+        if let Ok((_, health)) = self.slot_parts(name) {
+            let mut h = lock_meta(&health);
+            if h.status == HealthStatus::Quarantined && !h.sticky {
+                h.sticky = true;
+                let attempts = h.repair_attempts;
+                h.push_log(format!(
+                    "automatic repair gave up after {attempts} attempt(s); \
+                     quarantine is sticky until repaired manually or evicted"
+                ));
+            }
+        }
+    }
+
+    /// Supervisor backoff: delay the next automatic repair attempt.
+    fn set_next_attempt(&self, name: &str, at: Instant) {
+        if let Ok((_, health)) = self.slot_parts(name) {
+            lock_meta(&health).next_attempt_at = Some(at);
+        }
     }
 
     /// Edge-table encoding of the named graph's base tables (v1 raw
@@ -1421,9 +2104,7 @@ impl CoreService {
         Ok(())
     }
 
-    /// Restore one catalogued graph: open its tables against the pool,
-    /// load the checkpoint, re-inject the buffered edits, replay the
-    /// journal tail through [`CoreIndex::apply`], and serve it.
+    /// Restore one catalogued graph and serve it.
     fn recover_entry(&self, entry: &CatalogEntry) -> Result<()> {
         let Some(d) = self.durable.as_ref() else {
             return Err(graphstore::Error::InvalidArgument(
@@ -1435,6 +2116,38 @@ impl CoreService {
                 reason: format!("catalog lists {:?} twice", entry.name),
             });
         }
+        let served = self.rebuild_served(entry)?;
+        let ck_seq = served.ck_seq;
+        let handle = Arc::new(Mutex::new(served));
+        self.registry().insert(
+            entry.name.clone(),
+            Slot::new(handle, entry.format, entry.charge_bytes, &entry.base),
+        );
+        lock_meta(&d.entries).insert(
+            entry.name.clone(),
+            DurableEntry {
+                base: entry.base.clone(),
+                charge_bytes: entry.charge_bytes,
+                checkpoint_seq: ck_seq,
+                format: entry.format,
+                generation: entry.generation,
+            },
+        );
+        Ok(())
+    }
+
+    /// Rebuild a served graph from its durable artefacts — the shared
+    /// core of restart recovery ([`CoreService::recover_entry`]) and
+    /// online repair ([`CoreService::repair`]): open the
+    /// current-generation tables against the pool, load the checkpoint,
+    /// re-inject the buffered edits, and replay the journal tail through
+    /// [`CoreIndex::apply`].
+    fn rebuild_served(&self, entry: &CatalogEntry) -> Result<Served> {
+        let Some(d) = self.durable.as_ref() else {
+            return Err(graphstore::Error::InvalidArgument(
+                "recovery on a service with no data directory".into(),
+            ));
+        };
         let counter = IoCounter::with_vfs(self.pool.block_size(), Arc::clone(&self.vfs));
         // Open the entry's *current generation* tables: the registered
         // base for generation 0, `<base>.g<g>` after `g` compactions.
@@ -1524,43 +2237,63 @@ impl CoreService {
             index.apply(op)?;
             seq = rseq;
         }
-        let handle = Arc::new(Mutex::new(Served {
+        Ok(Served {
             index,
             wal: Some(d.journal(wal)?),
             seq,
             ck_seq: ck.seq,
-        }));
-        self.registry().insert(
-            entry.name.clone(),
-            Slot::new(handle, entry.format, entry.charge_bytes),
-        );
-        lock_meta(&d.entries).insert(
-            entry.name.clone(),
-            DurableEntry {
-                base: entry.base.clone(),
-                charge_bytes: entry.charge_bytes,
-                checkpoint_seq: ck.seq,
-                format: entry.format,
-                generation: entry.generation,
-            },
-        );
-        Ok(())
+        })
     }
 
-    /// Look the graph up and gate on quarantine, returning its handle plus
-    /// the shared quarantine flag (so the caller can trip it after this
-    /// registry guard is gone).
+    /// Look the graph up without any health gate, returning its handle
+    /// plus the shared health record (so a failing caller can update it
+    /// after this registry guard is gone). The repair/scrub/probe paths
+    /// use this directly — they exist to operate on unhealthy graphs.
     #[allow(clippy::type_complexity)]
-    fn served(&self, name: &str) -> Result<(Arc<Mutex<Served>>, Arc<Mutex<Option<String>>>)> {
+    fn slot_parts(&self, name: &str) -> Result<(Arc<Mutex<Served>>, Arc<Mutex<HealthState>>)> {
         let registry = self.registry();
         let slot = registry.get(name).ok_or_else(|| not_serving(name))?;
-        if let Some(reason) = lock_meta(&slot.quarantine).clone() {
-            return Err(graphstore::Error::Quarantined {
-                graph: name.to_string(),
-                reason,
-            });
+        Ok((Arc::clone(&slot.handle), Arc::clone(&slot.health)))
+    }
+
+    /// [`CoreService::slot_parts`] behind the health gate: quarantined and
+    /// under-repair graphs refuse everything; read-only graphs refuse
+    /// mutating entry points (`write`) with the typed
+    /// [`graphstore::Error::ReadOnly`] but keep serving queries.
+    #[allow(clippy::type_complexity)]
+    fn served_for(
+        &self,
+        name: &str,
+        write: bool,
+    ) -> Result<(Arc<Mutex<Served>>, Arc<Mutex<HealthState>>)> {
+        let (handle, health) = self.slot_parts(name)?;
+        {
+            let h = lock_meta(&health);
+            match h.status {
+                HealthStatus::Healthy => {}
+                HealthStatus::ReadOnly => {
+                    if write {
+                        return Err(graphstore::Error::ReadOnly {
+                            graph: name.to_string(),
+                            reason: h.last_reason(),
+                        });
+                    }
+                }
+                HealthStatus::Repairing => {
+                    return Err(graphstore::Error::Quarantined {
+                        graph: name.to_string(),
+                        reason: "an online repair is rebuilding this graph".to_string(),
+                    });
+                }
+                HealthStatus::Quarantined => {
+                    return Err(graphstore::Error::Quarantined {
+                        graph: name.to_string(),
+                        reason: h.last_reason(),
+                    });
+                }
+            }
         }
-        Ok((Arc::clone(&slot.handle), Arc::clone(&slot.quarantine)))
+        Ok((handle, health))
     }
 
     fn registry(&self) -> MutexGuard<'_, HashMap<String, Slot>> {
@@ -1571,11 +2304,11 @@ impl CoreService {
 /// Lock a served graph, converting a poisoned mutex into quarantine. A
 /// panicking holder may have left the index mid-mutation, so — unlike the
 /// metadata maps — the state must **not** be recovered into; it is sealed
-/// off and the graph re-opened from its durable state instead.
+/// off and rebuilt from durable state by the repair path instead.
 fn lock_served<'a>(
     name: &str,
     handle: &'a Mutex<Served>,
-    quarantine: &Mutex<Option<String>>,
+    health: &Mutex<HealthState>,
 ) -> Result<MutexGuard<'a, Served>> {
     match handle.lock() {
         Ok(guard) => Ok(guard),
@@ -1583,7 +2316,7 @@ fn lock_served<'a>(
             let reason =
                 "a thread panicked while operating on this graph; in-memory state is untrusted"
                     .to_string();
-            set_quarantine(quarantine, &reason);
+            set_quarantine(health, &reason);
             Err(graphstore::Error::Quarantined {
                 graph: name.to_string(),
                 reason,
@@ -1598,6 +2331,134 @@ fn already_serving(name: &str) -> graphstore::Error {
 
 fn not_serving(name: &str) -> graphstore::Error {
     graphstore::Error::InvalidArgument(format!("no graph named {name:?} is being served"))
+}
+
+/// Tuning knobs for the self-heal supervisor ([`start_self_heal`]).
+#[derive(Debug, Clone)]
+pub struct SelfHealOptions {
+    /// How often each healthy graph is scrubbed; `None` disables the
+    /// scrubber (quarantine repair and read-only probing still run).
+    pub scrub_interval: Option<Duration>,
+    /// Automatic repair attempts per quarantine episode before the
+    /// quarantine is escalated to sticky.
+    pub repair_retries: u32,
+    /// Base delay of the exponential backoff between repair attempts:
+    /// attempt `n` waits `backoff_base * 2^n`.
+    pub backoff_base: Duration,
+    /// Scrubber read-rate ceiling in bytes per second
+    /// ([`CoreService::scrub_with_rate`]).
+    pub scrub_rate: u64,
+    /// How often the supervisor wakes up to look at graph health.
+    pub poll_interval: Duration,
+}
+
+impl Default for SelfHealOptions {
+    fn default() -> Self {
+        SelfHealOptions {
+            scrub_interval: None,
+            repair_retries: 3,
+            backoff_base: Duration::from_millis(50),
+            scrub_rate: DEFAULT_SCRUB_RATE,
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Handle to a running self-heal supervisor. Dropping it (or calling
+/// [`SelfHealHandle::stop`]) signals the worker and joins it.
+pub struct SelfHealHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SelfHealHandle {
+    /// Stop the supervisor and wait for its thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SelfHealHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Start the **self-heal supervisor**: a background worker that, on every
+/// poll tick,
+///
+/// * attempts an online [`CoreService::repair`] of each non-sticky
+///   quarantined graph, with exponential backoff between attempts and
+///   escalation to sticky quarantine once `repair_retries` attempts have
+///   failed;
+/// * probes each read-only graph for returned disk space
+///   ([`CoreService::probe_read_only`]) and promotes it back to
+///   read-write when a checkpoint succeeds;
+/// * scrubs each healthy graph's durable artefacts on `scrub_interval`
+///   ([`CoreService::scrub_with_rate`]), routing findings into the
+///   quarantine → repair pipeline.
+///
+/// The returned handle owns the worker; drop it to stop.
+pub fn start_self_heal(svc: &Arc<CoreService>, opts: SelfHealOptions) -> SelfHealHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let svc = Arc::clone(svc);
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("kcore-self-heal".to_string())
+        .spawn(move || {
+            let mut last_scrub: HashMap<String, Instant> = HashMap::new();
+            while !flag.load(Ordering::Acquire) {
+                heal_tick(&svc, &opts, &mut last_scrub);
+                std::thread::sleep(opts.poll_interval);
+            }
+        })
+        .ok();
+    SelfHealHandle { stop, thread }
+}
+
+/// One supervisor pass over every served graph.
+fn heal_tick(svc: &CoreService, opts: &SelfHealOptions, last_scrub: &mut HashMap<String, Instant>) {
+    for name in svc.graph_names() {
+        let Some((status, attempts, sticky, next_at)) = svc.health_brief(&name) else {
+            last_scrub.remove(&name);
+            continue;
+        };
+        match status {
+            HealthStatus::Quarantined if !sticky => {
+                if attempts >= opts.repair_retries {
+                    svc.escalate_sticky(&name);
+                } else if next_at.is_none_or(|t| Instant::now() >= t) && svc.repair(&name).is_err()
+                {
+                    // `repair` bumped `repair_attempts`; schedule the
+                    // next try with exponential backoff.
+                    let backoff = opts.backoff_base * 2u32.saturating_pow(attempts.min(16));
+                    svc.set_next_attempt(&name, Instant::now() + backoff);
+                }
+            }
+            HealthStatus::ReadOnly => {
+                let _ = svc.probe_read_only(&name);
+            }
+            HealthStatus::Healthy => {
+                if let Some(interval) = opts.scrub_interval {
+                    let due = last_scrub
+                        .get(&name)
+                        .is_none_or(|t| t.elapsed() >= interval);
+                    if due {
+                        last_scrub.insert(name.clone(), Instant::now());
+                        let _ = svc.scrub_with_rate(&name, opts.scrub_rate);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]

@@ -13,10 +13,12 @@
 //! state — with the Theorem 4.1 certificate holding and `fsck` clean.
 //!
 //! A second test covers fail-safe multi-tenant serving: an injected
-//! `ENOSPC` on one tenant must surface as a typed error and quarantine
-//! that graph alone, while the other tenant keeps serving; injected
-//! bit-rot in the quarantined tenant's base tables is then caught by
-//! `fsck` and correctly reported as unrepairable.
+//! `ENOSPC` on one tenant must surface as a typed error and degrade that
+//! graph alone to read-only — committed state keeps serving, mutations
+//! are refused, and a successful space probe promotes it back — while
+//! the other tenant is untouched; injected bit-rot in the degraded
+//! tenant's base tables is then caught by `fsck` and correctly reported
+//! as unrepairable.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Seek, SeekFrom, Write};
@@ -291,10 +293,11 @@ fn crash_point_torture_matrix() {
     }
 }
 
-/// Fail-safe multi-tenant serving: one tenant's injected I/O failure
-/// quarantines that graph alone; bit-rot in its base tables is caught by
-/// fsck (and correctly refused by `--repair`) while the healthy tenant
-/// keeps serving through it all.
+/// Fail-safe multi-tenant serving: one tenant's injected `ENOSPC`
+/// degrades that graph alone to read-only (queries keep serving, the
+/// probe promotes it back once space returns); bit-rot in its base
+/// tables is caught by fsck (and correctly refused by `--repair`) while
+/// the healthy tenant keeps serving through it all.
 #[test]
 fn quarantine_isolates_tenant_and_fsck_catches_bit_rot() {
     let dir = TempDir::new("quarantine-rot").unwrap();
@@ -339,19 +342,35 @@ fn quarantine_isolates_tenant_and_fsck_catches_bit_rot() {
         "typed error: {err}"
     );
 
-    // Disk pressure clears, but the quarantine is sticky: the failed
-    // graph rejects everything while its neighbour keeps serving.
+    // Disk pressure clears, but the degradation is sticky until a probe
+    // proves space returned: mutations are refused with a typed
+    // read-only error while queries keep serving the committed state —
+    // and the neighbour is untouched throughout.
     fault.set_plan(FaultPlan::default());
     assert!(svc
         .insert_edge("sick", se.0, se.1)
         .unwrap_err()
-        .is_quarantined());
-    assert!(svc.kmax("sick").unwrap_err().is_quarantined());
-    assert!(svc.quarantine_reason("sick").unwrap().is_some());
+        .is_read_only());
+    svc.kmax("sick").unwrap();
+    assert_eq!(
+        svc.health("sick").unwrap().status,
+        kcore_suite::HealthStatus::ReadOnly
+    );
+    assert!(svc.quarantine_reason("sick").unwrap().is_none());
     assert!(svc.quarantine_reason("well").unwrap().is_none());
     svc.insert_edge("well", we[0].0, we[0].1).unwrap();
     svc.insert_edge("well", we[1].0, we[1].1).unwrap();
     assert!(svc.verify("well").unwrap());
+
+    // A successful probe (a real checkpoint) promotes the graph back to
+    // read-write, and the refused mutation now lands.
+    assert!(svc.probe_read_only("sick").unwrap());
+    assert_eq!(
+        svc.health("sick").unwrap().status,
+        kcore_suite::HealthStatus::Healthy
+    );
+    svc.insert_edge("sick", se.0, se.1).unwrap();
+    assert!(svc.verify("sick").unwrap());
     drop(svc);
 
     // Nothing actually landed during the ENOSPC window, so the directory

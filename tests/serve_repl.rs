@@ -1,9 +1,11 @@
 //! Smoke tests of the `kcore serve` surface: the stdin REPL binary, and
 //! the TCP front-end. A session must survive failed commands — each
 //! reported as one structured `err <kind>: …` line — and keep answering
-//! correctly afterwards; over TCP, one connection tripping a tenant's
-//! quarantine must not disturb a concurrent connection serving another
-//! tenant, and the connection limit must shed with a parseable line.
+//! correctly afterwards; over TCP, one connection degrading a tenant to
+//! read-only must not disturb a concurrent connection serving another
+//! tenant, the connection limit must shed with a parseable line, and
+//! shutdown must drain in-flight ops and flush the group-commit journal
+//! before closing sockets.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -13,8 +15,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use graphstore::{
-    EvictionPolicy, FaultPlan, FaultVfs, IoCounter, MemGraph, QosConfig, TempDir, Vfs,
-    DEFAULT_BLOCK_SIZE,
+    EvictionPolicy, FaultPlan, FaultVfs, GroupCommitOptions, IoCounter, MemGraph, QosConfig,
+    TempDir, Vfs, DEFAULT_BLOCK_SIZE,
 };
 use kcore_suite::server::{Server, ServerOptions};
 use kcore_suite::{CoreService, DurableOptions};
@@ -232,7 +234,9 @@ fn tcp_connection_tripping_quarantine_does_not_disturb_the_other() {
     assert_eq!(ask(&mut b, &mut rb, "weight well 3"), "weight(well) = 3");
 
     // Connection A's tenant hits disk-full mid-insert: a structured io
-    // error crosses the socket and the graph is quarantined.
+    // error crosses the socket and the graph degrades to read-only —
+    // mutations are refused with `err readonly:` but queries keep
+    // serving the committed state.
     fault.set_plan(FaultPlan {
         enospc_after: Some(0),
         ..FaultPlan::default()
@@ -240,12 +244,20 @@ fn tcp_connection_tripping_quarantine_does_not_disturb_the_other() {
     let io_err = ask(&mut a, &mut ra, "insert sick 1 3");
     assert!(io_err.starts_with("err io:"), "typed io error: {io_err}");
     fault.set_plan(FaultPlan::default());
-    let q_err = ask(&mut a, &mut ra, "insert sick 1 3");
+    let ro_err = ask(&mut a, &mut ra, "insert sick 1 3");
     assert!(
-        q_err.starts_with("err quarantined:"),
-        "sticky quarantine: {q_err}"
+        ro_err.starts_with("err readonly:"),
+        "degraded to read-only: {ro_err}"
     );
-    assert!(ask(&mut a, &mut ra, "kmax sick").starts_with("err quarantined:"));
+    assert_eq!(
+        ask(&mut a, &mut ra, "kmax sick"),
+        "kmax = 2",
+        "read-only graphs keep answering queries"
+    );
+    assert!(
+        ask(&mut a, &mut ra, "health sick").starts_with("health sick: read-only"),
+        "health verb reports the degradation"
+    );
 
     // Connection B never noticed: its tenant keeps serving and mutating.
     assert!(ask(&mut b, &mut rb, "insert well 1 3").contains("node computations"));
@@ -261,6 +273,63 @@ fn tcp_connection_tripping_quarantine_does_not_disturb_the_other() {
     assert_eq!(ask(&mut b, &mut rb, "kmax well"), "kmax = 3");
 
     server.shutdown();
+}
+
+/// Graceful drain: `Server::shutdown` must let an in-flight command
+/// finish and write its reply (never cut the socket mid-op), then flush
+/// the group-commit journal so the acknowledged op survives a reopen.
+#[test]
+fn shutdown_drains_in_flight_ops_and_flushes_group_commit() {
+    let dir = TempDir::new("tcp-drain").unwrap();
+    let (data, bases) = (dir.path().join("data"), dir.path().join("bases"));
+    std::fs::create_dir_all(&bases).unwrap();
+    let svc = Arc::new(
+        CoreService::create_durable_with(
+            &data,
+            DEFAULT_BLOCK_SIZE,
+            4 << 20,
+            EvictionPolicy::ScanLifo,
+            ScanExecutor::Sequential,
+            DurableOptions {
+                // A long gather window keeps the insert's durability
+                // barrier in flight while shutdown starts.
+                group_commit: Some(GroupCommitOptions {
+                    max_delay: Duration::from_millis(150),
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let edges = [(0u32, 1u32), (1, 2), (0, 2), (2, 3)];
+    svc.create("g", &bases.join("g"), edges.iter().copied(), 4)
+        .unwrap();
+
+    let mut server = Server::start(Arc::clone(&svc), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind server");
+    let (mut a, mut ra) = connect(&server);
+    assert_eq!(ask(&mut a, &mut ra, "kmax g"), "kmax = 2");
+
+    // Launch the mutation on its own thread, then drain while its
+    // group-commit barrier still gathers.
+    let inflight = std::thread::spawn(move || ask(&mut a, &mut ra, "insert g 1 3"));
+    std::thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+    let reply = inflight.join().expect("in-flight client thread");
+    assert!(
+        reply.contains("node computations"),
+        "the in-flight insert completed and its reply crossed the socket: {reply:?}"
+    );
+
+    // The acknowledged op is durable: a fresh catalog open replays it.
+    drop(server);
+    drop(svc);
+    let svc2 = CoreService::open_catalog(&data).unwrap();
+    let edges_after = svc2
+        .with_graph("g", |idx| Ok(idx.num_edges()))
+        .expect("reopen the drained graph");
+    assert_eq!(edges_after, 5, "the drained insert survived the restart");
+    assert!(svc2.verify("g").unwrap());
 }
 
 /// The accept bound: with `max_connections = 1`, a second client is not
